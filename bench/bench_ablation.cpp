@@ -1,0 +1,121 @@
+// Ablation studies on the design decisions DESIGN.md calls out:
+//   1. Minimalist mode: speed (single-output, minimal product count) vs
+//      area (minimal literals) — explains part of Table 3's area overhead.
+//   2. Technology mapping: level-separated (the paper's per-module DC
+//      runs) vs whole-cone — the Section 5/6 area discussion.
+//   3. Cluster state budget: how max_states bounds controller growth
+//      (Section 4.4's "restrictions determine how many components can be
+//      clustered together").
+//   4. The Burst-Mode-aware gate (Table 1): admitting illegal operator
+//      combinations produces expansions that fail BM validation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/balsa/compile.hpp"
+#include "src/bm/compile.hpp"
+#include "src/bm/validate.hpp"
+#include "src/ch/parser.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/benchmarks.hpp"
+#include "src/hsnet/to_ch.hpp"
+#include "src/opt/cluster.hpp"
+
+namespace {
+
+void ablation_synth_mode_and_mapping() {
+  std::printf("--- Ablation 1+2: Minimalist mode x mapping style "
+              "(systolic counter, clustered)\n");
+  std::printf("%-28s %12s %12s %12s\n", "configuration", "time(ns)",
+              "ctl area", "improvement vs unopt");
+  const auto base =
+      bb::flow::run_benchmark("systolic", bb::flow::FlowOptions::unoptimized());
+  struct Config {
+    const char* name;
+    bb::minimalist::SynthMode mode;
+    bool level_separated;
+  };
+  const Config configs[] = {
+      {"speed + level-separated", bb::minimalist::SynthMode::kSpeed, true},
+      {"speed + whole-cone", bb::minimalist::SynthMode::kSpeed, false},
+      {"area  + level-separated", bb::minimalist::SynthMode::kArea, true},
+      {"area  + whole-cone", bb::minimalist::SynthMode::kArea, false},
+  };
+  for (const Config& c : configs) {
+    bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+    options.mode = c.mode;
+    options.level_separated = c.level_separated;
+    const auto r = bb::flow::run_benchmark("systolic", options);
+    std::printf("%-28s %12.2f %12.0f %11.2f%%\n", c.name, r.time_ns,
+                r.control_area,
+                100.0 * (base.time_ns - r.time_ns) / base.time_ns);
+  }
+  std::printf("(baseline: %.2f ns, %.0f area)\n\n", base.time_ns,
+              base.control_area);
+}
+
+void ablation_state_budget() {
+  std::printf("--- Ablation 3: cluster state budget (stack design)\n");
+  std::printf("%-12s %12s %12s %12s\n", "max_states", "controllers",
+              "time(ns)", "ctl area");
+  for (const int cap : {8, 16, 24, 40, 64}) {
+    bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+    options.max_states = cap;
+    const auto r = bb::flow::run_benchmark("stack", options);
+    std::printf("%-12d %12d %12.2f %12.0f%s\n", cap, r.controllers,
+                r.time_ns, r.control_area, r.ok ? "" : "  (FAILED)");
+  }
+  std::printf("\n");
+}
+
+void ablation_bm_aware_gate() {
+  std::printf("--- Ablation 4: dropping the Burst-Mode-aware gate "
+              "(Table 1)\n");
+  // Illegal combinations, expanded with best-guess interleavings, must be
+  // caught by BM validation downstream.
+  const char* illegal[] = {
+      "(rep (enc-early (p-to-p active A) (p-to-p passive B)))",
+      "(rep (seq (p-to-p active A) (p-to-p passive B)))",
+      "(mutex (p-to-p active A) (p-to-p active B))",
+  };
+  for (const char* src : illegal) {
+    bb::ch::ExpandOptions options;
+    options.allow_illegal = true;
+    std::string verdict;
+    try {
+      const auto expansion = bb::ch::expand(*bb::ch::parse(src), options);
+      const auto spec = bb::bm::compile_items(expansion.flatten(), "x");
+      const auto check = bb::bm::validate(spec);
+      verdict = check.ok ? "UNEXPECTEDLY VALID"
+                         : "rejected by validation: " + check.errors[0];
+    } catch (const std::exception& e) {
+      verdict = std::string("rejected: ") + e.what();
+    }
+    std::printf("  %-55s -> %s\n", src, verdict.c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_ClusterStack(benchmark::State& state) {
+  const auto net = bb::balsa::compile_source(bb::designs::stack().source);
+  auto programs = bb::hsnet::control_programs(net);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<bb::ch::Program> copy;
+    for (const auto& p : programs) copy.push_back(p.clone());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bb::opt::optimize(std::move(copy)));
+  }
+}
+BENCHMARK(BM_ClusterStack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablation_synth_mode_and_mapping();
+  ablation_state_budget();
+  ablation_bm_aware_gate();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Section 6 tool statistics: per design, the handshake netlist size, the
+// clustering log (T1 merges / rejections, T2 splits / restores), and the
+// synthesized controller inventory (states, products, literals, area).
+// Mirrors the paper's observation that clustering yields "netlists of
+// several clustered components, as opposed to single, monolithic
+// controllers".
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/balsa/compile.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/flow.hpp"
+#include "src/netlist/analysis.hpp"
+
+namespace {
+
+void print_design(const bb::designs::DesignInfo& design) {
+  std::printf("=== %s (%s)\n", design.title.c_str(), design.name.c_str());
+  const auto net = bb::balsa::compile_source(design.source);
+  std::printf("handshake components: %zu (%zu control, %zu datapath), "
+              "internal control channels: %zu\n",
+              net.components().size(), net.control_ids().size(),
+              net.datapath_ids().size(),
+              net.internal_control_channels().size());
+
+  const auto result =
+      bb::flow::synthesize_control(net, bb::flow::FlowOptions::optimized());
+  std::printf("cluster log:\n");
+  for (const auto& line : result.cluster_stats.log) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("T1 applied %d, rejected %d; calls split %d, distributed %d, "
+              "restored %d\n",
+              result.cluster_stats.t1_applied,
+              result.cluster_stats.t1_rejected,
+              result.cluster_stats.calls_split,
+              result.cluster_stats.calls_distributed,
+              result.cluster_stats.calls_restored);
+  std::printf("final controllers: %zu\n", result.info.size());
+  for (const auto& info : result.info) {
+    std::printf("  %-60s states=%-3d products=%-3zu literals=%-4zu "
+                "area=%.0f (members: %zu)\n",
+                info.name.substr(0, 60).c_str(), info.states, info.products,
+                info.literals, info.area, info.members.size());
+  }
+  const auto stats = bb::netlist::analyze(result.gates);
+  std::printf("control area: %.0f, cells: %d, critical path %.2f ns\n",
+              result.area, stats.num_gates, stats.critical_path_ns);
+  std::printf("cell mix: %s\n\n",
+              bb::netlist::histogram_string(stats).c_str());
+}
+
+void BM_SynthesizeControlSsem(benchmark::State& state) {
+  const auto net =
+      bb::balsa::compile_source(bb::designs::ssem().source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bb::flow::synthesize_control(net, bb::flow::FlowOptions::optimized()));
+  }
+}
+BENCHMARK(BM_SynthesizeControlSsem)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto* design : bb::designs::all_designs()) {
+    print_design(*design);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

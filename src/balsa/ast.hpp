@@ -1,0 +1,95 @@
+// Abstract syntax for the mini-Balsa language (the balsa-c substitute).
+//
+// The language covers the constructs the paper's four evaluation designs
+// need: procedures with sync/input/output ports, variables, sequential and
+// parallel composition, loop / while / if / case, channel communication
+// and assignment.  Widths are in bits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bb::balsa {
+
+// ---- expressions ----
+
+enum class BinOp { kAdd, kSub, kAnd, kOr, kXor, kEq, kNe, kLt, kLts, kShl,
+                   kShr };
+enum class UnOp { kNot, kNeg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kLiteral, kVar, kBinary, kUnary, kSlice };
+  Kind kind = Kind::kLiteral;
+
+  std::uint64_t literal = 0;        // kLiteral
+  std::string var;                  // kVar
+  BinOp bin_op = BinOp::kAdd;       // kBinary
+  UnOp un_op = UnOp::kNot;          // kUnary
+  int slice_hi = 0, slice_lo = 0;   // kSlice
+  ExprPtr lhs, rhs;                 // children
+};
+
+// ---- commands ----
+
+struct Command;
+using CommandPtr = std::unique_ptr<Command>;
+
+struct CaseAlt {
+  std::vector<std::uint64_t> labels;  // empty = else
+  CommandPtr body;
+};
+
+struct Command {
+  enum class Kind {
+    kSeq,       ///< children in sequence (";")
+    kPar,       ///< children in parallel ("||")
+    kLoop,      ///< loop body end
+    kWhile,     ///< while guard then body end
+    kIf,        ///< if guard then .. [else ..] end
+    kCase,      ///< case selector of alts end
+    kSync,      ///< sync channel
+    kSend,      ///< channel <- expr
+    kReceive,   ///< channel -> variable
+    kAssign,    ///< variable := expr
+    kContinue,  ///< no-op
+  };
+  Kind kind = Kind::kContinue;
+
+  std::vector<CommandPtr> children;  // kSeq, kPar
+  CommandPtr body;                   // kLoop, kWhile, kIf(then)
+  CommandPtr else_body;              // kIf
+  std::vector<CaseAlt> alts;         // kCase
+  ExprPtr guard;                     // kWhile, kIf, kCase
+  std::string channel;               // kSync, kSend, kReceive
+  std::string var;                   // kReceive, kAssign
+  ExprPtr value;                     // kSend, kAssign
+};
+
+// ---- declarations ----
+
+enum class PortDir { kSync, kInput, kOutput };
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kSync;
+  int width = 0;  // 0 for sync
+};
+
+struct VariableDecl {
+  std::string name;
+  int width = 1;
+};
+
+struct Procedure {
+  std::string name;
+  std::vector<Port> ports;
+  std::vector<VariableDecl> variables;
+  CommandPtr body;
+};
+
+}  // namespace bb::balsa

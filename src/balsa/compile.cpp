@@ -1,0 +1,480 @@
+#include "src/balsa/compile.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/balsa/parser.hpp"
+#include "src/util/strings.hpp"
+
+namespace bb::balsa {
+
+namespace {
+
+using hsnet::Component;
+using hsnet::ComponentKind;
+
+int bit_length(std::uint64_t v) {
+  int n = 1;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const Procedure& proc)
+      : proc_(proc), net_(util::to_lower(proc.name)) {}
+
+  hsnet::Netlist run() {
+    net_.declare_channel("activate", 0, /*external=*/true);
+    for (const Port& p : proc_.ports) {
+      const std::string name = util::to_lower(p.name);
+      if (!ports_.emplace(name, PortInfo{p.dir, p.width, {}}).second) {
+        throw CompileError("duplicate port '" + p.name + "'");
+      }
+      net_.declare_channel(name, p.width, /*external=*/true);
+    }
+    for (const VariableDecl& v : proc_.variables) {
+      const std::string name = util::to_lower(v.name);
+      if (ports_.count(name) ||
+          !vars_.emplace(name, VarInfo{v.width, {}, {}}).second) {
+        throw CompileError("duplicate declaration '" + v.name + "'");
+      }
+    }
+
+    count_port_uses(*proc_.body);
+    const std::string root = command(*proc_.body);
+    bind_activation(root);
+    finalize_ports();
+    finalize_variables();
+    return std::move(net_);
+  }
+
+ private:
+  struct PortInfo {
+    PortDir dir = PortDir::kSync;
+    int width = 0;
+    std::vector<std::string> clients;  // merge clients when multiply used
+  };
+  struct VarInfo {
+    int width = 1;
+    std::vector<std::string> writes;
+    std::vector<std::string> reads;
+  };
+
+  std::string fresh(const std::string& stem, int width = 0) {
+    const std::string name = stem + std::to_string(next_++);
+    net_.declare_channel(name, width);
+    return name;
+  }
+
+  PortInfo& port(const std::string& name) {
+    const auto it = ports_.find(util::to_lower(name));
+    if (it == ports_.end()) {
+      throw CompileError("unknown port '" + name + "'");
+    }
+    return it->second;
+  }
+
+  VarInfo& variable(const std::string& name) {
+    const auto it = vars_.find(util::to_lower(name));
+    if (it == vars_.end()) {
+      throw CompileError("unknown variable '" + name + "'");
+    }
+    return it->second;
+  }
+
+  // ---- pre-pass: how many times is each port used? ----
+  void count_port_uses(const Command& c) {
+    switch (c.kind) {
+      case Command::Kind::kSync:
+      case Command::Kind::kSend:
+      case Command::Kind::kReceive:
+        ++port_uses_[util::to_lower(c.channel)];
+        break;
+      default:
+        break;
+    }
+    for (const auto& child : c.children) count_port_uses(*child);
+    if (c.body) count_port_uses(*c.body);
+    if (c.else_body) count_port_uses(*c.else_body);
+    for (const auto& alt : c.alts) count_port_uses(*alt.body);
+  }
+
+  /// The channel a port use should talk to: the port itself when used
+  /// once, otherwise a fresh client channel of the final merge.
+  std::string port_use_channel(const std::string& raw_name) {
+    const std::string name = util::to_lower(raw_name);
+    PortInfo& info = port(name);
+    if (port_uses_.at(name) <= 1) return name;
+    const std::string client = fresh("c", info.width);
+    info.clients.push_back(client);
+    return client;
+  }
+
+  // ---- commands: return their activation channel ----
+  std::string command(const Command& c) {
+    switch (c.kind) {
+      case Command::Kind::kContinue: {
+        const std::string act = fresh("s");
+        add(ComponentKind::kContinue, {act});
+        return act;
+      }
+      case Command::Kind::kSeq:
+      case Command::Kind::kPar: {
+        const std::string act = fresh("s");
+        std::vector<std::string> ports{act};
+        for (const auto& child : c.children) ports.push_back(command(*child));
+        Component comp;
+        comp.kind = c.kind == Command::Kind::kSeq ? ComponentKind::kSequence
+                                                  : ComponentKind::kConcur;
+        comp.ports = std::move(ports);
+        comp.ways = static_cast<int>(c.children.size());
+        net_.add(std::move(comp));
+        return act;
+      }
+      case Command::Kind::kLoop: {
+        const std::string act = fresh("s");
+        add(ComponentKind::kLoop, {act, command(*c.body)});
+        return act;
+      }
+      case Command::Kind::kWhile: {
+        const std::string act = fresh("s");
+        const std::string g = fresh("g");
+        const auto cond = expression(*c.guard);
+        add(ComponentKind::kWhile, {act, g, command(*c.body)});
+        Component guard;
+        guard.kind = ComponentKind::kGuard;
+        guard.ports = {g, cond.channel};
+        guard.ways = 2;
+        guard.op = "bool";
+        guard.width = cond.width;
+        net_.add(std::move(guard));
+        return act;
+      }
+      case Command::Kind::kIf: {
+        const std::string act = fresh("s");
+        const std::string g = fresh("g");
+        const auto cond = expression(*c.guard);
+        const std::string then_ch = command(*c.body);
+        std::string else_ch;
+        if (c.else_body) {
+          else_ch = command(*c.else_body);
+        } else {
+          else_ch = fresh("s");
+          add(ComponentKind::kContinue, {else_ch});
+        }
+        Component sel;
+        sel.kind = ComponentKind::kCase;
+        sel.ports = {act, g, then_ch, else_ch};
+        sel.ways = 2;
+        net_.add(std::move(sel));
+        Component guard;
+        guard.kind = ComponentKind::kGuard;
+        guard.ports = {g, cond.channel};
+        guard.ways = 2;
+        guard.op = "bool";
+        guard.width = cond.width;
+        net_.add(std::move(guard));
+        return act;
+      }
+      case Command::Kind::kCase: {
+        const std::string act = fresh("s");
+        const std::string g = fresh("g");
+        const auto cond = expression(*c.guard);
+
+        std::vector<std::string> branches;
+        std::vector<int> table;
+        int else_branch = -1;
+        for (const auto& alt : c.alts) {
+          const int branch = static_cast<int>(branches.size());
+          branches.push_back(command(*alt.body));
+          if (alt.labels.empty()) {
+            else_branch = branch;
+            continue;
+          }
+          for (const std::uint64_t label : alt.labels) {
+            if (table.size() <= label) {
+              table.resize(label + 1, -1);
+            }
+            if (table[label] != -1) {
+              throw CompileError("duplicate case label " +
+                                 std::to_string(label));
+            }
+            table[label] = branch;
+          }
+        }
+        if (else_branch < 0) {
+          // Unlabelled values fall through to an implicit skip branch.
+          else_branch = static_cast<int>(branches.size());
+          const std::string skip = fresh("s");
+          add(ComponentKind::kContinue, {skip});
+          branches.push_back(skip);
+        }
+        for (int& t : table) {
+          if (t < 0) t = else_branch;
+        }
+
+        Component sel;
+        sel.kind = ComponentKind::kCase;
+        sel.ports = {act, g};
+        sel.ports.insert(sel.ports.end(), branches.begin(), branches.end());
+        sel.ways = static_cast<int>(branches.size());
+        net_.add(std::move(sel));
+
+        Component guard;
+        guard.kind = ComponentKind::kGuard;
+        guard.ports = {g, cond.channel};
+        guard.ways = static_cast<int>(branches.size());
+        guard.op = "index";
+        guard.value = else_branch;
+        guard.labels = std::move(table);
+        guard.width = cond.width;
+        net_.add(std::move(guard));
+        return act;
+      }
+      case Command::Kind::kSync: {
+        if (port(c.channel).dir != PortDir::kSync) {
+          throw CompileError("'sync " + c.channel + "': not a sync port");
+        }
+        return port_use_channel(c.channel);
+      }
+      case Command::Kind::kSend: {
+        PortInfo& p = port(c.channel);
+        if (p.dir != PortDir::kOutput) {
+          throw CompileError("'" + c.channel + " <- ...': not an output port");
+        }
+        const auto value = expression(*c.value);
+        const std::string act = fresh("s");
+        Component fetch;
+        fetch.kind = ComponentKind::kFetch;
+        fetch.ports = {act, value.channel, port_use_channel(c.channel)};
+        fetch.width = p.width;
+        net_.add(std::move(fetch));
+        return act;
+      }
+      case Command::Kind::kReceive: {
+        PortInfo& p = port(c.channel);
+        if (p.dir != PortDir::kInput) {
+          throw CompileError("'" + c.channel + " -> ...': not an input port");
+        }
+        VarInfo& v = variable(c.var);
+        const std::string w = fresh("w", v.width);
+        v.writes.push_back(w);
+        const std::string act = fresh("s");
+        Component fetch;
+        fetch.kind = ComponentKind::kFetch;
+        fetch.ports = {act, port_use_channel(c.channel), w};
+        fetch.width = std::max(p.width, v.width);
+        net_.add(std::move(fetch));
+        return act;
+      }
+      case Command::Kind::kAssign: {
+        VarInfo& v = variable(c.var);
+        const auto value = expression(*c.value);
+        const std::string w = fresh("w", v.width);
+        v.writes.push_back(w);
+        const std::string act = fresh("s");
+        Component fetch;
+        fetch.kind = ComponentKind::kFetch;
+        fetch.ports = {act, value.channel, w};
+        fetch.width = v.width;
+        net_.add(std::move(fetch));
+        return act;
+      }
+    }
+    throw CompileError("unhandled command");
+  }
+
+  // ---- expressions: pull-channel trees ----
+  struct ExprChan {
+    std::string channel;
+    int width = 1;
+  };
+
+  ExprChan expression(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral: {
+        const int width = bit_length(e.literal);
+        const std::string out = fresh("e", width);
+        Component k;
+        k.kind = ComponentKind::kConstant;
+        k.ports = {out};
+        k.value = static_cast<long long>(e.literal);
+        k.width = width;
+        net_.add(std::move(k));
+        return {out, width};
+      }
+      case Expr::Kind::kVar: {
+        VarInfo& v = variable(e.var);
+        const std::string r = fresh("e", v.width);
+        v.reads.push_back(r);
+        return {r, v.width};
+      }
+      case Expr::Kind::kBinary: {
+        const ExprChan l = expression(*e.lhs);
+        const ExprChan r = expression(*e.rhs);
+        const bool is_cmp = e.bin_op == BinOp::kEq || e.bin_op == BinOp::kNe ||
+                            e.bin_op == BinOp::kLt || e.bin_op == BinOp::kLts;
+        const int op_width = std::max(l.width, r.width);
+        const int width = is_cmp ? 1 : op_width;
+        const std::string out = fresh("e", width);
+        Component f;
+        f.kind = ComponentKind::kBinaryFunc;
+        f.ports = {out, l.channel, r.channel};
+        f.op = op_name(e.bin_op);
+        f.width = op_width;
+        net_.add(std::move(f));
+        return {out, width};
+      }
+      case Expr::Kind::kUnary: {
+        const ExprChan a = expression(*e.lhs);
+        const std::string out = fresh("e", a.width);
+        Component f;
+        f.kind = ComponentKind::kUnaryFunc;
+        f.ports = {out, a.channel};
+        f.op = e.un_op == UnOp::kNot ? "not" : "neg";
+        f.width = a.width;
+        net_.add(std::move(f));
+        return {out, a.width};
+      }
+      case Expr::Kind::kSlice: {
+        // x[hi..lo]  ==  (x >> lo) and mask
+        ExprChan base = expression(*e.lhs);
+        const int width = e.slice_hi - e.slice_lo + 1;
+        if (e.slice_lo > 0) {
+          base = binary_with_const("shr", base,
+                                   static_cast<std::uint64_t>(e.slice_lo),
+                                   base.width);
+        }
+        if (width < base.width) {
+          base = binary_with_const("and", base, (1ull << width) - 1, width);
+        }
+        base.width = width;
+        return base;
+      }
+    }
+    throw CompileError("unhandled expression");
+  }
+
+  ExprChan binary_with_const(const std::string& op, const ExprChan& lhs,
+                             std::uint64_t value, int width) {
+    const int kwidth = bit_length(value);
+    const std::string kout = fresh("e", kwidth);
+    Component k;
+    k.kind = ComponentKind::kConstant;
+    k.ports = {kout};
+    k.value = static_cast<long long>(value);
+    k.width = kwidth;
+    net_.add(std::move(k));
+
+    const std::string out = fresh("e", width);
+    Component f;
+    f.kind = ComponentKind::kBinaryFunc;
+    f.ports = {out, lhs.channel, kout};
+    f.op = op;
+    f.width = std::max(lhs.width, width);
+    net_.add(std::move(f));
+    return {out, width};
+  }
+
+  static std::string op_name(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: return "add";
+      case BinOp::kSub: return "sub";
+      case BinOp::kAnd: return "and";
+      case BinOp::kOr: return "or";
+      case BinOp::kXor: return "xor";
+      case BinOp::kEq: return "eq";
+      case BinOp::kNe: return "ne";
+      case BinOp::kLt: return "lt";
+      case BinOp::kLts: return "lts";
+      case BinOp::kShl: return "shl";
+      case BinOp::kShr: return "shr";
+    }
+    return "?";
+  }
+
+  // ---- finalization ----
+
+  void bind_activation(const std::string& root) {
+    if (root == "activate") return;
+    if (ports_.count(root)) {
+      // The whole body is a single port use; bridge with a 1-way call.
+      add(ComponentKind::kCall, {"activate", root}, 1);
+      return;
+    }
+    // The root command allocated a fresh activation channel; it *is* the
+    // external activation.
+    net_.rename_channel(root, "activate");
+  }
+
+  void finalize_ports() {
+    for (auto& [name, info] : ports_) {
+      if (info.clients.empty()) continue;
+      if (info.dir == PortDir::kSync) {
+        Component call;
+        call.kind = ComponentKind::kCall;
+        call.ports = info.clients;
+        call.ports.push_back(name);
+        call.ways = static_cast<int>(info.clients.size());
+        net_.add(std::move(call));
+      } else {
+        Component merge;
+        merge.kind = ComponentKind::kMerge;
+        merge.ports = info.clients;
+        merge.ports.push_back(name);
+        merge.ways = static_cast<int>(info.clients.size());
+        merge.op = info.dir == PortDir::kOutput ? "push" : "pull";
+        merge.width = info.width;
+        net_.add(std::move(merge));
+      }
+    }
+  }
+
+  void finalize_variables() {
+    for (auto& [name, info] : vars_) {
+      if (info.writes.empty() && info.reads.empty()) continue;
+      if (info.writes.empty()) {
+        throw CompileError("variable '" + name + "' is read but never written");
+      }
+      Component var;
+      var.kind = ComponentKind::kVariable;
+      var.ports = info.writes;
+      var.ports.insert(var.ports.end(), info.reads.begin(), info.reads.end());
+      var.ways = static_cast<int>(info.writes.size());
+      var.width = info.width;
+      net_.add(std::move(var));
+    }
+  }
+
+  void add(ComponentKind kind, std::vector<std::string> ports, int ways = 0) {
+    Component c;
+    c.kind = kind;
+    c.ports = std::move(ports);
+    c.ways = ways;
+    net_.add(std::move(c));
+  }
+
+  const Procedure& proc_;
+  hsnet::Netlist net_;
+  int next_ = 0;
+  std::map<std::string, PortInfo> ports_;
+  std::map<std::string, VarInfo> vars_;
+  std::map<std::string, int> port_uses_;
+};
+
+}  // namespace
+
+hsnet::Netlist compile(const Procedure& procedure) {
+  Compiler compiler(procedure);
+  return compiler.run();
+}
+
+hsnet::Netlist compile_source(std::string_view source) {
+  return compile(parse_procedure(source));
+}
+
+}  // namespace bb::balsa

@@ -1,0 +1,32 @@
+// Syntax-directed translation from mini-Balsa to a netlist of handshake
+// components (the balsa-c substitute; "unoptimized netlist of handshake
+// components" in Fig. 1).
+//
+// Every construct maps to its standard handshake component: ';' to a
+// sequencer, '||' to a concur, loop/while/if/case to Loop/While/Case (+
+// Guard), channel and variable accesses to Fetch/Variable/Constant/
+// function blocks.  Multiply-used ports are shared through Call (sync) or
+// CallMux (data) components.  The procedure is activated through the
+// external sync channel "activate".
+#pragma once
+
+#include <stdexcept>
+
+#include "src/balsa/ast.hpp"
+#include "src/hsnet/netlist.hpp"
+
+namespace bb::balsa {
+
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Compiles a procedure.  The returned netlist's external channels are the
+/// procedure ports plus "activate".
+hsnet::Netlist compile(const Procedure& procedure);
+
+/// Convenience: parse + compile.
+hsnet::Netlist compile_source(std::string_view source);
+
+}  // namespace bb::balsa

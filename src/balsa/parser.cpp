@@ -1,0 +1,447 @@
+#include "src/balsa/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace bb::balsa {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_space();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= src_.size()) return;
+
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kIdent;
+      current_.text = std::string(src_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      if (c == '0' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+          const char d = src_[pos_++];
+          value = value * 16 +
+                  (std::isdigit(static_cast<unsigned char>(d))
+                       ? d - '0'
+                       : std::tolower(d) - 'a' + 10);
+        }
+      } else {
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          value = value * 10 + (src_[pos_++] - '0');
+        }
+      }
+      current_.kind = Token::Kind::kNumber;
+      current_.number = value;
+      return;
+    }
+    // Multi-character symbols first.
+    static const char* kSymbols[] = {":=", "<-", "->", "||", "/=", "<<",
+                                     ">>", ".."};
+    for (const char* s : kSymbols) {
+      if (src_.substr(pos_, 2) == s) {
+        current_.kind = Token::Kind::kSymbol;
+        current_.text = s;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = Token::Kind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  void skip_space() {
+    while (pos_ < src_.size()) {
+      if (src_.substr(pos_, 2) == "--") {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Procedure procedure() {
+    expect_ident("procedure");
+    Procedure p;
+    p.name = ident("procedure name");
+    expect_symbol("(");
+    if (!at_symbol(")")) {
+      ports(p);
+      while (accept_symbol(";")) ports(p);
+    }
+    expect_symbol(")");
+    expect_ident("is");
+    while (at_ident("variable")) variables(p);
+    expect_ident("begin");
+    p.body = command();
+    expect_ident("end");
+    if (lex_.peek().kind != Token::Kind::kEnd) {
+      fail("trailing input after final 'end'");
+    }
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw ParseError("mini-balsa:" + std::to_string(lex_.peek().line) + ": " +
+                     message);
+  }
+
+  bool at_ident(std::string_view kw) const {
+    return lex_.peek().kind == Token::Kind::kIdent && lex_.peek().text == kw;
+  }
+  bool at_symbol(std::string_view s) const {
+    return lex_.peek().kind == Token::Kind::kSymbol && lex_.peek().text == s;
+  }
+  bool accept_ident(std::string_view kw) {
+    if (!at_ident(kw)) return false;
+    lex_.take();
+    return true;
+  }
+  bool accept_symbol(std::string_view s) {
+    if (!at_symbol(s)) return false;
+    lex_.take();
+    return true;
+  }
+  void expect_ident(std::string_view kw) {
+    if (!accept_ident(kw)) fail("expected '" + std::string(kw) + "'");
+  }
+  void expect_symbol(std::string_view s) {
+    if (!accept_symbol(s)) fail("expected '" + std::string(s) + "'");
+  }
+  std::string ident(const std::string& what) {
+    if (lex_.peek().kind != Token::Kind::kIdent) fail("expected " + what);
+    return lex_.take().text;
+  }
+  std::uint64_t number() {
+    if (lex_.peek().kind != Token::Kind::kNumber) fail("expected number");
+    return lex_.take().number;
+  }
+
+  void ports(Procedure& p) {
+    PortDir dir;
+    if (accept_ident("sync")) {
+      dir = PortDir::kSync;
+    } else if (accept_ident("input")) {
+      dir = PortDir::kInput;
+    } else if (accept_ident("output")) {
+      dir = PortDir::kOutput;
+    } else {
+      fail("expected sync/input/output port declaration");
+      return;
+    }
+    std::vector<std::string> names{ident("port name")};
+    while (accept_symbol(",")) names.push_back(ident("port name"));
+    int width = 0;
+    if (dir != PortDir::kSync) {
+      expect_symbol(":");
+      width = static_cast<int>(number());
+      if (width < 1 || width > 64) fail("port width must be 1..64");
+    }
+    for (std::string& name : names) {
+      p.ports.push_back(Port{std::move(name), dir, width});
+    }
+  }
+
+  void variables(Procedure& p) {
+    expect_ident("variable");
+    std::vector<std::string> names{ident("variable name")};
+    while (accept_symbol(",")) names.push_back(ident("variable name"));
+    expect_symbol(":");
+    const int width = static_cast<int>(number());
+    if (width < 1 || width > 64) fail("variable width must be 1..64");
+    for (std::string& name : names) {
+      p.variables.push_back(VariableDecl{std::move(name), width});
+    }
+  }
+
+  CommandPtr command() { return seq_command(); }
+
+  CommandPtr seq_command() {
+    auto first = par_command();
+    if (!at_symbol(";")) return first;
+    auto seq = std::make_unique<Command>();
+    seq->kind = Command::Kind::kSeq;
+    seq->children.push_back(std::move(first));
+    while (accept_symbol(";")) seq->children.push_back(par_command());
+    return seq;
+  }
+
+  CommandPtr par_command() {
+    auto first = prim_command();
+    if (!at_symbol("||")) return first;
+    auto par = std::make_unique<Command>();
+    par->kind = Command::Kind::kPar;
+    par->children.push_back(std::move(first));
+    while (accept_symbol("||")) par->children.push_back(prim_command());
+    return par;
+  }
+
+  CommandPtr prim_command() {
+    auto cmd = std::make_unique<Command>();
+    if (accept_symbol("(")) {
+      auto inner = command();
+      expect_symbol(")");
+      return inner;
+    }
+    if (accept_ident("loop")) {
+      cmd->kind = Command::Kind::kLoop;
+      cmd->body = command();
+      expect_ident("end");
+      return cmd;
+    }
+    if (accept_ident("while")) {
+      cmd->kind = Command::Kind::kWhile;
+      cmd->guard = expr();
+      expect_ident("then");
+      cmd->body = command();
+      expect_ident("end");
+      return cmd;
+    }
+    if (accept_ident("if")) {
+      cmd->kind = Command::Kind::kIf;
+      cmd->guard = expr();
+      expect_ident("then");
+      cmd->body = command();
+      if (accept_ident("else")) cmd->else_body = command();
+      expect_ident("end");
+      return cmd;
+    }
+    if (accept_ident("case")) {
+      cmd->kind = Command::Kind::kCase;
+      cmd->guard = expr();
+      expect_ident("of");
+      while (true) {
+        CaseAlt alt;
+        if (accept_ident("else")) {
+          alt.body = command();
+          cmd->alts.push_back(std::move(alt));
+          break;
+        }
+        alt.labels.push_back(number());
+        while (accept_symbol(",")) alt.labels.push_back(number());
+        expect_symbol(":");
+        alt.body = command();
+        cmd->alts.push_back(std::move(alt));
+        // '|' separates alternatives; a trailing else may follow directly.
+        if (accept_symbol("|") || at_ident("else")) continue;
+        break;
+      }
+      expect_ident("end");
+      return cmd;
+    }
+    if (accept_ident("sync")) {
+      cmd->kind = Command::Kind::kSync;
+      cmd->channel = ident("channel name");
+      return cmd;
+    }
+    if (accept_ident("continue")) {
+      cmd->kind = Command::Kind::kContinue;
+      return cmd;
+    }
+    // channel <- expr | channel -> var | var := expr
+    const std::string name = ident("command");
+    if (accept_symbol("<-")) {
+      cmd->kind = Command::Kind::kSend;
+      cmd->channel = name;
+      cmd->value = expr();
+      return cmd;
+    }
+    if (accept_symbol("->")) {
+      cmd->kind = Command::Kind::kReceive;
+      cmd->channel = name;
+      cmd->var = ident("variable name");
+      return cmd;
+    }
+    if (accept_symbol(":=")) {
+      cmd->kind = Command::Kind::kAssign;
+      cmd->var = name;
+      cmd->value = expr();
+      return cmd;
+    }
+    fail("expected '<-', '->' or ':=' after '" + name + "'");
+    return nullptr;
+  }
+
+  // ---- expressions ----
+
+  ExprPtr expr() { return cmp_expr(); }
+
+  ExprPtr cmp_expr() {
+    auto lhs = add_expr();
+    std::optional<BinOp> op;
+    if (accept_symbol("=")) {
+      op = BinOp::kEq;
+    } else if (accept_symbol("/=")) {
+      op = BinOp::kNe;
+    } else if (accept_symbol("<")) {
+      op = BinOp::kLt;
+    }
+    if (!op) return lhs;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->bin_op = *op;
+    node->lhs = std::move(lhs);
+    node->rhs = add_expr();
+    return node;
+  }
+
+  ExprPtr add_expr() {
+    auto lhs = shift_expr();
+    while (true) {
+      std::optional<BinOp> op;
+      if (accept_symbol("+")) {
+        op = BinOp::kAdd;
+      } else if (accept_symbol("-")) {
+        op = BinOp::kSub;
+      } else if (accept_ident("or")) {
+        op = BinOp::kOr;
+      } else if (accept_ident("xor")) {
+        op = BinOp::kXor;
+      } else {
+        return lhs;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bin_op = *op;
+      node->lhs = std::move(lhs);
+      node->rhs = shift_expr();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr shift_expr() {
+    auto lhs = unary_expr();
+    while (true) {
+      std::optional<BinOp> op;
+      if (accept_ident("and")) {
+        op = BinOp::kAnd;
+      } else if (accept_symbol("<<")) {
+        op = BinOp::kShl;
+      } else if (accept_symbol(">>")) {
+        op = BinOp::kShr;
+      } else {
+        return lhs;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bin_op = *op;
+      node->lhs = std::move(lhs);
+      node->rhs = unary_expr();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr unary_expr() {
+    if (accept_ident("not")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->un_op = UnOp::kNot;
+      node->lhs = unary_expr();
+      return node;
+    }
+    if (accept_symbol("-")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->un_op = UnOp::kNeg;
+      node->lhs = unary_expr();
+      return node;
+    }
+    return postfix_expr();
+  }
+
+  ExprPtr postfix_expr() {
+    auto node = primary_expr();
+    while (accept_symbol("[")) {
+      const int hi = static_cast<int>(number());
+      int lo = hi;
+      if (accept_symbol("..")) lo = static_cast<int>(number());
+      expect_symbol("]");
+      auto slice = std::make_unique<Expr>();
+      slice->kind = Expr::Kind::kSlice;
+      slice->slice_hi = hi;
+      slice->slice_lo = lo;
+      slice->lhs = std::move(node);
+      if (hi < lo) fail("slice must be [hi..lo]");
+      node = std::move(slice);
+    }
+    return node;
+  }
+
+  ExprPtr primary_expr() {
+    auto node = std::make_unique<Expr>();
+    if (lex_.peek().kind == Token::Kind::kNumber) {
+      node->kind = Expr::Kind::kLiteral;
+      node->literal = number();
+      return node;
+    }
+    if (accept_symbol("(")) {
+      auto inner = expr();
+      expect_symbol(")");
+      return inner;
+    }
+    node->kind = Expr::Kind::kVar;
+    node->var = ident("expression");
+    return node;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Procedure parse_procedure(std::string_view source) {
+  Parser parser(source);
+  return parser.procedure();
+}
+
+}  // namespace bb::balsa

@@ -1,0 +1,30 @@
+// Recursive-descent parser for mini-Balsa.
+//
+// Grammar sketch (see README for the full reference):
+//   procedure NAME ( ports ) is decls begin command end
+//   ports  : (sync a, b | input x : 8 | output y : 8) separated by ';'
+//   decls  : variable v, w : 8 ...
+//   command: seq ';' / par '||' / loop..end / while e then c end /
+//            if e then c [else c] end / case e of L: c | ... [else c] end /
+//            sync ch / ch <- e / ch -> v / v := e / continue
+//   expr   : comparisons (= /= <) over +,-,or,xor over and,<<,>> over
+//            unary -,not over primaries (var, literal, (e), e[hi..lo])
+// Comments run from "--" to end of line.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/balsa/ast.hpp"
+
+namespace bb::balsa {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses one procedure.  Throws ParseError with line information.
+Procedure parse_procedure(std::string_view source);
+
+}  // namespace bb::balsa

@@ -1,0 +1,24 @@
+// CH-to-BMS: compiles a CH program into a Burst-Mode specification
+// (paper Section 3.6).
+//
+// Step 1 flattens the four-phase expansion into the intermediate form (a
+// linear list of transitions, labels, gotos and choice blocks); step 2
+// walks that list, creating states at burst boundaries, arcs annotated
+// with input/output bursts, and back-edges for gotos.
+#pragma once
+
+#include "src/bm/spec.hpp"
+#include "src/ch/expansion.hpp"
+
+namespace bb::bm {
+
+/// Compiles a CH expression to a Burst-Mode specification.
+/// Throws ch::BmAwareError if the expression violates Table 1 (unless
+/// `options.allow_illegal` is set).
+Spec compile(const ch::Expr& expr, const std::string& name = "",
+             const ch::ExpandOptions& options = {});
+
+/// Compiles an already-flattened intermediate form.
+Spec compile_items(const ch::ItemSeq& items, const std::string& name = "");
+
+}  // namespace bb::bm

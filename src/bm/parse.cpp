@@ -1,0 +1,82 @@
+#include "src/bm/parse.hpp"
+
+#include <algorithm>
+
+#include "src/util/strings.hpp"
+
+namespace bb::bm {
+
+namespace {
+
+ch::Transition parse_edge(const std::string& token, bool is_input) {
+  if (token.size() < 2 ||
+      (token.back() != '+' && token.back() != '-')) {
+    throw BmsParseError("bad signal edge '" + token + "'");
+  }
+  ch::Transition t;
+  t.signal = token.substr(0, token.size() - 1);
+  t.rising = token.back() == '+';
+  t.is_input = is_input;
+  return t;
+}
+
+}  // namespace
+
+Spec parse_bms(std::string_view text) {
+  Spec spec;
+  int max_state = -1;
+
+  for (const std::string& raw : util::split(text, "\n")) {
+    const std::string line(util::trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+
+    const auto tokens = util::split(line, " \t");
+    if (tokens[0] == "name") {
+      spec.name = tokens.size() > 1 ? tokens[1] : "";
+      continue;
+    }
+    if (tokens[0] == "input" || tokens[0] == "output") {
+      if (tokens.size() < 2) throw BmsParseError("bad signal line: " + line);
+      spec.is_input[tokens[1]] = tokens[0] == "input";
+      continue;
+    }
+
+    // Arc line: <from> <to> <in burst> | <out burst>
+    if (tokens.size() < 3) throw BmsParseError("bad arc line: " + line);
+    Arc arc;
+    try {
+      arc.from = std::stoi(tokens[0]);
+      arc.to = std::stoi(tokens[1]);
+    } catch (const std::exception&) {
+      throw BmsParseError("bad state number in: " + line);
+    }
+    bool after_bar = false;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      if (tokens[i] == "|") {
+        after_bar = true;
+        continue;
+      }
+      const auto edge = parse_edge(tokens[i], /*is_input=*/!after_bar);
+      if (after_bar) {
+        arc.out_burst.transitions.push_back(edge);
+      } else {
+        arc.in_burst.transitions.push_back(edge);
+      }
+    }
+    if (!after_bar) throw BmsParseError("missing '|' in arc line: " + line);
+    for (const auto& t : arc.in_burst.transitions) {
+      spec.is_input[t.signal] = true;
+    }
+    for (const auto& t : arc.out_burst.transitions) {
+      spec.is_input[t.signal] = false;
+    }
+    max_state = std::max({max_state, arc.from, arc.to});
+    spec.arcs.push_back(std::move(arc));
+  }
+  spec.num_states = max_state + 1;
+  spec.initial_state = 0;
+  if (spec.arcs.empty()) throw BmsParseError("no arcs in specification");
+  return spec;
+}
+
+}  // namespace bb::bm

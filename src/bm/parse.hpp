@@ -1,0 +1,28 @@
+// Parser for the textual ".bms" format emitted by Spec::to_bms():
+//
+//   name <controller>
+//   input <signal> <initial-value>
+//   output <signal> <initial-value>
+//   <from> <to> <in burst> | <out burst>
+//
+// Bursts are space-separated signal edges like "a_r+ b_r-"; an empty side
+// of the '|' is allowed for empty output bursts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/bm/spec.hpp"
+
+namespace bb::bm {
+
+class BmsParseError : public std::runtime_error {
+ public:
+  explicit BmsParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parses a .bms text.  Throws BmsParseError on malformed input.
+Spec parse_bms(std::string_view text);
+
+}  // namespace bb::bm

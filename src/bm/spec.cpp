@@ -1,0 +1,91 @@
+#include "src/bm/spec.hpp"
+
+#include <algorithm>
+
+namespace bb::bm {
+
+bool Burst::contains(const Burst& other) const {
+  for (const ch::Transition& t : other.transitions) {
+    if (std::find(transitions.begin(), transitions.end(), t) ==
+        transitions.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Burst::normalize() {
+  std::sort(transitions.begin(), transitions.end(),
+            [](const ch::Transition& a, const ch::Transition& b) {
+              if (a.signal != b.signal) return a.signal < b.signal;
+              return a.rising < b.rising;
+            });
+}
+
+std::string Burst::to_string() const {
+  Burst copy = *this;
+  copy.normalize();
+  std::string s;
+  for (std::size_t i = 0; i < copy.transitions.size(); ++i) {
+    if (i > 0) s += " ";
+    s += copy.transitions[i].signal + (copy.transitions[i].rising ? "+" : "-");
+  }
+  return s;
+}
+
+bool Burst::operator==(const Burst& other) const {
+  return contains(other) && other.contains(*this);
+}
+
+std::vector<std::string> Spec::input_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, is_in] : is_input) {
+    if (is_in) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Spec::output_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, is_in] : is_input) {
+    if (!is_in) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<const Arc*> Spec::arcs_from(int state) const {
+  std::vector<const Arc*> out;
+  for (const Arc& a : arcs) {
+    if (a.from == state) out.push_back(&a);
+  }
+  return out;
+}
+
+std::string Spec::to_bms() const {
+  std::string s = "name " + name + "\n";
+  for (const std::string& in : input_names()) s += "input " + in + " 0\n";
+  for (const std::string& out : output_names()) s += "output " + out + " 0\n";
+  for (const Arc& a : arcs) {
+    s += std::to_string(a.from) + " " + std::to_string(a.to) + " " +
+         a.in_burst.to_string() + " | " + a.out_burst.to_string() + "\n";
+  }
+  return s;
+}
+
+std::string Spec::to_dot() const {
+  std::string s = "digraph \"" + name + "\" {\n  rankdir=TB;\n";
+  s += "  init [shape=point];\n  init -> s" +
+       std::to_string(initial_state) + ";\n";
+  for (int i = 0; i < num_states; ++i) {
+    s += "  s" + std::to_string(i) + " [label=\"" + std::to_string(i) +
+         "\"];\n";
+  }
+  for (const Arc& a : arcs) {
+    s += "  s" + std::to_string(a.from) + " -> s" + std::to_string(a.to) +
+         " [label=\"" + a.in_burst.to_string() + " /\\n" +
+         a.out_burst.to_string() + "\"];\n";
+  }
+  return s + "}\n";
+}
+
+}  // namespace bb::bm

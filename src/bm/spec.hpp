@@ -1,0 +1,68 @@
+// Burst-Mode (BM) controller specifications (paper Section 3.6).
+//
+// A BM machine is a Mealy-style state graph.  Each arc carries an input
+// burst (a set of input edges that may arrive in any order) followed by an
+// output burst (a set of output edges generated once the whole input burst
+// has arrived).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ch/ast.hpp"
+
+namespace bb::bm {
+
+/// A set of signal edges.  Transitions are unordered within a burst.
+struct Burst {
+  std::vector<ch::Transition> transitions;
+
+  bool empty() const { return transitions.empty(); }
+  std::size_t size() const { return transitions.size(); }
+
+  /// True if every transition of `other` appears in this burst.
+  bool contains(const Burst& other) const;
+
+  /// Canonical text, transitions sorted by signal: "a_r+ b_r+".
+  std::string to_string() const;
+
+  /// Sorts transitions by signal name (canonical form).
+  void normalize();
+
+  bool operator==(const Burst& other) const;
+};
+
+/// A specification arc: from --[in_burst / out_burst]--> to.
+struct Arc {
+  int from = 0;
+  int to = 0;
+  Burst in_burst;
+  Burst out_burst;
+};
+
+/// A complete Burst-Mode specification.
+struct Spec {
+  std::string name;
+  int num_states = 0;
+  int initial_state = 0;
+  std::vector<Arc> arcs;
+  /// Signal directory: name -> true if input.
+  std::map<std::string, bool> is_input;
+
+  std::vector<std::string> input_names() const;
+  std::vector<std::string> output_names() const;
+
+  /// Arcs leaving `state`.
+  std::vector<const Arc*> arcs_from(int state) const;
+
+  /// Renders in the textual ".bms" format used by Burst-Mode tools:
+  ///   name <name> / input <sig> <initial> / output <sig> <initial> /
+  ///   <from> <to> <in burst> | <out burst>
+  std::string to_bms() const;
+
+  /// Graphviz rendering for inspection.
+  std::string to_dot() const;
+};
+
+}  // namespace bb::bm

@@ -1,0 +1,112 @@
+#include "src/bm/validate.hpp"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace bb::bm {
+
+namespace {
+
+using Valuation = std::map<std::string, bool>;
+
+/// Applies a burst to a valuation; returns an error message on polarity
+/// violation.
+std::optional<std::string> apply_burst(const Burst& burst, Valuation& vals,
+                                       const std::string& where) {
+  for (const ch::Transition& t : burst.transitions) {
+    const bool current = vals.count(t.signal) ? vals[t.signal] : false;
+    if (current == t.rising) {
+      return "polarity violation on '" + t.signal + "' (" +
+             (t.rising ? "+" : "-") + " while already " +
+             (current ? "1" : "0") + ") at " + where;
+    }
+    vals[t.signal] = t.rising;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ValidationResult validate(const Spec& spec) {
+  ValidationResult result;
+
+  // 1. Direction consistency.
+  std::map<std::string, bool> direction;  // signal -> is_input
+  for (const Arc& a : spec.arcs) {
+    for (const ch::Transition& t : a.in_burst.transitions) {
+      const auto [it, inserted] = direction.emplace(t.signal, true);
+      if (!inserted && !it->second) {
+        result.fail("signal '" + t.signal + "' used as both input and output");
+      }
+    }
+    for (const ch::Transition& t : a.out_burst.transitions) {
+      const auto [it, inserted] = direction.emplace(t.signal, false);
+      if (!inserted && it->second) {
+        result.fail("signal '" + t.signal + "' used as both input and output");
+      }
+    }
+  }
+
+  // 2. Non-empty input bursts.
+  for (const Arc& a : spec.arcs) {
+    if (a.in_burst.empty()) {
+      result.fail("arc " + std::to_string(a.from) + "->" +
+                  std::to_string(a.to) + " has an empty input burst");
+    }
+  }
+
+  // 3. Maximal set property per state.
+  for (int s = 0; s < spec.num_states; ++s) {
+    const auto arcs = spec.arcs_from(s);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      for (std::size_t j = 0; j < arcs.size(); ++j) {
+        if (i == j) continue;
+        if (arcs[j]->in_burst.contains(arcs[i]->in_burst)) {
+          result.fail("state " + std::to_string(s) +
+                      ": input burst {" + arcs[i]->in_burst.to_string() +
+                      "} is contained in sibling burst {" +
+                      arcs[j]->in_burst.to_string() +
+                      "} (maximal set property violated)");
+        }
+      }
+    }
+  }
+
+  // 4. Polarity / unique-entry-valuation consistency via BFS.
+  std::map<int, Valuation> state_vals;
+  std::deque<int> queue;
+  Valuation all_low;
+  for (const auto& entry : direction) all_low[entry.first] = false;
+  state_vals[spec.initial_state] = std::move(all_low);
+  queue.push_back(spec.initial_state);
+  while (!queue.empty()) {
+    const int s = queue.front();
+    queue.pop_front();
+    for (const Arc* a : spec.arcs_from(s)) {
+      Valuation vals = state_vals[s];
+      const std::string where = "arc " + std::to_string(a->from) + "->" +
+                                std::to_string(a->to);
+      if (const auto err = apply_burst(a->in_burst, vals, where)) {
+        result.fail(*err);
+        continue;
+      }
+      if (const auto err = apply_burst(a->out_burst, vals, where)) {
+        result.fail(*err);
+        continue;
+      }
+      const auto it = state_vals.find(a->to);
+      if (it == state_vals.end()) {
+        state_vals[a->to] = std::move(vals);
+        queue.push_back(a->to);
+      } else if (it->second != vals) {
+        result.fail("state " + std::to_string(a->to) +
+                    " entered with inconsistent wire valuations");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace bb::bm

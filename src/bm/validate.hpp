@@ -1,0 +1,34 @@
+// Burst-Mode well-formedness checks.
+//
+// A compiled specification is a *valid* BM machine when:
+//   1. every signal is used with a single direction (input xor output);
+//   2. every arc's input burst is non-empty (machines are input-driven);
+//   3. arcs leaving a common state satisfy the maximal set property:
+//      no input burst is a subset of (or equal to) a sibling's;
+//   4. signal polarities are consistent: along every path each wire
+//      strictly alternates rising and falling edges, and every state is
+//      entered with a unique wire valuation.
+// These are the conditions the paper's "Burst-Mode aware" restrictions
+// guarantee by construction (Section 3.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/bm/spec.hpp"
+
+namespace bb::bm {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+ValidationResult validate(const Spec& spec);
+
+}  // namespace bb::bm

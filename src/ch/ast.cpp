@@ -1,0 +1,203 @@
+#include "src/ch/ast.hpp"
+
+#include <stdexcept>
+
+namespace bb::ch {
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>(kind);
+  out->channel = channel;
+  out->declared_activity = declared_activity;
+  out->wires = wires;
+  out->verb_events = verb_events;
+  out->branches.reserve(branches.size());
+  for (const MuxBranch& b : branches) {
+    out->branches.push_back(MuxBranch{b.op, b.body ? b.body->clone() : nullptr});
+  }
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) {
+    out->args.push_back(a ? a->clone() : nullptr);
+  }
+  return out;
+}
+
+bool is_channel(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kPToP:
+    case ExprKind::kMultAck:
+    case ExprKind::kMultReq:
+    case ExprKind::kMuxAck:
+    case ExprKind::kMuxReq:
+    case ExprKind::kVoid:
+    case ExprKind::kVerb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_interleaving(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kEncEarly:
+    case ExprKind::kEncMiddle:
+    case ExprKind::kEncLate:
+    case ExprKind::kSeq:
+    case ExprKind::kSeqOv:
+    case ExprKind::kMutex:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view kind_keyword(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kPToP: return "p-to-p";
+    case ExprKind::kMultAck: return "mult-ack";
+    case ExprKind::kMultReq: return "mult-req";
+    case ExprKind::kMuxAck: return "mux-ack";
+    case ExprKind::kMuxReq: return "mux-req";
+    case ExprKind::kVoid: return "void";
+    case ExprKind::kVerb: return "verb";
+    case ExprKind::kRep: return "rep";
+    case ExprKind::kBreak: return "break";
+    case ExprKind::kEncEarly: return "enc-early";
+    case ExprKind::kEncMiddle: return "enc-middle";
+    case ExprKind::kEncLate: return "enc-late";
+    case ExprKind::kSeq: return "seq";
+    case ExprKind::kSeqOv: return "seq-ov";
+    case ExprKind::kMutex: return "mutex";
+  }
+  return "?";
+}
+
+std::string_view activity_name(Activity a) {
+  switch (a) {
+    case Activity::kPassive: return "passive";
+    case Activity::kActive: return "active";
+    case Activity::kNeither: return "neither";
+  }
+  return "?";
+}
+
+Activity activity_of(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kPToP:
+    case ExprKind::kMultAck:
+    case ExprKind::kMultReq:
+      return e.declared_activity;
+    case ExprKind::kMuxAck:
+      return Activity::kActive;
+    case ExprKind::kMuxReq:
+      return Activity::kPassive;
+    case ExprKind::kVoid:
+      return Activity::kNeither;
+    case ExprKind::kVerb: {
+      for (const auto& ev : e.verb_events) {
+        if (!ev.empty()) {
+          return ev.front().is_input ? Activity::kPassive : Activity::kActive;
+        }
+      }
+      return Activity::kNeither;
+    }
+    case ExprKind::kRep:
+      return e.args.empty() ? Activity::kNeither : activity_of(*e.args[0]);
+    case ExprKind::kBreak:
+      return Activity::kNeither;
+    case ExprKind::kSeqOv:
+      return Activity::kActive;
+    case ExprKind::kMutex:
+      return Activity::kPassive;
+    case ExprKind::kEncEarly:
+    case ExprKind::kEncMiddle:
+    case ExprKind::kEncLate:
+    case ExprKind::kSeq: {
+      if (e.args.size() < 2) {
+        throw std::logic_error("activity_of: interleaving operator needs 2 args");
+      }
+      const Activity first = activity_of(*e.args[0]);
+      // A void first argument (activation channel hidden by the optimizer)
+      // makes the inlined body's activity decisive.
+      if (first == Activity::kNeither) return activity_of(*e.args[1]);
+      return first;
+    }
+  }
+  return Activity::kNeither;
+}
+
+ExprPtr ptop(Activity a, std::string name) {
+  auto e = std::make_unique<Expr>(ExprKind::kPToP);
+  e->declared_activity = a;
+  e->channel = std::move(name);
+  return e;
+}
+
+ExprPtr mult_ack(Activity a, std::string name, int n) {
+  auto e = std::make_unique<Expr>(ExprKind::kMultAck);
+  e->declared_activity = a;
+  e->channel = std::move(name);
+  e->wires = n;
+  return e;
+}
+
+ExprPtr mult_req(Activity a, std::string name, int n) {
+  auto e = std::make_unique<Expr>(ExprKind::kMultReq);
+  e->declared_activity = a;
+  e->channel = std::move(name);
+  e->wires = n;
+  return e;
+}
+
+ExprPtr mux_ack(std::string name, std::vector<MuxBranch> branches) {
+  auto e = std::make_unique<Expr>(ExprKind::kMuxAck);
+  e->channel = std::move(name);
+  e->wires = static_cast<int>(branches.size());
+  e->branches = std::move(branches);
+  return e;
+}
+
+ExprPtr mux_req(std::string name, std::vector<MuxBranch> branches) {
+  auto e = std::make_unique<Expr>(ExprKind::kMuxReq);
+  e->channel = std::move(name);
+  e->wires = static_cast<int>(branches.size());
+  e->branches = std::move(branches);
+  return e;
+}
+
+ExprPtr void_channel() { return std::make_unique<Expr>(ExprKind::kVoid); }
+
+ExprPtr rep(ExprPtr body) {
+  auto e = std::make_unique<Expr>(ExprKind::kRep);
+  e->args.push_back(std::move(body));
+  return e;
+}
+
+ExprPtr brk() { return std::make_unique<Expr>(ExprKind::kBreak); }
+
+ExprPtr op2(ExprKind kind, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>(kind);
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr enc_early(ExprPtr a, ExprPtr b) {
+  return op2(ExprKind::kEncEarly, std::move(a), std::move(b));
+}
+ExprPtr enc_middle(ExprPtr a, ExprPtr b) {
+  return op2(ExprKind::kEncMiddle, std::move(a), std::move(b));
+}
+ExprPtr enc_late(ExprPtr a, ExprPtr b) {
+  return op2(ExprKind::kEncLate, std::move(a), std::move(b));
+}
+ExprPtr seq(ExprPtr a, ExprPtr b) {
+  return op2(ExprKind::kSeq, std::move(a), std::move(b));
+}
+ExprPtr seq_ov(ExprPtr a, ExprPtr b) {
+  return op2(ExprKind::kSeqOv, std::move(a), std::move(b));
+}
+ExprPtr mutex(ExprPtr a, ExprPtr b) {
+  return op2(ExprKind::kMutex, std::move(a), std::move(b));
+}
+
+}  // namespace bb::ch

@@ -1,0 +1,134 @@
+// Abstract syntax for CH, the channel-level control specification language
+// of the paper (Section 3).
+//
+// A CH program models one asynchronous controller.  Expressions are either
+// channel declarations (leaves) or operators (internal nodes).  Both carry
+// an "activity" (passive / active / neither) and both expand into four
+// "higher-level" atomic events (the four-phase expansion).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bb::ch {
+
+/// Expression node kinds: seven channel types and eight operators.
+enum class ExprKind {
+  // --- channels (Section 3.1) ---
+  kPToP,     ///< point-to-point: one request, one acknowledge wire
+  kMultAck,  ///< one request wire, n acknowledge wires (synchronized acks)
+  kMultReq,  ///< n request wires, one acknowledge wire
+  kMuxAck,   ///< one request, n acks; exactly one ack answers (always active)
+  kMuxReq,   ///< n requests, one ack; exactly one request fires (always passive)
+  kVoid,     ///< all four events empty; used internally by the optimizer
+  kVerb,     ///< events given verbatim by the user
+  // --- looping operators (Section 3.2) ---
+  kRep,    ///< repeat argument forever (until broken)
+  kBreak,  ///< terminate the innermost rep
+  // --- interleaving operators (Section 3.3) ---
+  kEncEarly,   ///< enclose arg2's handshake between events 1 and 2 of arg1
+  kEncMiddle,  ///< interleave phases pairwise (C-element / fork style)
+  kEncLate,    ///< enclose arg2's handshake between events 3 and 4 of arg1
+  kSeq,        ///< sequence arg1 then arg2
+  kSeqOv,      ///< overlapped sequencing (transferrer style)
+  kMutex,      ///< externally-arbitrated mutual exclusion of two behaviours
+};
+
+/// Handshake activity of a channel or operator expression.
+enum class Activity {
+  kPassive,  ///< handshake initiated by an input request
+  kActive,   ///< handshake initiated by an output request
+  kNeither,  ///< no events of its own (void, break)
+};
+
+/// A single signal edge, e.g. "(i a_r +)".
+struct Transition {
+  bool is_input = false;
+  std::string signal;
+  bool rising = true;
+
+  bool operator==(const Transition&) const = default;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One branch of a mux-ack / mux-req channel: an interleaving operator that
+/// combines the branch's share of the mux handshake with a guarded body.
+struct MuxBranch {
+  ExprKind op = ExprKind::kEncEarly;  ///< must be an interleaving operator
+  ExprPtr body;
+};
+
+/// A CH expression tree node.  Channel fields are meaningful only for
+/// channel kinds; `args` only for operators; `branches` only for muxes.
+struct Expr {
+  ExprKind kind = ExprKind::kVoid;
+
+  // Channel payload.
+  std::string channel;                           ///< channel name
+  Activity declared_activity = Activity::kNeither;
+  int wires = 0;                                 ///< n for mult-ack / mult-req
+  std::vector<MuxBranch> branches;               ///< mux channels
+  std::array<std::vector<Transition>, 4> verb_events;  ///< verb channels
+
+  // Operator payload (1 arg for rep, 0 for break, 2 for interleavings).
+  std::vector<ExprPtr> args;
+
+  Expr() = default;
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  /// Deep copy.
+  ExprPtr clone() const;
+};
+
+/// True if `kind` denotes a channel declaration.
+bool is_channel(ExprKind kind);
+
+/// True if `kind` denotes one of the six interleaving operators.
+bool is_interleaving(ExprKind kind);
+
+/// Human-readable keyword for a node kind ("p-to-p", "enc-early", ...).
+std::string_view kind_keyword(ExprKind kind);
+
+/// "passive" / "active" / "neither".
+std::string_view activity_name(Activity a);
+
+/// The activity of an expression, computed per Section 3 rules:
+///   channels per declaration (mux-ack active, mux-req passive, void neither);
+///   rep inherits its argument; break is neither; enclosures and sequencing
+///   inherit the first argument (or the second, if the first is void);
+///   seq-ov is active; mutex is passive.
+Activity activity_of(const Expr& e);
+
+/// A named controller: one CH expression plus its identity in the netlist.
+struct Program {
+  std::string name;
+  ExprPtr body;
+
+  Program() = default;
+  Program(std::string n, ExprPtr b) : name(std::move(n)), body(std::move(b)) {}
+  Program clone() const { return Program(name, body ? body->clone() : nullptr); }
+};
+
+// ---- Construction helpers (used heavily by translators and tests) ----
+
+ExprPtr ptop(Activity a, std::string name);
+ExprPtr mult_ack(Activity a, std::string name, int n);
+ExprPtr mult_req(Activity a, std::string name, int n);
+ExprPtr mux_ack(std::string name, std::vector<MuxBranch> branches);
+ExprPtr mux_req(std::string name, std::vector<MuxBranch> branches);
+ExprPtr void_channel();
+ExprPtr rep(ExprPtr body);
+ExprPtr brk();
+ExprPtr op2(ExprKind kind, ExprPtr a, ExprPtr b);
+ExprPtr enc_early(ExprPtr a, ExprPtr b);
+ExprPtr enc_middle(ExprPtr a, ExprPtr b);
+ExprPtr enc_late(ExprPtr a, ExprPtr b);
+ExprPtr seq(ExprPtr a, ExprPtr b);
+ExprPtr seq_ov(ExprPtr a, ExprPtr b);
+ExprPtr mutex(ExprPtr a, ExprPtr b);
+
+}  // namespace bb::ch

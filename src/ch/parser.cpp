@@ -1,0 +1,275 @@
+#include "src/ch/parser.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "src/util/strings.hpp"
+
+namespace bb::ch {
+
+namespace {
+
+// ---- S-expression layer ----
+
+struct Sexp {
+  bool is_atom = false;
+  std::string atom;
+  std::vector<Sexp> list;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view text) : text_(text) {}
+
+  std::optional<std::string> next() {
+    skip_space();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '(' || c == ')') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ';') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Sexp parse_sexp(Tokenizer& tok) {
+  const auto t = tok.next();
+  if (!t) throw ParseError("CH: unexpected end of input");
+  if (*t == "(") {
+    Sexp s;
+    while (true) {
+      const auto peeked = tok.next();
+      if (!peeked) throw ParseError("CH: missing ')'");
+      if (*peeked == ")") return s;
+      if (*peeked == "(") {
+        // Re-parse the sub-list: emulate push-back by recursing on a
+        // sub-tokenizer is awkward, so build the element inline.
+        Sexp child;
+        int depth = 1;
+        std::vector<Sexp*> stack{&child};
+        while (depth > 0) {
+          const auto inner = tok.next();
+          if (!inner) throw ParseError("CH: missing ')'");
+          if (*inner == "(") {
+            stack.back()->list.emplace_back();
+            stack.push_back(&stack.back()->list.back());
+            ++depth;
+          } else if (*inner == ")") {
+            stack.pop_back();
+            --depth;
+          } else {
+            Sexp atom;
+            atom.is_atom = true;
+            atom.atom = *inner;
+            stack.back()->list.push_back(std::move(atom));
+          }
+        }
+        s.list.push_back(std::move(child));
+      } else {
+        Sexp atom;
+        atom.is_atom = true;
+        atom.atom = *peeked;
+        s.list.push_back(std::move(atom));
+      }
+    }
+  }
+  Sexp atom;
+  atom.is_atom = true;
+  atom.atom = *t;
+  return atom;
+}
+
+// ---- CH layer ----
+
+/// Normalizes keywords: lower-case, '_' -> '-'.
+std::string keyword(const std::string& s) {
+  return util::replace_all(util::to_lower(s), "_", "-");
+}
+
+Activity parse_activity(const Sexp& s) {
+  if (!s.is_atom) throw ParseError("CH: expected activity keyword");
+  const std::string k = keyword(s.atom);
+  if (k == "passive") return Activity::kPassive;
+  if (k == "active") return Activity::kActive;
+  throw ParseError("CH: bad activity '" + s.atom + "'");
+}
+
+ExprKind interleaving_kind(const std::string& kw) {
+  if (kw == "enc-early") return ExprKind::kEncEarly;
+  if (kw == "enc-middle") return ExprKind::kEncMiddle;
+  if (kw == "enc-late") return ExprKind::kEncLate;
+  if (kw == "seq") return ExprKind::kSeq;
+  if (kw == "seq-ov") return ExprKind::kSeqOv;
+  if (kw == "mutex") return ExprKind::kMutex;
+  throw ParseError("CH: '" + kw + "' is not an interleaving operator");
+}
+
+ExprPtr build(const Sexp& s);
+
+std::vector<Transition> build_event(const Sexp& s) {
+  std::vector<Transition> out;
+  for (const Sexp& t : s.list) {
+    if (t.list.size() != 3 || !t.list[0].is_atom || !t.list[1].is_atom ||
+        !t.list[2].is_atom) {
+      throw ParseError("CH: verb transition must be (i|o name +|-)");
+    }
+    Transition tr;
+    const std::string dir = keyword(t.list[0].atom);
+    if (dir == "i") {
+      tr.is_input = true;
+    } else if (dir == "o") {
+      tr.is_input = false;
+    } else {
+      throw ParseError("CH: verb transition direction must be i or o");
+    }
+    tr.signal = util::to_lower(t.list[1].atom);
+    if (t.list[2].atom == "+") {
+      tr.rising = true;
+    } else if (t.list[2].atom == "-") {
+      tr.rising = false;
+    } else {
+      throw ParseError("CH: verb transition polarity must be + or -");
+    }
+    out.push_back(std::move(tr));
+  }
+  return out;
+}
+
+std::vector<MuxBranch> build_branches(const Sexp& s, std::size_t from) {
+  std::vector<MuxBranch> branches;
+  for (std::size_t i = from; i < s.list.size(); ++i) {
+    const Sexp& b = s.list[i];
+    if (b.is_atom || b.list.size() != 2 || !b.list[0].is_atom) {
+      throw ParseError("CH: mux branch must be (<op> <expr>)");
+    }
+    MuxBranch branch;
+    branch.op = interleaving_kind(keyword(b.list[0].atom));
+    branch.body = build(b.list[1]);
+    branches.push_back(std::move(branch));
+  }
+  if (branches.empty()) throw ParseError("CH: mux channel needs branches");
+  return branches;
+}
+
+ExprPtr build(const Sexp& s) {
+  if (s.is_atom) {
+    if (keyword(s.atom) == "void") return void_channel();
+    throw ParseError("CH: unexpected atom '" + s.atom + "'");
+  }
+  if (s.list.empty() || !s.list[0].is_atom) {
+    throw ParseError("CH: expected (keyword ...)");
+  }
+  const std::string kw = keyword(s.list[0].atom);
+  const std::size_t n = s.list.size();
+
+  if (kw == "p-to-p") {
+    if (n != 3 || !s.list[2].is_atom) {
+      throw ParseError("CH: p-to-p wants (p-to-p activity name)");
+    }
+    return ptop(parse_activity(s.list[1]), s.list[2].atom);
+  }
+  if (kw == "mult-ack" || kw == "mult-req") {
+    if (n != 4 || !s.list[2].is_atom || !s.list[3].is_atom) {
+      throw ParseError("CH: " + kw + " wants (" + kw + " activity name n)");
+    }
+    const int wires = std::stoi(s.list[3].atom);
+    if (wires < 1) throw ParseError("CH: " + kw + " needs n >= 1");
+    return kw == "mult-ack"
+               ? mult_ack(parse_activity(s.list[1]), s.list[2].atom, wires)
+               : mult_req(parse_activity(s.list[1]), s.list[2].atom, wires);
+  }
+  if (kw == "mux-ack" || kw == "mux-req") {
+    if (n < 3 || !s.list[1].is_atom) {
+      throw ParseError("CH: " + kw + " wants (" + kw + " name (op expr)...)");
+    }
+    auto branches = build_branches(s, 2);
+    return kw == "mux-ack" ? mux_ack(s.list[1].atom, std::move(branches))
+                           : mux_req(s.list[1].atom, std::move(branches));
+  }
+  if (kw == "void") {
+    if (n != 1) throw ParseError("CH: void takes no arguments");
+    return void_channel();
+  }
+  if (kw == "verb") {
+    if (n != 5) throw ParseError("CH: verb wants four event lists");
+    auto e = std::make_unique<Expr>(ExprKind::kVerb);
+    for (std::size_t i = 0; i < 4; ++i) {
+      e->verb_events[i] = build_event(s.list[i + 1]);
+    }
+    return e;
+  }
+  if (kw == "rep") {
+    if (n != 2) throw ParseError("CH: rep takes exactly one argument");
+    return rep(build(s.list[1]));
+  }
+  if (kw == "break") {
+    if (n != 1) throw ParseError("CH: break takes no arguments");
+    return brk();
+  }
+
+  const ExprKind op = interleaving_kind(kw);
+  if ((op == ExprKind::kSeq || op == ExprKind::kMutex) && n > 3) {
+    // Right-associate extra arguments, as the paper specifies:
+    // (seq c1 c2 c3) == (seq c1 (seq c2 c3)).
+    ExprPtr tail = build(s.list[n - 1]);
+    for (std::size_t i = n - 2; i >= 2; --i) {
+      tail = op2(op, build(s.list[i]), std::move(tail));
+    }
+    return op2(op, build(s.list[1]), std::move(tail));
+  }
+  if (n != 3) {
+    throw ParseError("CH: " + kw + " takes exactly two arguments");
+  }
+  return op2(op, build(s.list[1]), build(s.list[2]));
+}
+
+}  // namespace
+
+ExprPtr parse(std::string_view text) {
+  Tokenizer tok(text);
+  const Sexp s = parse_sexp(tok);
+  ExprPtr e = build(s);
+  if (const auto extra = tok.next()) {
+    throw ParseError("CH: trailing input '" + *extra + "'");
+  }
+  return e;
+}
+
+Program parse_program(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  std::string name;
+  std::string_view body = text;
+  if (colon != std::string_view::npos &&
+      text.find('(') != std::string_view::npos &&
+      colon < text.find('(')) {
+    name = std::string(util::trim(text.substr(0, colon)));
+    body = text.substr(colon + 1);
+  }
+  return Program(std::move(name), parse(body));
+}
+
+}  // namespace bb::ch

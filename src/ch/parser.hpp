@@ -1,0 +1,34 @@
+// S-expression parser for the CH language.
+//
+// Accepted syntax follows Section 3 of the paper:
+//   (p-to-p passive A)                     (mult-ack active C 2)
+//   (rep <expr>)  (break)                  (mult-req passive D 3)
+//   (enc-early <e1> <e2>)  (enc-middle ..) (enc-late ..)
+//   (seq <e1> <e2> [<e3> ...])             (seq-ov <e1> <e2>)
+//   (mutex <e1> <e2> [<e3> ...])           void | (void)
+//   (mux-ack A (<op> <expr>) (<op> <expr>) ...)
+//   (mux-req A (<op> <expr>) ...)
+//   (verb (<ev1>) (<ev2>) (<ev3>) (<ev4>))  with <ev> = (i|o name +|-)*
+// Keywords may use '-' or '_' interchangeably.  seq and mutex with more
+// than two arguments right-associate, as in the paper.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/ch/ast.hpp"
+
+namespace bb::ch {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses one CH expression.  Throws ParseError on malformed input.
+ExprPtr parse(std::string_view text);
+
+/// Parses a named program: "name : <expr>" or just "<expr>" (name "").
+Program parse_program(std::string_view text);
+
+}  // namespace bb::ch

@@ -1,0 +1,77 @@
+#include "src/ch/printer.hpp"
+
+namespace bb::ch {
+
+namespace {
+
+std::string transition_text(const Transition& t) {
+  return std::string("(") + (t.is_input ? "i " : "o ") + t.signal +
+         (t.rising ? " +" : " -") + ")";
+}
+
+std::string render(const Expr& e, int indent, bool pretty) {
+  const std::string pad = pretty ? std::string(2 * indent, ' ') : "";
+  const std::string nl = pretty ? "\n" : " ";
+
+  switch (e.kind) {
+    case ExprKind::kPToP:
+      return pad + "(p-to-p " + std::string(activity_name(e.declared_activity)) +
+             " " + e.channel + ")";
+    case ExprKind::kMultAck:
+    case ExprKind::kMultReq:
+      return pad + "(" + std::string(kind_keyword(e.kind)) + " " +
+             std::string(activity_name(e.declared_activity)) + " " + e.channel +
+             " " + std::to_string(e.wires) + ")";
+    case ExprKind::kMuxAck:
+    case ExprKind::kMuxReq: {
+      std::string s = pad + "(" + std::string(kind_keyword(e.kind)) + " " +
+                      e.channel;
+      for (const MuxBranch& b : e.branches) {
+        s += nl + (pretty ? std::string(2 * (indent + 1), ' ') : "") + "(" +
+             std::string(kind_keyword(b.op)) + " " +
+             render(*b.body, 0, false) + ")";
+      }
+      return s + ")";
+    }
+    case ExprKind::kVoid:
+      return pad + "void";
+    case ExprKind::kVerb: {
+      std::string s = pad + "(verb";
+      for (const auto& ev : e.verb_events) {
+        s += " (";
+        for (std::size_t i = 0; i < ev.size(); ++i) {
+          if (i > 0) s += " ";
+          s += transition_text(ev[i]);
+        }
+        s += ")";
+      }
+      return s + ")";
+    }
+    case ExprKind::kBreak:
+      return pad + "(break)";
+    case ExprKind::kRep:
+    case ExprKind::kEncEarly:
+    case ExprKind::kEncMiddle:
+    case ExprKind::kEncLate:
+    case ExprKind::kSeq:
+    case ExprKind::kSeqOv:
+    case ExprKind::kMutex: {
+      std::string s = pad + "(" + std::string(kind_keyword(e.kind));
+      for (const ExprPtr& a : e.args) {
+        s += nl + render(*a, indent + 1, pretty);
+      }
+      return s + ")";
+    }
+  }
+  return pad + "?";
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e) { return render(e, 0, false); }
+
+std::string to_pretty_string(const Expr& e, int indent) {
+  return render(e, indent, true);
+}
+
+}  // namespace bb::ch

@@ -1,0 +1,16 @@
+// Pretty-printer for CH expressions (inverse of the parser).
+#pragma once
+
+#include <string>
+
+#include "src/ch/ast.hpp"
+
+namespace bb::ch {
+
+/// Renders an expression as a single-line s-expression.
+std::string to_string(const Expr& e);
+
+/// Renders with indentation, one operator per line, for reports.
+std::string to_pretty_string(const Expr& e, int indent = 0);
+
+}  // namespace bb::ch

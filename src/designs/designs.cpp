@@ -1,0 +1,182 @@
+#include "src/designs/designs.hpp"
+
+#include <stdexcept>
+
+namespace bb::designs {
+
+namespace {
+
+DesignInfo make_systolic() {
+  DesignInfo d;
+  d.name = "systolic";
+  d.title = "Systolic counter";
+  d.benchmark = "one entire 8-handshake cycle (count x8 then carry)";
+  d.source = R"(
+-- 8-handshake systolic counter (van Berkel style): eight handshakes on
+-- `count`, then a carry handshake.  Pure control: a 9-way sequencer whose
+-- count branches share the external port through an 8-way call.
+procedure systolic8 (sync count; sync carry) is
+begin
+  loop
+    sync count ; sync count ; sync count ; sync count ;
+    sync count ; sync count ; sync count ; sync count ;
+    sync carry
+  end
+end
+)";
+  return d;
+}
+
+DesignInfo make_wagging() {
+  DesignInfo d;
+  d.name = "wagging";
+  d.title = "Wagging register";
+  d.benchmark = "forward latency (first word in to first word out)";
+  d.source = R"(
+-- 8-place 8-bit word wagging register: two interleaved 4-stage shift
+-- halves; words alternate ("wag") between the halves.
+procedure wag8 (input in : 8; output out : 8) is
+  variable a0, a1, a2, a3 : 8
+  variable b0, b1, b2, b3 : 8
+begin
+  loop
+    ( in -> a0 ; a1 := a0 ; a2 := a1 ; a3 := a2 ; out <- a3 ) ;
+    ( in -> b0 ; b1 := b0 ; b2 := b1 ; b3 := b2 ; out <- b3 )
+  end
+end
+)";
+  return d;
+}
+
+DesignInfo make_stack() {
+  DesignInfo d;
+  d.name = "stack";
+  d.title = "Stack";
+  d.benchmark = "three push operations followed by three pop operations";
+  d.source = R"(
+-- 8-place 8-bit stack.  cmd = 1 pushes the next word from `push`;
+-- cmd = 0 pops onto `pop`.
+procedure stack8 (input cmd : 1; input push : 8; output pop : 8) is
+  variable s0, s1, s2, s3, s4, s5, s6, s7 : 8
+  variable sp : 4
+  variable c : 1
+  variable t : 8
+begin
+  sp := 0 ;
+  loop
+    cmd -> c ;
+    if c = 1 then
+      push -> t ;
+      case sp of
+        0: s0 := t | 1: s1 := t | 2: s2 := t | 3: s3 := t |
+        4: s4 := t | 5: s5 := t | 6: s6 := t | 7: s7 := t
+      end ;
+      sp := sp + 1
+    else
+      sp := sp - 1 ;
+      case sp of
+        0: pop <- s0 | 1: pop <- s1 | 2: pop <- s2 | 3: pop <- s3 |
+        4: pop <- s4 | 5: pop <- s5 | 6: pop <- s6 | 7: pop <- s7
+      end
+    end
+  end
+end
+)";
+  return d;
+}
+
+DesignInfo make_ssem() {
+  DesignInfo d;
+  d.name = "ssem";
+  d.title = "Microprocessor core";
+  d.benchmark =
+      "machine program that writes the values 0..4 to consecutive memory "
+      "locations and stops";
+  d.source = R"(
+-- SSEM-like 32-bit non-pipelined microprocessor core (Manchester Baby
+-- instruction set).  Memory lives in the environment behind three ports:
+-- maddr latches an address, mdata reads the addressed word, mwdata
+-- writes it.  Instruction word: bits 4..0 = line, bits 15..13 = function
+-- (0 JMP, 1 JRP, 2 LDN, 3 STO, 4/5 SUB, 6 CMP, 7 STP).
+procedure ssem (output maddr : 5; input mdata : 32; output mwdata : 32) is
+  variable pc : 5
+  variable acc : 32
+  variable ir : 32
+  variable t : 32
+  variable running : 1
+begin
+  pc := 0 ; acc := 0 ; running := 1 ;
+  while running = 1 then
+    maddr <- pc ; mdata -> ir ; pc := pc + 1 ;
+    case ir[15..13] of
+      0 : ( maddr <- ir[4..0] ; mdata -> t ; pc := t[4..0] )
+    | 1 : ( maddr <- ir[4..0] ; mdata -> t ; pc := pc + t[4..0] )
+    | 2 : ( maddr <- ir[4..0] ; mdata -> t ; acc := - t )
+    | 3 : ( maddr <- ir[4..0] ; mwdata <- acc )
+    | 4, 5 : ( maddr <- ir[4..0] ; mdata -> t ; acc := acc - t )
+    | 6 : ( if acc[31] = 1 then pc := pc + 1 else continue end )
+    | 7 : running := 0
+    end
+  end
+end
+)";
+  return d;
+}
+
+}  // namespace
+
+const DesignInfo& systolic_counter() {
+  static const DesignInfo d = make_systolic();
+  return d;
+}
+const DesignInfo& wagging_register() {
+  static const DesignInfo d = make_wagging();
+  return d;
+}
+const DesignInfo& stack() {
+  static const DesignInfo d = make_stack();
+  return d;
+}
+const DesignInfo& ssem() {
+  static const DesignInfo d = make_ssem();
+  return d;
+}
+
+std::vector<const DesignInfo*> all_designs() {
+  return {&systolic_counter(), &wagging_register(), &stack(), &ssem()};
+}
+
+const DesignInfo& design(const std::string& name) {
+  for (const DesignInfo* d : all_designs()) {
+    if (d->name == name) return *d;
+  }
+  throw std::out_of_range("unknown design '" + name + "'");
+}
+
+std::uint32_t ssem_encode(int function, int line) {
+  return (static_cast<std::uint32_t>(function) << 13) |
+         static_cast<std::uint32_t>(line & 0x1F);
+}
+
+std::vector<std::uint32_t> ssem_benchmark_program() {
+  // acc = -mem[line] via LDN, so negative constants yield the positive
+  // values to store.
+  std::vector<std::uint32_t> mem(32, 0);
+  constexpr int kLdn = 2, kSto = 3, kStp = 7;
+  int pc = 0;
+  for (int k = 0; k < 5; ++k) {
+    mem[pc++] = ssem_encode(kLdn, 26 + k);  // acc := -mem[26+k] = k
+    mem[pc++] = ssem_encode(kSto, 20 + k);  // mem[20+k] := acc
+  }
+  mem[pc++] = ssem_encode(kStp, 0);
+  for (int k = 0; k < 5; ++k) {
+    mem[26 + k] = static_cast<std::uint32_t>(-k);  // two's complement -k
+  }
+  return mem;
+}
+
+std::vector<SsemExpectation> ssem_expected_results() {
+  return {{20, 0}, {21, 1}, {22, 2}, {23, 3}, {24, 4}};
+}
+
+}  // namespace bb::designs

@@ -1,0 +1,52 @@
+// The four evaluation designs of Section 6, in mini-Balsa:
+//   1. an 8-handshake systolic counter             (control dominated)
+//   2. an 8-place 8-bit word wagging register      (mixed)
+//   3. an 8-place 8-bit stack                      (mixed)
+//   4. a small 32-bit non-pipelined SSEM-like microprocessor core
+//      (datapath dominated; Manchester Baby instruction set)
+// plus the SSEM machine program the paper benchmarks ("writes consecutive
+// memory locations with numbers 0 through 4").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bb::designs {
+
+struct DesignInfo {
+  std::string name;         ///< short id: systolic / wagging / stack / ssem
+  std::string title;        ///< Table 3 row label
+  std::string source;       ///< mini-Balsa text
+  std::string benchmark;    ///< what the paper's benchmark run measures
+};
+
+const DesignInfo& systolic_counter();
+const DesignInfo& wagging_register();
+const DesignInfo& stack();
+const DesignInfo& ssem();
+
+/// All four, in Table 3 order.
+std::vector<const DesignInfo*> all_designs();
+
+/// Lookup by short id; throws std::out_of_range for unknown names.
+const DesignInfo& design(const std::string& name);
+
+// ---- SSEM (Manchester Baby) machine code ----
+
+/// Instruction encoding: bits 4..0 = line (address), bits 15..13 =
+/// function: 0 JMP, 1 JRP, 2 LDN, 3 STO, 4 SUB, 6 CMP, 7 STP.
+std::uint32_t ssem_encode(int function, int line);
+
+/// The benchmark program: stores the values 0..4 into memory words
+/// 20..24 and stops.  Returned as a 32-word memory image.
+std::vector<std::uint32_t> ssem_benchmark_program();
+
+/// Addresses and values the benchmark must leave in memory.
+struct SsemExpectation {
+  int address;
+  std::uint32_t value;
+};
+std::vector<SsemExpectation> ssem_expected_results();
+
+}  // namespace bb::designs

@@ -1,0 +1,39 @@
+// The Section 6 benchmark runs: each design is taken through the complete
+// flow, simulated with its paper-specified protocol, and measured for
+// speed (ns) and area.
+#pragma once
+
+#include <string>
+
+#include "src/flow/flow.hpp"
+
+namespace bb::flow {
+
+struct BenchmarkResult {
+  std::string design;
+  bool ok = false;         ///< protocol completed and results were correct
+  std::string detail;      ///< failure reason or correctness notes
+  double time_ns = 0.0;    ///< the paper's per-design speed metric
+  double control_area = 0.0;
+  double datapath_area = 0.0;
+  double total_area = 0.0;
+  int controllers = 0;     ///< final controller count after clustering
+  int components = 0;      ///< handshake components before clustering
+};
+
+/// Runs one design ("systolic", "wagging", "stack", "ssem").
+BenchmarkResult run_benchmark(const std::string& design,
+                              const FlowOptions& options);
+
+/// A Table 3 row: both flows plus the derived improvement/overhead.
+struct Table3Row {
+  std::string title;
+  BenchmarkResult unoptimized;
+  BenchmarkResult optimized;
+  double speed_improvement_pct = 0.0;
+  double area_overhead_pct = 0.0;
+};
+
+Table3Row run_table3_row(const std::string& design);
+
+}  // namespace bb::flow

@@ -1,0 +1,110 @@
+#include "src/flow/flow.hpp"
+
+#include <stdexcept>
+
+#include "src/bm/compile.hpp"
+#include "src/bm/validate.hpp"
+#include "src/hsnet/to_ch.hpp"
+
+namespace bb::flow {
+
+FlowOptions FlowOptions::optimized() {
+  FlowOptions o;
+  o.cluster = true;
+  o.mode = minimalist::SynthMode::kSpeed;
+  o.level_separated = true;
+  return o;
+}
+
+FlowOptions FlowOptions::unoptimized() {
+  FlowOptions o;
+  o.cluster = false;
+  o.mode = minimalist::SynthMode::kArea;
+  o.level_separated = false;
+  o.templates = true;
+  return o;
+}
+
+ControlResult synthesize_control(const hsnet::Netlist& netlist,
+                                 const FlowOptions& options) {
+  ControlResult result;
+  const auto& lib = techmap::CellLibrary::ams035();
+
+  // Balsa-to-CH for every control component; in the template baseline,
+  // components with a hand-optimized circuit skip the synthesis path.
+  std::vector<ch::Program> programs;
+  for (const int id : netlist.control_ids()) {
+    const auto& component = netlist.component(id);
+    if (!options.cluster && options.templates &&
+        techmap::has_template(component.kind)) {
+      auto circuit = techmap::template_circuit(component, lib);
+      ControllerInfo info;
+      info.name = component.display_name() + " (template)";
+      info.members = {component.display_name()};
+      info.area = circuit->total_area();
+      result.info.push_back(std::move(info));
+      result.gates.merge(*circuit);
+      continue;
+    }
+    programs.push_back(hsnet::to_ch(component));
+  }
+
+  // Clustering (Section 4): T2 (which runs T1) over the CH programs.
+  std::vector<opt::ClusteredProgram> clustered;
+  if (options.cluster) {
+    opt::ClusterOptions copts;
+    copts.max_states = options.max_states;
+    clustered =
+        opt::optimize(std::move(programs), copts, &result.cluster_stats);
+  } else {
+    clustered = opt::wrap(std::move(programs));
+  }
+
+  // CH-to-BMS, Minimalist, tech mapping; merge everything into one
+  // control netlist (controllers interconnect through channel wire names).
+  techmap::MapOptions mopts;
+  mopts.level_separated = options.level_separated;
+
+  for (std::size_t i = 0; i < clustered.size(); ++i) {
+    const auto& program = clustered[i].program;
+    const bm::Spec spec = bm::compile(*program.body, program.name);
+    const auto check = bm::validate(spec);
+    if (!check.ok) {
+      throw std::runtime_error("flow: controller '" + program.name +
+                               "' failed BM validation: " + check.errors[0]);
+    }
+    auto ctrl = minimalist::synthesize(spec, options.mode);
+    const std::string prefix = "ctl" + std::to_string(i);
+    const netlist::GateNetlist gates =
+        techmap::map_controller(ctrl, lib, mopts, prefix);
+
+    ControllerInfo info;
+    info.name = program.name;
+    info.members = clustered[i].members;
+    info.states = spec.num_states;
+    info.products = ctrl.num_products();
+    info.literals = ctrl.num_literals();
+    info.area = gates.total_area();
+    result.info.push_back(std::move(info));
+
+    result.gates.merge(gates);
+    result.controllers.push_back(std::move(ctrl));
+    result.prefixes.push_back(prefix);
+  }
+  result.area = result.gates.total_area();
+  return result;
+}
+
+std::string report(const ControlResult& result) {
+  std::string s;
+  for (const ControllerInfo& info : result.info) {
+    s += info.name + ": " + std::to_string(info.states) + " states, " +
+         std::to_string(info.products) + " products, " +
+         std::to_string(info.literals) + " literals, area " +
+         std::to_string(info.area) + "\n";
+  }
+  s += "total control area: " + std::to_string(result.area) + "\n";
+  return s;
+}
+
+}  // namespace bb::flow

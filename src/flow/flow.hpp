@@ -1,0 +1,66 @@
+// The Balsa system back-end of Fig. 1: control/datapath partitioning,
+// Balsa-to-CH translation, clustering optimization, CH-to-BMS, Burst-Mode
+// synthesis, and technology mapping into one merged control netlist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/hsnet/netlist.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/netlist/gates.hpp"
+#include "src/opt/cluster.hpp"
+#include "src/techmap/map.hpp"
+#include "src/techmap/templates.hpp"
+
+namespace bb::flow {
+
+struct FlowOptions {
+  /// Run the paper's clustering optimizations (T1 + T2).
+  bool cluster = true;
+  /// Minimalist mode: speed scripts for the optimized flow, area mode for
+  /// the per-component baseline templates.
+  minimalist::SynthMode mode = minimalist::SynthMode::kSpeed;
+  /// Map the two logic levels separately (Section 5), or whole-cone.
+  bool level_separated = true;
+  /// Reject clustered controllers above this many BM states (0 = no cap).
+  int max_states = 40;
+  /// Use the hand-optimized gate templates for standard components (the
+  /// Balsa library baseline); components without a template are
+  /// synthesized per `mode`.  Only meaningful when cluster == false.
+  bool templates = false;
+
+  /// The paper's optimized back-end configuration.
+  static FlowOptions optimized();
+  /// The unoptimized Balsa baseline: per-component controllers compiled
+  /// as compact, area-efficient implementations (the hand-optimized
+  /// template library stand-in).
+  static FlowOptions unoptimized();
+};
+
+struct ControllerInfo {
+  std::string name;
+  std::vector<std::string> members;  ///< original components clustered in
+  int states = 0;
+  std::size_t products = 0;
+  std::size_t literals = 0;
+  double area = 0.0;
+};
+
+struct ControlResult {
+  netlist::GateNetlist gates{"control"};
+  std::vector<minimalist::SynthesizedController> controllers;
+  std::vector<std::string> prefixes;  ///< gate-net prefix per controller
+  std::vector<ControllerInfo> info;
+  opt::ClusterStats cluster_stats;
+  double area = 0.0;
+};
+
+/// Synthesizes the control partition of a handshake netlist.
+ControlResult synthesize_control(const hsnet::Netlist& netlist,
+                                 const FlowOptions& options);
+
+/// One-line-per-controller report.
+std::string report(const ControlResult& result);
+
+}  // namespace bb::flow

@@ -1,0 +1,65 @@
+#include "src/flow/system.hpp"
+
+#include <stdexcept>
+
+namespace bb::flow {
+
+System::System(const hsnet::Netlist& netlist, const FlowOptions& options)
+    : control_(synthesize_control(netlist, options)),
+      gates_(std::move(control_.gates)) {
+  // Make sure every external channel has wire nets even when no gate
+  // references them (e.g. a datapath-only port).
+  for (const auto& [name, info] : netlist.channels()) {
+    if (info.external) sim::channel_nets(gates_, name);
+  }
+  datapath_ = std::make_unique<sim::DatapathBuilder>(gates_, data_);
+  datapath_area_ = datapath_->build_all(netlist);
+}
+
+sim::ChannelNets System::chan(const std::string& channel) {
+  if (sim_ != nullptr) {
+    throw std::logic_error("System::chan: simulator already started");
+  }
+  return sim::channel_nets(gates_, channel);
+}
+
+void System::add_process(sim::Process* process,
+                         const std::vector<int>& watched_nets) {
+  pending_.emplace_back(process, watched_nets);
+}
+
+sim::Simulator& System::start() {
+  if (sim_ != nullptr) {
+    throw std::logic_error("System::start called twice");
+  }
+  sim_ = std::make_unique<sim::Simulator>(gates_.num_nets());
+
+  binding_ = std::make_unique<sim::GateBinding>(gates_);
+  binding_->bind(*sim_);
+
+  // Seed each controller's one-hot state code, then settle with the
+  // seeded feedback nets clamped.
+  std::vector<int> clamped;
+  for (std::size_t i = 0; i < control_.controllers.size(); ++i) {
+    const auto& ctrl = control_.controllers[i];
+    for (std::size_t s = 0; s < ctrl.state_bits.size(); ++s) {
+      const int net =
+          gates_.net(control_.prefixes[i] + "/" + ctrl.state_bits[s]);
+      if (net >= 0) {
+        sim_->set_initial(net, ctrl.initial_state_code[s]);
+        clamped.push_back(net);
+      }
+    }
+  }
+  binding_->settle_initial(*sim_, clamped);
+
+  datapath_->attach(*sim_);
+  for (auto& [process, nets] : pending_) {
+    for (const int net : nets) sim_->subscribe(net, process);
+    sim_->add_process(process);
+  }
+  pending_.clear();
+  return *sim_;
+}
+
+}  // namespace bb::flow

@@ -1,0 +1,51 @@
+// A complete simulatable system: synthesized control at gate level plus
+// behavioural datapath models, assembled from one handshake netlist
+// ("Final Optimized Circuit" of Fig. 1, ready for Verilog-XL-style
+// simulation).
+#pragma once
+
+#include <memory>
+
+#include "src/flow/flow.hpp"
+#include "src/sim/datapath.hpp"
+#include "src/sim/gatesim.hpp"
+#include "src/sim/kernel.hpp"
+
+namespace bb::flow {
+
+class System {
+ public:
+  System(const hsnet::Netlist& netlist, const FlowOptions& options);
+
+  /// Channel wire nets (creates them if needed).  Valid before start().
+  sim::ChannelNets chan(const std::string& channel);
+
+  /// Registers a testbench process; subscriptions happen at start().
+  void add_process(sim::Process* process,
+                   const std::vector<int>& watched_nets);
+
+  /// Builds the simulator, binds gates and datapath, seeds state codes,
+  /// settles the initial assignment.  Call exactly once.
+  sim::Simulator& start();
+
+  sim::Simulator& simulator() { return *sim_; }
+  sim::DatapathContext& data() { return data_; }
+  const netlist::GateNetlist& gates() const { return gates_; }
+  const ControlResult& control() const { return control_; }
+
+  double control_area() const { return control_.area; }
+  double datapath_area() const { return datapath_area_; }
+  double total_area() const { return control_.area + datapath_area_; }
+
+ private:
+  ControlResult control_;
+  netlist::GateNetlist gates_;
+  sim::DatapathContext data_;
+  std::unique_ptr<sim::DatapathBuilder> datapath_;
+  double datapath_area_ = 0.0;
+  std::unique_ptr<sim::GateBinding> binding_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::vector<std::pair<sim::Process*, std::vector<int>>> pending_;
+};
+
+}  // namespace bb::flow

@@ -1,0 +1,127 @@
+#include "src/flow/testbench.hpp"
+
+namespace bb::flow {
+
+ActivateDriver::ActivateDriver(System& system, const std::string& channel,
+                               double at_ns)
+    : nets_(system.chan(channel)), at_ns_(at_ns) {
+  system.add_process(this, {nets_.ack});
+}
+
+void ActivateDriver::start(sim::Simulator& sim) {
+  sim.schedule(nets_.req, true, at_ns_);
+}
+
+void ActivateDriver::on_change(sim::Simulator& sim, int net) {
+  if (net != nets_.ack) return;
+  if (sim.value(net)) {
+    sim.schedule(nets_.req, false, 0.8);
+  } else {
+    done_ = true;
+    done_time_ = sim.now();
+  }
+}
+
+SyncServer::SyncServer(System& system, const std::string& channel,
+                       double delay_ns)
+    : nets_(system.chan(channel)), delay_ns_(delay_ns) {
+  system.add_process(this, {nets_.req});
+}
+
+void SyncServer::on_change(sim::Simulator& sim, int net) {
+  if (net != nets_.req) return;
+  if (sim.value(net)) {
+    if (enabled && !enabled()) return;
+    sim.schedule(nets_.ack, true, delay_ns_);
+  } else {
+    sim.schedule(nets_.ack, false, delay_ns_);
+    ++completed_;
+    if (on_cycle) on_cycle(completed_, sim.now());
+  }
+}
+
+PullServer::PullServer(System& system, const std::string& channel,
+                       std::function<std::uint64_t()> provider,
+                       double delay_ns)
+    : channel_(channel),
+      nets_(system.chan(channel)),
+      provider_(std::move(provider)),
+      delay_ns_(delay_ns) {
+  data_ = &system.data();
+  system.add_process(this, {nets_.req});
+}
+
+void PullServer::on_change(sim::Simulator& sim, int net) {
+  if (net != nets_.req) return;
+  if (sim.value(net)) {
+    if (enabled && !enabled()) return;  // stall: benchmark window over
+    data_->set(channel_, provider_());
+    sim.schedule(nets_.ack, true, delay_ns_);
+    ++served_;
+  } else {
+    sim.schedule(nets_.ack, false, delay_ns_);
+  }
+}
+
+PushServer::PushServer(System& system, const std::string& channel,
+                       double delay_ns)
+    : channel_(channel), nets_(system.chan(channel)), delay_ns_(delay_ns) {
+  data_ = &system.data();
+  system.add_process(this, {nets_.req});
+}
+
+void PushServer::on_change(sim::Simulator& sim, int net) {
+  if (net != nets_.req) return;
+  if (sim.value(net)) {
+    values_.push_back(data_->get(channel_));
+    sim.schedule(nets_.ack, true, delay_ns_);
+  } else {
+    sim.schedule(nets_.ack, false, delay_ns_);
+    ++consumed_;
+    last_time_ = sim.now();
+    if (on_data) on_data(values_.back(), sim.now());
+  }
+}
+
+SsemMemory::SsemMemory(System& system, std::vector<std::uint32_t> image,
+                       double read_ns, double write_ns)
+    : maddr_(system.chan("maddr")),
+      mdata_(system.chan("mdata")),
+      mwdata_(system.chan("mwdata")),
+      mem_(std::move(image)),
+      read_ns_(read_ns),
+      write_ns_(write_ns),
+      system_(&system) {
+  mem_.resize(32, 0);
+  system.add_process(this, {maddr_.req, mdata_.req, mwdata_.req});
+}
+
+void SsemMemory::on_change(sim::Simulator& sim, int net) {
+  auto& data = system_->data();
+  if (net == maddr_.req) {
+    if (sim.value(net)) {
+      addr_ = static_cast<std::uint32_t>(data.get("maddr")) & 0x1F;
+      sim.schedule(maddr_.ack, true, 0.8);
+    } else {
+      sim.schedule(maddr_.ack, false, 0.8);
+    }
+  } else if (net == mdata_.req) {
+    if (sim.value(net)) {
+      data.set("mdata", mem_.at(addr_));
+      ++reads_;
+      sim.schedule(mdata_.ack, true, read_ns_);
+    } else {
+      sim.schedule(mdata_.ack, false, 0.8);
+    }
+  } else if (net == mwdata_.req) {
+    if (sim.value(net)) {
+      mem_.at(addr_) = static_cast<std::uint32_t>(data.get("mwdata"));
+      ++writes_;
+      sim.schedule(mwdata_.ack, true, write_ns_);
+    } else {
+      sim.schedule(mwdata_.ack, false, 0.8);
+    }
+  }
+}
+
+}  // namespace bb::flow

@@ -1,0 +1,118 @@
+// Testbench building blocks: four-phase drivers and servers for the
+// external channels of a simulated system, plus the SSEM memory model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/flow/system.hpp"
+
+namespace bb::flow {
+
+/// Raises the request of a sync channel and keeps it high (procedure
+/// activation; loop-based procedures never acknowledge).
+class ActivateDriver : public sim::Process {
+ public:
+  ActivateDriver(System& system, const std::string& channel,
+                 double at_ns = 0.1);
+  void start(sim::Simulator& sim) override;
+  void on_change(sim::Simulator& sim, int net) override;
+
+  /// True once the activation handshake completed (procedure finished).
+  bool done() const { return done_; }
+  double done_time() const { return done_time_; }
+
+ private:
+  sim::ChannelNets nets_;
+  double at_ns_;
+  bool done_ = false;
+  double done_time_ = 0.0;
+};
+
+/// Passive sync server: acknowledges every handshake the circuit starts.
+class SyncServer : public sim::Process {
+ public:
+  SyncServer(System& system, const std::string& channel,
+             double delay_ns = 0.8);
+  void on_change(sim::Simulator& sim, int net) override;
+
+  int completed() const { return completed_; }
+  /// Called with (cycle index, time) after each completed handshake.
+  std::function<void(int, double)> on_cycle;
+  /// When false, requests stall (ends open-loop benchmarks cleanly).
+  std::function<bool()> enabled;
+
+ private:
+  sim::ChannelNets nets_;
+  double delay_ns_;
+  int completed_ = 0;
+};
+
+/// Pull server on an input port: the circuit raises <ch>_r; the server
+/// publishes provider() into the channel and acknowledges.
+class PullServer : public sim::Process {
+ public:
+  PullServer(System& system, const std::string& channel,
+             std::function<std::uint64_t()> provider, double delay_ns = 0.8);
+  void on_change(sim::Simulator& sim, int net) override;
+
+  int served() const { return served_; }
+  /// When false, requests stall (used to end open-loop benchmarks).
+  std::function<bool()> enabled;
+
+ private:
+  std::string channel_;
+  sim::ChannelNets nets_;
+  std::function<std::uint64_t()> provider_;
+  double delay_ns_;
+  int served_ = 0;
+  sim::DatapathContext* data_ = nullptr;
+};
+
+/// Push server on an output port: accepts values the circuit pushes.
+class PushServer : public sim::Process {
+ public:
+  PushServer(System& system, const std::string& channel,
+             double delay_ns = 0.8);
+  void on_change(sim::Simulator& sim, int net) override;
+
+  int consumed() const { return consumed_; }
+  const std::vector<std::uint64_t>& values() const { return values_; }
+  double last_time() const { return last_time_; }
+  std::function<void(std::uint64_t, double)> on_data;
+
+ private:
+  std::string channel_;
+  sim::ChannelNets nets_;
+  double delay_ns_;
+  int consumed_ = 0;
+  std::vector<std::uint64_t> values_;
+  double last_time_ = 0.0;
+  sim::DatapathContext* data_ = nullptr;
+};
+
+/// The SSEM memory: 32 words behind three ports.
+///   maddr  (push): latches the address;
+///   mdata  (pull): returns mem[addr];
+///   mwdata (push): writes mem[addr].
+class SsemMemory : public sim::Process {
+ public:
+  SsemMemory(System& system, std::vector<std::uint32_t> image,
+             double read_ns = 2.0, double write_ns = 2.0);
+  void on_change(sim::Simulator& sim, int net) override;
+
+  const std::vector<std::uint32_t>& contents() const { return mem_; }
+  int reads() const { return reads_; }
+  int writes() const { return writes_; }
+
+ private:
+  sim::ChannelNets maddr_, mdata_, mwdata_;
+  std::vector<std::uint32_t> mem_;
+  std::uint32_t addr_ = 0;
+  double read_ns_, write_ns_;
+  int reads_ = 0, writes_ = 0;
+  System* system_;
+};
+
+}  // namespace bb::flow

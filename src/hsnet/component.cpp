@@ -1,0 +1,51 @@
+#include "src/hsnet/component.hpp"
+
+namespace bb::hsnet {
+
+bool is_control(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kLoop:
+    case ComponentKind::kSequence:
+    case ComponentKind::kConcur:
+    case ComponentKind::kCall:
+    case ComponentKind::kDecisionWait:
+    case ComponentKind::kWhile:
+    case ComponentKind::kCase:
+    case ComponentKind::kSynch:
+    case ComponentKind::kPassivator:
+    case ComponentKind::kContinue:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view kind_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kLoop: return "$BrzLoop";
+    case ComponentKind::kSequence: return "$BrzSequence";
+    case ComponentKind::kConcur: return "$BrzConcur";
+    case ComponentKind::kCall: return "$BrzCall";
+    case ComponentKind::kDecisionWait: return "$BrzDecisionWait";
+    case ComponentKind::kWhile: return "$BrzWhile";
+    case ComponentKind::kCase: return "$BrzCase";
+    case ComponentKind::kSynch: return "$BrzSynch";
+    case ComponentKind::kPassivator: return "$BrzPassivator";
+    case ComponentKind::kContinue: return "$BrzContinue";
+    case ComponentKind::kVariable: return "$BrzVariable";
+    case ComponentKind::kFetch: return "$BrzFetch";
+    case ComponentKind::kBinaryFunc: return "$BrzBinaryFunc";
+    case ComponentKind::kUnaryFunc: return "$BrzUnaryFunc";
+    case ComponentKind::kConstant: return "$BrzConstant";
+    case ComponentKind::kGuard: return "$BrzGuard";
+    case ComponentKind::kMerge: return "$BrzCallMux";
+    case ComponentKind::kMemory: return "$BrzMemory";
+  }
+  return "?";
+}
+
+std::string Component::display_name() const {
+  return std::string(kind_name(kind)) + "#" + std::to_string(id);
+}
+
+}  // namespace bb::hsnet

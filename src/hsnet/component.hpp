@@ -1,0 +1,84 @@
+// Handshake components: the intermediate representation produced by
+// syntax-directed translation of a Balsa program (the "balsa-netlist" of
+// Fig. 1).  Control components are dataless; datapath components carry
+// bundled data and are synthesized separately (Section 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bb::hsnet {
+
+/// The handshake component vocabulary (a Breeze-style subset sufficient
+/// for the paper's four evaluation designs).
+enum class ComponentKind {
+  // --- control components (dataless; optimized via CH) ---
+  kLoop,          ///< activate once, then handshake activate-out forever
+  kSequence,      ///< n-way sequencer (";")
+  kConcur,        ///< n-way parallel composition ("||")
+  kCall,          ///< n-way call: mutually-exclusive clients share one server
+  kDecisionWait,  ///< activation plus n guarded passive->active pairs
+  kWhile,         ///< guarded loop; guard delivered on a mux-ack channel
+  kCase,          ///< n-way selection; index delivered on a mux-ack channel
+  kSynch,         ///< synchronize n passive channels, then one active
+  kPassivator,    ///< synchronize two passive channels
+  kContinue,      ///< acknowledge the activation immediately (skip)
+  // --- datapath components (carry data; kept out of control synthesis) ---
+  kVariable,    ///< storage: one write port, n read ports
+  kFetch,       ///< transferrer: pull input, push output
+  kBinaryFunc,  ///< two pull inputs -> one pull output
+  kUnaryFunc,   ///< one pull input -> one pull output
+  kConstant,    ///< pull output with a constant value
+  kGuard,       ///< evaluates a condition, answers on a mux-ack channel
+  kMerge,       ///< call-merge: n mutually-exclusive clients share a server
+  kMemory,      ///< word-addressed RAM with pull-read / push-write ports
+};
+
+/// True for components whose behaviour belongs to the control partition.
+bool is_control(ComponentKind kind);
+
+/// Breeze-style name, e.g. "$BrzSequence".
+std::string_view kind_name(ComponentKind kind);
+
+/// One instantiated handshake component.
+///
+/// Ports are channel names; their order is fixed per kind:
+///   Loop         : activate, out
+///   Sequence(n)  : activate, out1..outn
+///   Concur(n)    : activate, out1..outn
+///   Call(n)      : in1..inn, out
+///   DecisionWait(n): activate, in1..inn, out1..outn
+///   While        : activate, guard, body
+///   Case(n)      : activate, select, out1..outn
+///   Synch(n)     : in1..inn, out
+///   Passivator   : a, b
+///   Continue     : activate
+///   Variable     : w1..w<ways> (writes), then read ports
+///   Fetch        : activate, in, out
+///   BinaryFunc   : out, in1, in2
+///   UnaryFunc    : out, in
+///   Constant     : out
+///   Guard        : query (mux-ack side), cond (pull input)
+///   Merge(n)     : client1..clientn, server (op = "push" or "pull")
+///   Memory       : ma (push: address), md (pull: read data), mw (push)
+struct Component {
+  int id = -1;
+  ComponentKind kind = ComponentKind::kLoop;
+  std::vector<std::string> ports;
+  /// Component arity n (ways / read ports); 0 when not applicable.
+  int ways = 0;
+  /// Data width in bits for datapath components.
+  int width = 0;
+  /// Operation name for function components ("add", "sub", "not", ...),
+  /// guard mode ("bool" / "index") or merge direction ("push" / "pull").
+  std::string op;
+  /// Constant value (kConstant) or default branch index (kGuard "index").
+  long long value = 0;
+  /// Guard selection table: labels[v] = branch index for selector value v;
+  /// values beyond the table take branch `value`.
+  std::vector<int> labels;
+
+  std::string display_name() const;
+};
+
+}  // namespace bb::hsnet

@@ -1,0 +1,111 @@
+#include "src/hsnet/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bb::hsnet {
+
+int Netlist::add(Component component) {
+  component.id = static_cast<int>(components_.size());
+  for (const std::string& port : component.ports) {
+    connect(component.id, port);
+  }
+  components_.push_back(std::move(component));
+  return components_.back().id;
+}
+
+void Netlist::declare_channel(const std::string& channel, int width,
+                              bool external) {
+  ChannelInfo& info = channels_[channel];
+  info.name = channel;
+  info.width = std::max(info.width, width);
+  info.external = info.external || external;
+}
+
+void Netlist::connect(int id, const std::string& channel) {
+  ChannelInfo& info = channels_[channel];
+  info.name = channel;
+  if (std::find(info.endpoints.begin(), info.endpoints.end(), id) ==
+      info.endpoints.end()) {
+    info.endpoints.push_back(id);
+  }
+}
+
+void Netlist::rename_channel(const std::string& from, const std::string& to) {
+  const auto it = channels_.find(from);
+  if (it == channels_.end()) {
+    throw std::invalid_argument("rename_channel: unknown channel " + from);
+  }
+  ChannelInfo info = it->second;
+  channels_.erase(it);
+  info.name = to;
+  ChannelInfo& slot = channels_[to];
+  // Merge with a pre-declared record (widths, external flag, endpoints).
+  slot.name = to;
+  slot.width = std::max(slot.width, info.width);
+  slot.external = slot.external || info.external;
+  for (const int id : info.endpoints) {
+    if (std::find(slot.endpoints.begin(), slot.endpoints.end(), id) ==
+        slot.endpoints.end()) {
+      slot.endpoints.push_back(id);
+    }
+  }
+  for (Component& c : components_) {
+    for (std::string& port : c.ports) {
+      if (port == from) port = to;
+    }
+  }
+}
+
+const ChannelInfo* Netlist::channel(const std::string& name) const {
+  const auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Netlist::internal_control_channels() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : channels_) {
+    if (info.external || info.width != 0 || info.endpoints.size() != 2) {
+      continue;
+    }
+    const bool both_control =
+        is_control(components_.at(info.endpoints[0]).kind) &&
+        is_control(components_.at(info.endpoints[1]).kind);
+    if (both_control) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<int> Netlist::control_ids() const {
+  std::vector<int> out;
+  for (const Component& c : components_) {
+    if (is_control(c.kind)) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::vector<int> Netlist::datapath_ids() const {
+  std::vector<int> out;
+  for (const Component& c : components_) {
+    if (!is_control(c.kind)) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::string Netlist::to_string() const {
+  std::string s = "netlist " + name_ + "\n";
+  for (const Component& c : components_) {
+    s += "  " + c.display_name() + " (";
+    for (std::size_t i = 0; i < c.ports.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += c.ports[i];
+    }
+    s += ")";
+    if (c.width > 0) s += " width=" + std::to_string(c.width);
+    if (!c.op.empty()) s += " op=" + c.op;
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace bb::hsnet

@@ -1,0 +1,71 @@
+// Netlists of handshake components and the control/datapath partition of
+// Section 2 (Fig. 2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hsnet/component.hpp"
+
+namespace bb::hsnet {
+
+/// A channel as seen by the netlist: width 0 means a dataless control
+/// channel; data channels carry `width` bits (bundled data).
+struct ChannelInfo {
+  std::string name;
+  int width = 0;
+  /// Component ids connected to this channel (usually two; one for
+  /// external ports).
+  std::vector<int> endpoints;
+  bool external = false;
+};
+
+/// The "balsa-netlist" of Fig. 1: handshake components plus channels.
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a component; returns its id.
+  int add(Component component);
+
+  /// Declares a channel (idempotent for a given name).
+  void declare_channel(const std::string& channel, int width = 0,
+                       bool external = false);
+
+  /// Renames a channel everywhere (ports and channel records).  The new
+  /// name must not exist yet.
+  void rename_channel(const std::string& from, const std::string& to);
+
+  const std::vector<Component>& components() const { return components_; }
+  Component& component(int id) { return components_.at(id); }
+  const Component& component(int id) const { return components_.at(id); }
+
+  const std::map<std::string, ChannelInfo>& channels() const {
+    return channels_;
+  }
+  const ChannelInfo* channel(const std::string& name) const;
+
+  /// Channels connecting exactly two *control* components point-to-point:
+  /// the candidates for clustering (Section 4.4 considers only these).
+  std::vector<std::string> internal_control_channels() const;
+
+  /// ids of control / datapath components.
+  std::vector<int> control_ids() const;
+  std::vector<int> datapath_ids() const;
+
+  /// Human-readable dump for reports.
+  std::string to_string() const;
+
+ private:
+  void connect(int id, const std::string& channel);
+
+  std::string name_;
+  std::vector<Component> components_;
+  std::map<std::string, ChannelInfo> channels_;
+};
+
+}  // namespace bb::hsnet

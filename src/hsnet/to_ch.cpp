@@ -1,0 +1,168 @@
+#include "src/hsnet/to_ch.hpp"
+
+#include <stdexcept>
+
+namespace bb::hsnet {
+
+namespace {
+
+using ch::Activity;
+using ch::ExprKind;
+using ch::ExprPtr;
+
+/// Right-nested sequencing of active channels: (seq c1 (seq c2 ... cn)).
+ExprPtr seq_chain(const std::vector<std::string>& channels, std::size_t from) {
+  if (from + 1 == channels.size()) {
+    return ch::ptop(Activity::kActive, channels[from]);
+  }
+  return ch::seq(ch::ptop(Activity::kActive, channels[from]),
+                 seq_chain(channels, from + 1));
+}
+
+/// Right-nested parallel composition via enc-middle (fork style).
+ExprPtr par_chain(const std::vector<std::string>& channels, std::size_t from) {
+  if (from + 1 == channels.size()) {
+    return ch::ptop(Activity::kActive, channels[from]);
+  }
+  return ch::enc_middle(ch::ptop(Activity::kActive, channels[from]),
+                        par_chain(channels, from + 1));
+}
+
+/// Right-nested mutex: (mutex e1 (mutex e2 ... en)), built bottom-up.
+ExprPtr mutex_of(std::vector<ExprPtr> alternatives) {
+  ExprPtr out = std::move(alternatives.back());
+  for (std::size_t i = alternatives.size() - 1; i-- > 0;) {
+    out = ch::mutex(std::move(alternatives[i]), std::move(out));
+  }
+  return out;
+}
+
+/// Right-nested synchronization of passive channels around a tail.
+ExprPtr synch_chain(const std::vector<std::string>& passives,
+                    std::size_t from, ExprPtr tail) {
+  if (from == passives.size()) return tail;
+  return ch::enc_middle(
+      ch::ptop(Activity::kPassive, passives[from]),
+      synch_chain(passives, from + 1, std::move(tail)));
+}
+
+}  // namespace
+
+ch::Program to_ch(const Component& c) {
+  switch (c.kind) {
+    case ComponentKind::kLoop: {
+      // Activated once; then handshakes the output forever.
+      return ch::Program(
+          c.display_name(),
+          ch::enc_early(ch::ptop(Activity::kPassive, c.ports.at(0)),
+                        ch::rep(ch::ptop(Activity::kActive, c.ports.at(1)))));
+    }
+    case ComponentKind::kSequence: {
+      std::vector<std::string> outs(c.ports.begin() + 1, c.ports.end());
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_early(ch::ptop(Activity::kPassive, c.ports.at(0)),
+                                seq_chain(outs, 0))));
+    }
+    case ComponentKind::kConcur: {
+      std::vector<std::string> outs(c.ports.begin() + 1, c.ports.end());
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_middle(ch::ptop(Activity::kPassive, c.ports.at(0)),
+                                 par_chain(outs, 0))));
+    }
+    case ComponentKind::kCall: {
+      // n passive clients, one active server (Section 3.4).
+      std::vector<ExprPtr> alts;
+      for (std::size_t i = 0; i + 1 < c.ports.size(); ++i) {
+        alts.push_back(
+            ch::enc_early(ch::ptop(Activity::kPassive, c.ports[i]),
+                          ch::ptop(Activity::kActive, c.ports.back())));
+      }
+      if (alts.size() == 1) {
+        // Degenerate 1-way call: plain enclosure.
+        return ch::Program(c.display_name(), ch::rep(std::move(alts[0])));
+      }
+      return ch::Program(c.display_name(), ch::rep(mutex_of(std::move(alts))));
+    }
+    case ComponentKind::kDecisionWait: {
+      // activate, in1..inn, out1..outn (Section 4.1).
+      const int n = c.ways;
+      std::vector<ExprPtr> alts;
+      for (int i = 0; i < n; ++i) {
+        alts.push_back(
+            ch::enc_early(ch::ptop(Activity::kPassive, c.ports.at(1 + i)),
+                          ch::ptop(Activity::kActive, c.ports.at(1 + n + i))));
+      }
+      ExprPtr body = alts.size() == 1 ? std::move(alts[0])
+                                      : mutex_of(std::move(alts));
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_early(ch::ptop(Activity::kPassive, c.ports.at(0)),
+                                std::move(body))));
+    }
+    case ComponentKind::kWhile: {
+      // activate, guard, body: the guard answers on a 2-way mux-ack
+      // channel; ack1 = condition true (run body), ack2 = false (exit).
+      std::vector<ch::MuxBranch> branches;
+      branches.push_back(ch::MuxBranch{
+          ExprKind::kSeq, ch::ptop(Activity::kActive, c.ports.at(2))});
+      branches.push_back(ch::MuxBranch{ExprKind::kSeq, ch::brk()});
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_early(
+              ch::ptop(Activity::kPassive, c.ports.at(0)),
+              ch::rep(ch::mux_ack(c.ports.at(1), std::move(branches))))));
+    }
+    case ComponentKind::kCase: {
+      // activate, select, out1..outn: the select mux-ack channel picks one
+      // output to handshake.
+      std::vector<ch::MuxBranch> branches;
+      for (std::size_t i = 2; i < c.ports.size(); ++i) {
+        branches.push_back(ch::MuxBranch{
+            ExprKind::kSeq, ch::ptop(Activity::kActive, c.ports[i])});
+      }
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_early(
+              ch::ptop(Activity::kPassive, c.ports.at(0)),
+              ch::mux_ack(c.ports.at(1), std::move(branches)))));
+    }
+    case ComponentKind::kSynch: {
+      // in1..inn synchronized, then the active output handshake completes
+      // inside (C-element style, via nested enc-middle).
+      std::vector<std::string> ins(c.ports.begin(), c.ports.end() - 1);
+      return ch::Program(
+          c.display_name(),
+          ch::rep(synch_chain(ins, 0,
+                              ch::ptop(Activity::kActive, c.ports.back()))));
+    }
+    case ComponentKind::kPassivator: {
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_middle(ch::ptop(Activity::kPassive, c.ports.at(0)),
+                                 ch::ptop(Activity::kPassive, c.ports.at(1)))));
+    }
+    case ComponentKind::kContinue: {
+      // Acknowledge the activation immediately; clusters away entirely
+      // under Activation Channel Removal (the body is void).
+      return ch::Program(
+          c.display_name(),
+          ch::rep(ch::enc_early(ch::ptop(Activity::kPassive, c.ports.at(0)),
+                                ch::void_channel())));
+    }
+    default:
+      throw std::invalid_argument("to_ch: " + c.display_name() +
+                                  " is a datapath component");
+  }
+}
+
+std::vector<ch::Program> control_programs(const Netlist& netlist) {
+  std::vector<ch::Program> out;
+  for (const int id : netlist.control_ids()) {
+    out.push_back(to_ch(netlist.component(id)));
+  }
+  return out;
+}
+
+}  // namespace bb::hsnet

@@ -1,0 +1,21 @@
+// Balsa-to-CH: models each *control* handshake component as a CH program
+// (paper Sections 2 and 3.4).  Channels shared between two components keep
+// the same CH channel name, which is how the optimizer discovers
+// connectivity.
+#pragma once
+
+#include <vector>
+
+#include "src/ch/ast.hpp"
+#include "src/hsnet/netlist.hpp"
+
+namespace bb::hsnet {
+
+/// The CH program modelling one control component.
+/// Throws std::invalid_argument for datapath components.
+ch::Program to_ch(const Component& component);
+
+/// CH programs for every control component of the netlist, in id order.
+std::vector<ch::Program> control_programs(const Netlist& netlist);
+
+}  // namespace bb::hsnet

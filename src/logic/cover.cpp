@@ -1,0 +1,215 @@
+#include "src/logic/cover.hpp"
+
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+
+namespace bb::logic {
+
+namespace {
+
+/// Picks the most-binate variable of `cubes` for Shannon splitting, or
+/// npos when the cover is unate in every variable.
+std::size_t pick_binate_var(const std::vector<Cube>& cubes,
+                            std::size_t num_vars) {
+  std::size_t best = std::string::npos;
+  std::size_t best_score = 0;
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    std::size_t zeros = 0;
+    std::size_t ones = 0;
+    for (const Cube& c : cubes) {
+      if (c[v] == Lit::kZero) ++zeros;
+      if (c[v] == Lit::kOne) ++ones;
+    }
+    if (zeros > 0 && ones > 0) {
+      const std::size_t score = zeros + ones;
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+  }
+  return best;
+}
+
+/// Tautology check on a list of cubes via unate recursion.
+bool tautology_rec(const std::vector<Cube>& cubes, std::size_t num_vars) {
+  // A cover containing the universal cube is a tautology.
+  for (const Cube& c : cubes) {
+    if (c.num_literals() == 0) return true;
+  }
+  if (cubes.empty()) return num_vars == 0;
+
+  const std::size_t v = pick_binate_var(cubes, num_vars);
+  if (v == std::string::npos) {
+    // Unate cover: tautology iff it contains the universal cube (checked
+    // above), unless there are no constrained variables at all.
+    return false;
+  }
+  for (const Lit branch : {Lit::kZero, Lit::kOne}) {
+    std::vector<Cube> cof;
+    for (const Cube& c : cubes) {
+      if (c[v] == Lit::kDash || c[v] == branch) {
+        Cube r = c.raised(v);
+        cof.push_back(std::move(r));
+      }
+    }
+    if (!tautology_rec(cof, num_vars)) return false;
+  }
+  return true;
+}
+
+/// Recursive complement: returns cubes of NOT(cubes) within universe cube
+/// `context` (initially the full cube).
+void complement_rec(const std::vector<Cube>& cubes, std::size_t num_vars,
+                    const Cube& context, std::vector<Cube>& out) {
+  for (const Cube& c : cubes) {
+    if (c.num_literals() == 0) return;  // covers everything: empty complement
+  }
+  if (cubes.empty()) {
+    out.push_back(context);
+    return;
+  }
+  // Split on any constrained variable (prefer binate).
+  std::size_t v = pick_binate_var(cubes, num_vars);
+  if (v == std::string::npos) {
+    for (std::size_t i = 0; i < num_vars && v == std::string::npos; ++i) {
+      for (const Cube& c : cubes) {
+        if (c[i] != Lit::kDash) {
+          v = i;
+          break;
+        }
+      }
+    }
+  }
+  if (v == std::string::npos) return;  // only universal cubes (handled above)
+
+  for (const Lit branch : {Lit::kZero, Lit::kOne}) {
+    std::vector<Cube> cof;
+    for (const Cube& c : cubes) {
+      if (c[v] == Lit::kDash || c[v] == branch) cof.push_back(c.raised(v));
+    }
+    Cube sub_context = context;
+    sub_context.set(v, branch);
+    complement_rec(cof, num_vars, sub_context, out);
+  }
+}
+
+}  // namespace
+
+Cover Cover::parse(std::size_t num_vars, std::string_view text) {
+  Cover out(num_vars);
+  for (const std::string& tok : util::split(text, " \t\n\r")) {
+    Cube c = Cube::parse(tok);
+    if (c.size() != num_vars) {
+      throw std::invalid_argument("Cover::parse: cube width mismatch: " + tok);
+    }
+    out.add(std::move(c));
+  }
+  return out;
+}
+
+void Cover::add(Cube c) {
+  if (c.size() != num_vars_) {
+    throw std::invalid_argument("Cover::add: cube width mismatch");
+  }
+  cubes_.push_back(std::move(c));
+}
+
+bool Cover::covers_minterm(const std::vector<bool>& bits) const {
+  for (const Cube& c : cubes_) {
+    if (c.contains_minterm(bits)) return true;
+  }
+  return false;
+}
+
+bool Cover::covers_cube(const Cube& c) const {
+  // f covers c  iff  f cofactored by c is a tautology.
+  std::vector<Cube> cof;
+  for (const Cube& cube : cubes_) {
+    if (const auto inter = cube.intersect(c)) {
+      // Raise the variables constrained by c: within c's subspace they are
+      // fixed, so they become free in the cofactor.
+      Cube r = *inter;
+      for (std::size_t v = 0; v < num_vars_; ++v) {
+        if (c[v] != Lit::kDash) r.set(v, Lit::kDash);
+      }
+      cof.push_back(std::move(r));
+    }
+  }
+  return tautology_rec(cof, num_vars_);
+}
+
+bool Cover::is_tautology() const { return tautology_rec(cubes_, num_vars_); }
+
+Cover Cover::complement() const {
+  std::vector<Cube> out;
+  complement_rec(cubes_, num_vars_, Cube(num_vars_), out);
+  Cover result(num_vars_, std::move(out));
+  result.remove_single_cube_contained();
+  return result;
+}
+
+Cover Cover::cofactor(const Cube& c) const {
+  Cover out(num_vars_);
+  for (const Cube& cube : cubes_) {
+    if (cube.distance(c) != 0) continue;
+    Cube r = cube;
+    for (std::size_t v = 0; v < num_vars_; ++v) {
+      if (c[v] != Lit::kDash) r.set(v, Lit::kDash);
+    }
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+void Cover::remove_single_cube_contained() {
+  std::vector<Cube> kept;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].contains(cubes_[i])) {
+        // Break ties between equal cubes by index so exactly one survives.
+        contained = !(cubes_[i] == cubes_[j]) || j < i;
+      }
+    }
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::size_t Cover::num_literals() const {
+  std::size_t n = 0;
+  for (const Cube& c : cubes_) n += c.num_literals();
+  return n;
+}
+
+std::vector<std::vector<bool>> Cover::enumerate_minterms() const {
+  if (num_vars_ > 20) {
+    throw std::logic_error("enumerate_minterms: too many variables");
+  }
+  std::vector<std::vector<bool>> out;
+  const std::size_t total = std::size_t{1} << num_vars_;
+  for (std::size_t m = 0; m < total; ++m) {
+    std::vector<bool> bits(num_vars_);
+    for (std::size_t v = 0; v < num_vars_; ++v) bits[v] = (m >> v) & 1u;
+    if (covers_minterm(bits)) out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+std::string Cover::to_string() const {
+  std::string s;
+  for (const Cube& c : cubes_) {
+    s += c.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+bool eval_cover(const Cover& cover, const std::vector<bool>& bits) {
+  return cover.covers_minterm(bits);
+}
+
+}  // namespace bb::logic

@@ -1,0 +1,66 @@
+// Covers (sets of cubes) and the classic operations on them: containment,
+// tautology, complement, single-cube containment, minterm enumeration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/logic/cube.hpp"
+
+namespace bb::logic {
+
+/// A sum-of-products: the union of the minterm sets of its cubes.
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(std::size_t num_vars) : num_vars_(num_vars) {}
+  Cover(std::size_t num_vars, std::vector<Cube> cubes)
+      : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+  /// Parses newline/space separated cube strings, e.g. "1-0 01-".
+  static Cover parse(std::size_t num_vars, std::string_view text);
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t size() const { return cubes_.size(); }
+  bool empty() const { return cubes_.empty(); }
+  const Cube& operator[](std::size_t i) const { return cubes_[i]; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+
+  void add(Cube c);
+
+  /// True if some cube contains the minterm.
+  bool covers_minterm(const std::vector<bool>& bits) const;
+
+  /// True if the union of this cover's cubes contains every minterm of `c`.
+  /// (Exact check via recursive cofactoring.)
+  bool covers_cube(const Cube& c) const;
+
+  /// True if the cover covers the whole Boolean space.
+  bool is_tautology() const;
+
+  /// The complement as a cover (recursive Shannon expansion).
+  Cover complement() const;
+
+  /// Cofactor of the cover with respect to cube `c`.
+  Cover cofactor(const Cube& c) const;
+
+  /// Removes cubes contained in single other cubes.
+  void remove_single_cube_contained();
+
+  /// Total literal count over all cubes.
+  std::size_t num_literals() const;
+
+  /// Enumerates all minterms (only for small num_vars; used in tests).
+  std::vector<std::vector<bool>> enumerate_minterms() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+/// True for every assignment `bits`: f(bits) as defined by `cover`.
+bool eval_cover(const Cover& cover, const std::vector<bool>& bits);
+
+}  // namespace bb::logic

@@ -1,0 +1,117 @@
+#include "src/logic/cube.hpp"
+
+#include <stdexcept>
+
+namespace bb::logic {
+
+Cube Cube::parse(std::string_view text) {
+  Cube c(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '0': c.set(i, Lit::kZero); break;
+      case '1': c.set(i, Lit::kOne); break;
+      case '-': c.set(i, Lit::kDash); break;
+      default:
+        throw std::invalid_argument("Cube::parse: bad character in '" +
+                                    std::string(text) + "'");
+    }
+  }
+  return c;
+}
+
+Cube Cube::from_minterm(const std::vector<bool>& bits) {
+  Cube c(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    c.set(i, bits[i] ? Lit::kOne : Lit::kZero);
+  }
+  return c;
+}
+
+std::size_t Cube::num_literals() const {
+  std::size_t n = 0;
+  for (const Lit l : lits_) {
+    if (l != Lit::kDash) ++n;
+  }
+  return n;
+}
+
+bool Cube::contains(const Cube& other) const {
+  if (size() != other.size()) return false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (lits_[i] != Lit::kDash && lits_[i] != other.lits_[i]) return false;
+  }
+  return true;
+}
+
+bool Cube::agrees_with_fixed(const Cube& other) const {
+  const std::size_t n = std::min(size(), other.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (other[i] == Lit::kDash) continue;
+    if (lits_[i] != Lit::kDash && lits_[i] != other[i]) return false;
+  }
+  return true;
+}
+
+bool Cube::contains_minterm(const std::vector<bool>& bits) const {
+  if (bits.size() != size()) return false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (lits_[i] == Lit::kDash) continue;
+    if ((lits_[i] == Lit::kOne) != bits[i]) return false;
+  }
+  return true;
+}
+
+bool Cube::intersects(const Cube& other) const { return distance(other) == 0; }
+
+std::optional<Cube> Cube::intersect(const Cube& other) const {
+  if (size() != other.size()) return std::nullopt;
+  Cube out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Lit a = lits_[i];
+    const Lit b = other.lits_[i];
+    if (a == Lit::kDash) {
+      out.set(i, b);
+    } else if (b == Lit::kDash || a == b) {
+      out.set(i, a);
+    } else {
+      return std::nullopt;  // conflicting required values
+    }
+  }
+  return out;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+  Cube out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.set(i, lits_[i] == other.lits_[i] ? lits_[i] : Lit::kDash);
+  }
+  return out;
+}
+
+std::size_t Cube::distance(const Cube& other) const {
+  std::size_t d = 0;
+  const std::size_t n = std::min(size(), other.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lit a = lits_[i];
+    const Lit b = other.lits_[i];
+    if (a != Lit::kDash && b != Lit::kDash && a != b) ++d;
+  }
+  return d;
+}
+
+Cube Cube::raised(std::size_t i) const {
+  Cube out = *this;
+  out.set(i, Lit::kDash);
+  return out;
+}
+
+std::string Cube::to_string() const {
+  std::string s;
+  s.reserve(size());
+  for (const Lit l : lits_) {
+    s.push_back(l == Lit::kZero ? '0' : (l == Lit::kOne ? '1' : '-'));
+  }
+  return s;
+}
+
+}  // namespace bb::logic

@@ -1,0 +1,78 @@
+// Cubes over a fixed set of binary variables, in positional notation.
+//
+// A cube is a product term: each variable is either required 0, required 1,
+// or unconstrained (DASH).  Cubes are the currency of the two-level logic
+// engine used by the Burst-Mode synthesizer (Minimalist substitute).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bb::logic {
+
+/// Per-variable literal value inside a cube.
+enum class Lit : std::uint8_t {
+  kZero = 0,  ///< variable must be 0 (complemented literal)
+  kOne = 1,   ///< variable must be 1 (positive literal)
+  kDash = 2,  ///< variable unconstrained
+};
+
+/// A product term over `size()` binary variables.
+class Cube {
+ public:
+  Cube() = default;
+
+  /// Full cube (all DASH) over `num_vars` variables.
+  explicit Cube(std::size_t num_vars) : lits_(num_vars, Lit::kDash) {}
+
+  /// Parses "10-1" style strings ('0', '1', '-').  Throws on bad input.
+  static Cube parse(std::string_view text);
+
+  /// Cube matching exactly one minterm, given as a bit vector.
+  static Cube from_minterm(const std::vector<bool>& bits);
+
+  std::size_t size() const { return lits_.size(); }
+  Lit operator[](std::size_t i) const { return lits_[i]; }
+  void set(std::size_t i, Lit v) { lits_[i] = v; }
+
+  /// Number of non-DASH literals.
+  std::size_t num_literals() const;
+
+  /// True if this cube's set of minterms contains `other`'s.
+  bool contains(const Cube& other) const;
+
+  /// True if, for every variable `other` fixes, this cube is either free
+  /// or fixes the same value (no literal of this cube conflicts with
+  /// `other`'s constraints).
+  bool agrees_with_fixed(const Cube& other) const;
+
+  /// True if the minterm (bit vector) lies inside this cube.
+  bool contains_minterm(const std::vector<bool>& bits) const;
+
+  /// True if the two cubes share at least one minterm.
+  bool intersects(const Cube& other) const;
+
+  /// The intersection cube, or nullopt if the cubes are disjoint.
+  std::optional<Cube> intersect(const Cube& other) const;
+
+  /// Smallest cube containing both (bitwise supercube).
+  Cube supercube(const Cube& other) const;
+
+  /// Number of variables where one cube requires 0 and the other requires 1.
+  std::size_t distance(const Cube& other) const;
+
+  /// Raises literal `i` to DASH, returning the enlarged cube.
+  Cube raised(std::size_t i) const;
+
+  /// Renders as a '0'/'1'/'-' string.
+  std::string to_string() const;
+
+  bool operator==(const Cube& other) const = default;
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+}  // namespace bb::logic

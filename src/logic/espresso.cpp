@@ -1,0 +1,56 @@
+#include "src/logic/espresso.hpp"
+
+namespace bb::logic {
+
+Cover expand_against(const Cover& cover, const Cover& off) {
+  Cover out(cover.num_vars());
+  for (const Cube& cube : cover.cubes()) {
+    Cube current = cube;
+    for (std::size_t v = 0; v < cover.num_vars(); ++v) {
+      if (current[v] == Lit::kDash) continue;
+      const Cube raised = current.raised(v);
+      bool hits_off = false;
+      for (const Cube& o : off.cubes()) {
+        if (raised.intersects(o)) {
+          hits_off = true;
+          break;
+        }
+      }
+      if (!hits_off) current = raised;
+    }
+    out.add(std::move(current));
+  }
+  out.remove_single_cube_contained();
+  return out;
+}
+
+Cover irredundant(const Cover& cover, const Cover& dc) {
+  std::vector<Cube> kept = cover.cubes();
+  for (std::size_t i = 0; i < kept.size();) {
+    // Is kept[i] covered by the others plus the don't-care set?
+    Cover rest(cover.num_vars());
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) rest.add(kept[j]);
+    }
+    for (const Cube& d : dc.cubes()) rest.add(d);
+    if (rest.covers_cube(kept[i])) {
+      kept.erase(kept.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  return Cover(cover.num_vars(), std::move(kept));
+}
+
+Cover espresso_minimize(const Cover& on, const Cover& dc) {
+  Cover care_off = [&] {
+    Cover all(on.num_vars());
+    for (const Cube& c : on.cubes()) all.add(c);
+    for (const Cube& c : dc.cubes()) all.add(c);
+    return all.complement();
+  }();
+  const Cover expanded = expand_against(on, care_off);
+  return irredundant(expanded, dc);
+}
+
+}  // namespace bb::logic

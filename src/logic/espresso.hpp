@@ -1,0 +1,30 @@
+// Classic (non-hazard-aware) two-level minimization: the espresso-style
+// expand / irredundant / reduce loop.
+//
+// This is the conventional minimizer a synchronous flow would use.  It is
+// deliberately *not* used by the Burst-Mode synthesizer: classic
+// irredundancy preserves the function but may leave a required cube
+// covered only by a union of products, which is precisely a static-1
+// hazard (see tests/espresso_test.cpp for a demonstration).  It exists as
+// a general two-level utility and as the baseline the hazard-free
+// minimizer is compared against.
+#pragma once
+
+#include "src/logic/cover.hpp"
+
+namespace bb::logic {
+
+/// Expands each cube of `cover` to a prime against OFF = NOT(on u dc),
+/// then removes cubes contained in the union of the others.
+/// Result covers exactly (on minus dc-complement), i.e. the function is
+/// preserved on the care set.
+Cover espresso_minimize(const Cover& on, const Cover& dc);
+
+/// Removes every cube whose minterms are covered by the remaining cubes
+/// plus the don't-care set (single pass, order-dependent).
+Cover irredundant(const Cover& cover, const Cover& dc);
+
+/// Maximally expands each cube against the given OFF-set cover.
+Cover expand_against(const Cover& cover, const Cover& off);
+
+}  // namespace bb::logic

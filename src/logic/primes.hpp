@@ -1,0 +1,22 @@
+// Prime-implicant generation via iterated consensus (Quine's method).
+//
+// The Burst-Mode synthesizer needs *all* primes of (ON u DC) as the raw
+// material for dynamic-hazard-free prime generation; controller functions
+// are small, so the classic algorithm is entirely adequate.
+#pragma once
+
+#include <vector>
+
+#include "src/logic/cover.hpp"
+#include "src/logic/cube.hpp"
+
+namespace bb::logic {
+
+/// All prime implicants of the function whose ON-set is covered by `on`
+/// and whose don't-care set is covered by `dc`.
+std::vector<Cube> all_primes(const Cover& on, const Cover& dc);
+
+/// The consensus of two cubes (exists iff their distance is exactly 1).
+std::optional<Cube> consensus(const Cube& a, const Cube& b);
+
+}  // namespace bb::logic

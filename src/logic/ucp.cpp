@@ -1,0 +1,166 @@
+#include "src/logic/ucp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace bb::logic {
+
+namespace {
+
+struct Matrix {
+  // rows[r] = set of columns covering row r; col_rows[c] = rows covered by c.
+  std::vector<std::set<std::size_t>> rows;
+  std::vector<std::set<std::size_t>> col_rows;
+  std::vector<double> cost;
+};
+
+Matrix build_matrix(const UcpProblem& p) {
+  Matrix m;
+  m.cost = p.column_cost;
+  m.rows.resize(p.covers.size());
+  m.col_rows.resize(p.column_cost.size());
+  for (std::size_t r = 0; r < p.covers.size(); ++r) {
+    for (const std::size_t c : p.covers[r]) {
+      if (c >= p.column_cost.size()) {
+        throw std::out_of_range("solve_ucp: column index out of range");
+      }
+      m.rows[r].insert(c);
+      m.col_rows[c].insert(r);
+    }
+  }
+  return m;
+}
+
+struct State {
+  std::vector<bool> row_covered;
+  std::vector<bool> col_removed;
+  std::vector<std::size_t> chosen;
+  double cost = 0.0;
+  std::size_t rows_left = 0;
+};
+
+void choose_column(const Matrix& m, State& s, std::size_t c) {
+  s.chosen.push_back(c);
+  s.cost += m.cost[c];
+  s.col_removed[c] = true;
+  for (const std::size_t r : m.col_rows[c]) {
+    if (!s.row_covered[r]) {
+      s.row_covered[r] = true;
+      --s.rows_left;
+    }
+  }
+}
+
+/// Greedy completion: repeatedly pick the column covering the most
+/// uncovered rows per unit cost.
+bool greedy_complete(const Matrix& m, State s, UcpSolution& best) {
+  while (s.rows_left > 0) {
+    std::size_t best_col = m.cost.size();
+    double best_ratio = -1.0;
+    for (std::size_t c = 0; c < m.cost.size(); ++c) {
+      if (s.col_removed[c]) continue;
+      std::size_t gain = 0;
+      for (const std::size_t r : m.col_rows[c]) {
+        if (!s.row_covered[r]) ++gain;
+      }
+      if (gain == 0) continue;
+      const double ratio =
+          static_cast<double>(gain) / std::max(m.cost[c], 1e-9);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_col = c;
+      }
+    }
+    if (best_col == m.cost.size()) return false;  // infeasible
+    choose_column(m, s, best_col);
+  }
+  if (!best.feasible || s.cost < best.cost) {
+    best.feasible = true;
+    best.cost = s.cost;
+    best.columns = s.chosen;
+  }
+  return true;
+}
+
+void branch(const Matrix& m, State s, UcpSolution& best, std::size_t& budget) {
+  if (budget == 0) {
+    greedy_complete(m, std::move(s), best);
+    return;
+  }
+  --budget;
+
+  // Reduction: essential columns (rows covered by exactly one live column).
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    for (std::size_t r = 0; r < m.rows.size(); ++r) {
+      if (s.row_covered[r]) continue;
+      std::size_t live = 0;
+      std::size_t only = 0;
+      for (const std::size_t c : m.rows[r]) {
+        if (!s.col_removed[c]) {
+          ++live;
+          only = c;
+        }
+      }
+      if (live == 0) return;  // infeasible branch
+      if (live == 1) {
+        choose_column(m, s, only);
+        reduced = true;
+      }
+    }
+  }
+  if (s.rows_left == 0) {
+    if (!best.feasible || s.cost < best.cost) {
+      best.feasible = true;
+      best.cost = s.cost;
+      best.columns = s.chosen;
+    }
+    return;
+  }
+  if (best.feasible && s.cost >= best.cost) return;  // bound
+
+  // Branch on the hardest row (fewest live covering columns).
+  std::size_t pick = m.rows.size();
+  std::size_t pick_live = std::numeric_limits<std::size_t>::max();
+  for (std::size_t r = 0; r < m.rows.size(); ++r) {
+    if (s.row_covered[r]) continue;
+    std::size_t live = 0;
+    for (const std::size_t c : m.rows[r]) {
+      if (!s.col_removed[c]) ++live;
+    }
+    if (live < pick_live) {
+      pick_live = live;
+      pick = r;
+    }
+  }
+  if (pick == m.rows.size()) return;
+
+  for (const std::size_t c : m.rows[pick]) {
+    if (s.col_removed[c]) continue;
+    State next = s;
+    choose_column(m, next, c);
+    branch(m, std::move(next), best, budget);
+  }
+}
+
+}  // namespace
+
+UcpSolution solve_ucp(const UcpProblem& problem) {
+  const Matrix m = build_matrix(problem);
+  State init;
+  init.row_covered.assign(m.rows.size(), false);
+  init.col_removed.assign(m.cost.size(), false);
+  init.rows_left = m.rows.size();
+
+  UcpSolution best;
+  greedy_complete(m, init, best);  // establishes an upper bound
+  std::size_t budget = 200000;
+  branch(m, init, best, budget);
+  std::sort(best.columns.begin(), best.columns.end());
+  return best;
+}
+
+}  // namespace bb::logic

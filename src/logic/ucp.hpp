@@ -1,0 +1,30 @@
+// Unate covering problem solver.
+//
+// Rows are objects that must be covered (e.g. required cubes); columns are
+// candidate implicants with costs.  Reduction by essential columns and
+// row/column dominance, then branch-and-bound with a greedy upper bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bb::logic {
+
+struct UcpProblem {
+  /// covers[r] lists the column indices that cover row r.
+  std::vector<std::vector<std::size_t>> covers;
+  /// Cost of selecting each column (same length as the column universe).
+  std::vector<double> column_cost;
+};
+
+struct UcpSolution {
+  std::vector<std::size_t> columns;  ///< selected columns, ascending
+  double cost = 0.0;
+  bool feasible = false;
+};
+
+/// Solves the covering problem exactly for small instances, falling back to
+/// a greedy solution when the branch-and-bound node budget is exhausted.
+UcpSolution solve_ucp(const UcpProblem& problem);
+
+}  // namespace bb::logic

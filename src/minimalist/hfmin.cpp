@@ -1,0 +1,134 @@
+#include "src/minimalist/hfmin.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "src/logic/ucp.hpp"
+
+namespace bb::minimalist {
+
+namespace {
+
+using logic::Cube;
+using logic::Lit;
+
+bool disjoint_from_off(const Cube& cube, const logic::Cover& off) {
+  for (const Cube& c : off.cubes()) {
+    if (cube.intersects(c)) return false;
+  }
+  return true;
+}
+
+bool anchors_ok(const Cube& cube, const std::vector<Privilege>& privileges) {
+  for (const Privilege& p : privileges) {
+    if (cube.intersects(p.transition) &&
+        !cube.agrees_with_fixed(p.anchor)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Greedy expansion of `seed` raising variables in the given order.
+/// Positive state-bit literals of the seed are pinned (state anchoring).
+Cube expand_in_order(const Cube& seed, const FuncSpec& spec,
+                     std::size_t state_base,
+                     const std::vector<std::size_t>& order) {
+  Cube current = seed;
+  for (const std::size_t v : order) {
+    if (current[v] == Lit::kDash) continue;
+    if (v >= state_base && seed[v] == Lit::kOne) continue;  // anchored
+    const Cube raised = current.raised(v);
+    if (disjoint_from_off(raised, spec.off) &&
+        anchors_ok(raised, spec.privileges)) {
+      current = raised;
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+bool is_dhf_implicant(const Cube& cube, const FuncSpec& spec) {
+  return disjoint_from_off(cube, spec.off) &&
+         anchors_ok(cube, spec.privileges);
+}
+
+SolvedFunction minimize_function(const FuncSpec& spec, std::size_t num_vars,
+                                 std::size_t state_base, SynthMode mode) {
+  // Rows: every required cube and every anchor point must sit inside a
+  // single product of the final cover.
+  std::vector<Cube> rows = spec.on_required;
+  rows.insert(rows.end(), spec.on_points.begin(), spec.on_points.end());
+
+  SolvedFunction out;
+  out.name = spec.name;
+  out.is_state_bit = spec.is_state_bit;
+  out.products = logic::Cover(num_vars);
+  if (rows.empty()) return out;  // constant-0 function
+
+  for (const Cube& r : rows) {
+    if (!is_dhf_implicant(r, spec)) {
+      throw std::runtime_error(
+          "hfmin: required cube " + r.to_string() + " of '" + spec.name +
+          "' is not a hazard-free implicant (no DHF cover exists)");
+    }
+  }
+
+  // Candidate generation: several expansion orders per row.
+  std::vector<Cube> candidates;
+  std::set<std::string> seen;
+  const auto add_candidate = [&](Cube c) {
+    if (seen.insert(c.to_string()).second) candidates.push_back(std::move(c));
+  };
+
+  std::vector<std::size_t> order(num_vars);
+  for (std::size_t v = 0; v < num_vars; ++v) order[v] = v;
+
+  for (const Cube& r : rows) {
+    // Natural, reversed, and a handful of rotated orders.
+    add_candidate(expand_in_order(r, spec, state_base, order));
+    std::vector<std::size_t> rev(order.rbegin(), order.rend());
+    add_candidate(expand_in_order(r, spec, state_base, rev));
+    const std::size_t rotations = std::min<std::size_t>(6, num_vars);
+    for (std::size_t k = 1; k <= rotations; ++k) {
+      std::vector<std::size_t> rot = order;
+      std::rotate(rot.begin(), rot.begin() + (k * num_vars) / (rotations + 1),
+                  rot.end());
+      add_candidate(expand_in_order(r, spec, state_base, rot));
+    }
+  }
+
+  // Covering problem: candidate c covers row r iff c contains r.
+  logic::UcpProblem problem;
+  problem.column_cost.reserve(candidates.size());
+  for (const Cube& c : candidates) {
+    problem.column_cost.push_back(
+        mode == SynthMode::kSpeed
+            ? 1.0
+            : static_cast<double>(c.num_literals()) + 1.0);
+  }
+  problem.covers.resize(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (candidates[c].contains(rows[r])) problem.covers[r].push_back(c);
+    }
+    if (problem.covers[r].empty()) {
+      throw std::runtime_error("hfmin: row " + rows[r].to_string() + " of '" +
+                               spec.name + "' has no covering candidate");
+    }
+  }
+
+  const logic::UcpSolution solution = logic::solve_ucp(problem);
+  if (!solution.feasible) {
+    throw std::runtime_error("hfmin: covering infeasible for '" + spec.name +
+                             "'");
+  }
+  for (const std::size_t c : solution.columns) {
+    out.products.add(candidates[c]);
+  }
+  return out;
+}
+
+}  // namespace bb::minimalist

@@ -1,0 +1,24 @@
+// Burst-Mode state minimization (an optional Minimalist pass).
+//
+// Conservative Moore-style partition refinement: two states may merge
+// only if they are entered with identical wire valuations and their
+// outgoing arcs agree label-for-label (same input bursts, same output
+// bursts, targets in the same block).  This collapses the duplicated
+// continuation paths the CH-to-BMS compiler creates after choices whose
+// alternatives share behaviour, and never changes the language of the
+// machine.
+#pragma once
+
+#include "src/bm/spec.hpp"
+
+namespace bb::minimalist {
+
+struct StateMinResult {
+  bm::Spec spec;
+  int merged_states = 0;  ///< states removed by the pass
+};
+
+/// Returns the quotient machine (validated-spec in, validated-spec out).
+StateMinResult minimize_states(const bm::Spec& spec);
+
+}  // namespace bb::minimalist

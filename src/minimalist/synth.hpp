@@ -1,0 +1,50 @@
+// Top level of the Minimalist substitute: Burst-Mode specification in,
+// hazard-free two-level controller out, plus a functional validator that
+// replays every specification arc against the synthesized logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/bm/spec.hpp"
+#include "src/minimalist/hfmin.hpp"
+
+namespace bb::minimalist {
+
+/// A synthesized controller: one two-level SOP per output and state bit
+/// over the variable order (inputs..., state bits...).
+struct SynthesizedController {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> state_bits;
+  std::size_t num_vars = 0;
+  /// Output functions first (aligned with `outputs`), then state bits.
+  std::vector<SolvedFunction> functions;
+  std::vector<bool> initial_state_code;
+
+  std::size_t num_products() const;
+  std::size_t num_literals() const;
+
+  /// Renders in a ".sol"-style PLA listing (one plane per function).
+  std::string to_sol() const;
+};
+
+/// Synthesizes a validated Burst-Mode specification.
+/// Throws std::runtime_error on inconsistent or non-implementable specs.
+SynthesizedController synthesize(const bm::Spec& spec,
+                                 SynthMode mode = SynthMode::kSpeed);
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+
+/// Replays every arc of `spec` through the synthesized logic in
+/// fundamental mode (inputs of a burst applied one at a time, feedback
+/// settled after each), checking output values, monotonicity of output
+/// changes, and the reached state code.
+ValidationReport validate_against_spec(const SynthesizedController& ctrl,
+                                       const bm::Spec& spec);
+
+}  // namespace bb::minimalist

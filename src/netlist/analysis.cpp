@@ -1,0 +1,60 @@
+#include "src/netlist/analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace bb::netlist {
+
+NetlistStats analyze(const GateNetlist& netlist) {
+  NetlistStats stats;
+  stats.num_gates = static_cast<int>(netlist.gates().size());
+  stats.area = netlist.total_area();
+  for (const Gate& g : netlist.gates()) {
+    ++stats.cell_histogram[g.cell];
+  }
+
+  // Longest path by memoized DFS over drivers; cycles (state feedback)
+  // are cut at the first revisit.
+  const auto drivers = netlist.driver_table();
+  std::vector<double> arrival(netlist.num_nets(), -1.0);
+  std::vector<char> on_stack(netlist.num_nets(), 0);
+
+  const std::function<double(int)> arrival_of = [&](int net) -> double {
+    if (arrival[net] >= 0.0) return arrival[net];
+    if (on_stack[net]) return 0.0;  // feedback cut
+    const int g = drivers[net];
+    if (g < 0) {
+      arrival[net] = 0.0;  // primary input / external net
+      return 0.0;
+    }
+    on_stack[net] = 1;
+    double worst = 0.0;
+    for (const int f : netlist.gates()[g].fanins) {
+      worst = std::max(worst, arrival_of(f));
+    }
+    on_stack[net] = 0;
+    arrival[net] = worst + netlist.gates()[g].delay_ns;
+    return arrival[net];
+  };
+
+  for (int net = 0; net < netlist.num_nets(); ++net) {
+    stats.critical_path_ns = std::max(stats.critical_path_ns, arrival_of(net));
+  }
+  return stats;
+}
+
+std::string histogram_string(const NetlistStats& stats) {
+  std::vector<std::pair<std::string, int>> entries(
+      stats.cell_histogram.begin(), stats.cell_histogram.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::string s;
+  for (const auto& [cell, count] : entries) {
+    if (!s.empty()) s += ", ";
+    s += cell + " x" + std::to_string(count);
+  }
+  return s;
+}
+
+}  // namespace bb::netlist

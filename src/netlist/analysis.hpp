@@ -1,0 +1,27 @@
+// Static analysis of gate netlists: cell histograms and worst-case
+// combinational depth (for reports and for checking the timing-discipline
+// assumptions of the mapped controllers).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/netlist/gates.hpp"
+
+namespace bb::netlist {
+
+struct NetlistStats {
+  std::map<std::string, int> cell_histogram;
+  int num_gates = 0;
+  double area = 0.0;
+  /// Longest acyclic input-to-net delay path in ns (feedback nets driven
+  /// by DEL cells break cycles, mirroring the Huffman structure).
+  double critical_path_ns = 0.0;
+};
+
+NetlistStats analyze(const GateNetlist& netlist);
+
+/// Formats the histogram as "NAND2 x12, INV x9, ...".
+std::string histogram_string(const NetlistStats& stats);
+
+}  // namespace bb::netlist

@@ -1,0 +1,111 @@
+#include "src/netlist/gates.hpp"
+
+#include <stdexcept>
+
+namespace bb::netlist {
+
+std::string_view fn_name(CellFn fn) {
+  switch (fn) {
+    case CellFn::kInv: return "inv";
+    case CellFn::kBuf: return "buf";
+    case CellFn::kAnd: return "and";
+    case CellFn::kOr: return "or";
+    case CellFn::kNand: return "nand";
+    case CellFn::kNor: return "nor";
+    case CellFn::kXor: return "xor";
+    case CellFn::kCelem: return "celem";
+    case CellFn::kConst0: return "const0";
+    case CellFn::kConst1: return "const1";
+  }
+  return "?";
+}
+
+int GateNetlist::add_net(const std::string& net_name) {
+  const int id = static_cast<int>(net_names_.size());
+  net_names_.push_back(net_name);
+  inputs_.push_back(false);
+  if (!net_name.empty()) {
+    if (!by_name_.emplace(net_name, id).second) {
+      throw std::invalid_argument("GateNetlist: duplicate net name '" +
+                                  net_name + "'");
+    }
+  }
+  return id;
+}
+
+int GateNetlist::net(const std::string& net_name) const {
+  const auto it = by_name_.find(net_name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+void GateNetlist::name_net(int id, const std::string& net_name) {
+  if (!by_name_.emplace(net_name, id).second) {
+    throw std::invalid_argument("GateNetlist: duplicate net name '" +
+                                net_name + "'");
+  }
+  if (net_names_[id].empty()) net_names_[id] = net_name;
+}
+
+int GateNetlist::add_gate(const std::string& cell, CellFn fn,
+                          std::vector<int> fanins, double delay_ns,
+                          double area, int output_net) {
+  Gate g;
+  g.cell = cell;
+  g.fn = fn;
+  g.fanins = std::move(fanins);
+  g.output = output_net >= 0 ? output_net : add_net();
+  g.delay_ns = delay_ns;
+  g.area = area;
+  gates_.push_back(std::move(g));
+  return gates_.back().output;
+}
+
+void GateNetlist::mark_input(int net_id) { inputs_.at(net_id) = true; }
+
+bool GateNetlist::is_input(int net_id) const { return inputs_.at(net_id); }
+
+std::vector<int> GateNetlist::driver_table() const {
+  std::vector<int> driver(net_names_.size(), -1);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (driver[gates_[g].output] != -1) {
+      throw std::logic_error("GateNetlist: net '" +
+                             net_names_[gates_[g].output] +
+                             "' has multiple drivers");
+    }
+    driver[gates_[g].output] = static_cast<int>(g);
+  }
+  return driver;
+}
+
+double GateNetlist::total_area() const {
+  double a = 0.0;
+  for (const Gate& g : gates_) a += g.area;
+  return a;
+}
+
+std::vector<int> GateNetlist::merge(const GateNetlist& other) {
+  std::vector<int> remap(other.net_names_.size(), -1);
+  for (int id = 0; id < other.num_nets(); ++id) {
+    const std::string& name = other.net_names_[id];
+    if (!name.empty()) {
+      const int existing = net(name);
+      remap[id] = existing >= 0 ? existing : add_net(name);
+    } else {
+      remap[id] = add_net();
+    }
+    if (other.inputs_[id] && remap[id] >= 0) {
+      // Input markings merge; a net driven here stops being an input when
+      // the caller wires a driver to it (the simulator checks drivers).
+      inputs_[remap[id]] = inputs_[remap[id]] || other.inputs_[id];
+    }
+  }
+  for (const Gate& g : other.gates_) {
+    Gate copy = g;
+    for (int& f : copy.fanins) f = remap[f];
+    copy.output = remap[g.output];
+    gates_.push_back(std::move(copy));
+  }
+  return remap;
+}
+
+}  // namespace bb::netlist

@@ -1,0 +1,86 @@
+// Gate-level netlists.  Every gate instance is a library cell with a
+// single output net; primary inputs are port nets driven by the
+// environment (testbench or a behavioural datapath model).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bb::netlist {
+
+/// Cell function classes understood by the simulator.
+enum class CellFn {
+  kInv,
+  kBuf,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kCelem,   ///< Muller C-element (state-holding: output follows when all
+            ///< inputs agree)
+  kConst0,
+  kConst1,
+};
+
+std::string_view fn_name(CellFn fn);
+
+/// One gate instance.
+struct Gate {
+  std::string cell;  ///< library cell name, e.g. "NAND2"
+  CellFn fn = CellFn::kBuf;
+  std::vector<int> fanins;  ///< input net ids
+  int output = -1;          ///< output net id
+  double delay_ns = 0.0;
+  double area = 0.0;
+};
+
+/// A flat gate netlist with named nets.
+class GateNetlist {
+ public:
+  explicit GateNetlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a net; names are optional but must be unique when given.
+  int add_net(const std::string& net_name = "");
+
+  /// Finds a named net (-1 if absent).
+  int net(const std::string& net_name) const;
+
+  /// Names an existing net (aliasing an extra name onto it).
+  void name_net(int id, const std::string& net_name);
+
+  /// Adds a gate driving a fresh (or given) output net; returns the
+  /// output net id.
+  int add_gate(const std::string& cell, CellFn fn, std::vector<int> fanins,
+               double delay_ns, double area, int output_net = -1);
+
+  /// Marks a net as a primary input (driven externally).
+  void mark_input(int net_id);
+  bool is_input(int net_id) const;
+
+  int num_nets() const { return static_cast<int>(net_names_.size()); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::map<std::string, int>& named_nets() const { return by_name_; }
+  const std::string& net_name(int id) const { return net_names_[id]; }
+
+  /// Gate driving each net (-1 if externally driven / floating).
+  std::vector<int> driver_table() const;
+
+  double total_area() const;
+
+  /// Merges another netlist into this one, connecting nets by name.
+  /// Returns the mapping from other-net-id to this-net-id.
+  std::vector<int> merge(const GateNetlist& other);
+
+ private:
+  std::string name_;
+  std::vector<std::string> net_names_;
+  std::map<std::string, int> by_name_;
+  std::vector<Gate> gates_;
+  std::vector<bool> inputs_;
+};
+
+}  // namespace bb::netlist

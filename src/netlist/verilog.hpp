@@ -1,0 +1,14 @@
+// Structural Verilog writer (the ".v files" of Fig. 1).
+#pragma once
+
+#include <string>
+
+#include "src/netlist/gates.hpp"
+
+namespace bb::netlist {
+
+/// Renders the netlist as a structural Verilog module.  Primary inputs
+/// become module inputs; named driven nets become outputs.
+std::string to_verilog(const GateNetlist& netlist);
+
+}  // namespace bb::netlist

@@ -1,0 +1,102 @@
+#include "src/petri/from_ch.hpp"
+
+#include <map>
+
+namespace bb::petri {
+
+namespace {
+
+using ch::Item;
+using ch::ItemSeq;
+
+class Builder {
+ public:
+  PetriNet build(const ItemSeq& items) {
+    const int start = net_.add_place(/*marked=*/true);
+    run(items, 0, start);
+    return std::move(net_);
+  }
+
+ private:
+  static std::string label_of(const ch::Transition& t) {
+    return t.signal + (t.rising ? "+" : "-");
+  }
+
+  int place_for_label(const std::string& label) {
+    const auto it = label_place_.find(label);
+    if (it != label_place_.end()) return it->second;
+    const int p = net_.add_place();
+    label_place_[label] = p;
+    return p;
+  }
+
+  /// Walks items from `idx`, starting at place `p` (-1 = unreachable).
+  /// Returns the places control flow ends at.
+  std::vector<int> run(const ItemSeq& items, std::size_t idx, int p) {
+    for (std::size_t i = idx; i < items.size(); ++i) {
+      const Item& item = items[i];
+      switch (item.kind) {
+        case Item::Kind::kTransition: {
+          if (p < 0) break;
+          const int q = net_.add_place();
+          net_.add_transition(Transition{label_of(item.transition), {p}, {q}});
+          p = q;
+          break;
+        }
+        case Item::Kind::kLabel: {
+          const auto it = label_place_.find(item.label);
+          if (p < 0) {
+            // Reachable only via an earlier (b)goto.
+            if (it != label_place_.end()) p = it->second;
+            break;
+          }
+          if (it != label_place_.end()) {
+            // A forward goto created a placeholder: connect it silently.
+            net_.add_transition(Transition{"", {it->second}, {p}});
+          } else {
+            label_place_[item.label] = p;
+          }
+          break;
+        }
+        case Item::Kind::kGoto:
+        case Item::Kind::kBGoto: {
+          if (p < 0) break;
+          net_.add_transition(Transition{"", {p}, {place_for_label(item.label)}});
+          p = -1;
+          break;
+        }
+        case Item::Kind::kChoice: {
+          if (p < 0) break;
+          std::vector<int> ends;
+          for (const ItemSeq& alt : item.alternatives) {
+            const auto sub = run(alt, 0, p);
+            ends.insert(ends.end(), sub.begin(), sub.end());
+          }
+          std::vector<int> results;
+          for (const int end : ends) {
+            const auto sub = run(items, i + 1, end);
+            results.insert(results.end(), sub.begin(), sub.end());
+          }
+          return results;
+        }
+      }
+    }
+    return {p};
+  }
+
+  PetriNet net_;
+  std::map<std::string, int> label_place_;
+};
+
+}  // namespace
+
+PetriNet from_ch(const ch::Expr& expr) {
+  return from_items(ch::expand(expr).flatten());
+}
+
+PetriNet from_items(const ItemSeq& items) {
+  Builder builder;
+  return builder.build(items);
+}
+
+}  // namespace bb::petri

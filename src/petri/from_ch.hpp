@@ -1,0 +1,19 @@
+// CH-to-Petri-net translation (the manual step of the paper's Section 4.3
+// verification flow, automated here).  Every signal edge becomes a
+// labelled transition; loops become back-arcs; mutual exclusion becomes
+// place conflict.
+#pragma once
+
+#include "src/ch/expansion.hpp"
+#include "src/petri/net.hpp"
+
+namespace bb::petri {
+
+/// Translates a CH expression into a 1-safe labelled Petri net whose
+/// firing sequences are exactly the expression's signal-transition traces.
+PetriNet from_ch(const ch::Expr& expr);
+
+/// Translates an already-flattened intermediate form.
+PetriNet from_items(const ch::ItemSeq& items);
+
+}  // namespace bb::petri

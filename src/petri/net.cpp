@@ -1,0 +1,169 @@
+#include "src/petri/net.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace bb::petri {
+
+std::vector<const Lts::Edge*> Lts::edges_from(int state) const {
+  std::vector<const Edge*> out;
+  for (const Edge& e : edges) {
+    if (e.from == state) out.push_back(&e);
+  }
+  return out;
+}
+
+int PetriNet::add_place(bool marked) {
+  initial_marking_.push_back(marked);
+  return static_cast<int>(initial_marking_.size()) - 1;
+}
+
+int PetriNet::add_transition(Transition t) {
+  transitions_.push_back(std::move(t));
+  return static_cast<int>(transitions_.size()) - 1;
+}
+
+PetriNet PetriNet::compose(const PetriNet& a, const PetriNet& b) {
+  PetriNet out;
+  out.initial_marking_ = a.initial_marking_;
+  const int offset = a.num_places();
+  out.initial_marking_.insert(out.initial_marking_.end(),
+                              b.initial_marking_.begin(),
+                              b.initial_marking_.end());
+
+  const auto shift = [offset](std::vector<int> places) {
+    for (int& p : places) p += offset;
+    return places;
+  };
+
+  std::set<std::string> shared;
+  {
+    const auto alpha_a = a.alphabet();
+    const auto alpha_b = b.alphabet();
+    std::set_intersection(alpha_a.begin(), alpha_a.end(), alpha_b.begin(),
+                          alpha_b.end(),
+                          std::inserter(shared, shared.begin()));
+  }
+
+  for (const Transition& t : a.transitions_) {
+    if (t.label.empty() || !shared.count(t.label)) {
+      out.transitions_.push_back(t);
+    }
+  }
+  for (const Transition& t : b.transitions_) {
+    if (t.label.empty() || !shared.count(t.label)) {
+      Transition copy = t;
+      copy.pre = shift(copy.pre);
+      copy.post = shift(copy.post);
+      out.transitions_.push_back(std::move(copy));
+    }
+  }
+  // Fuse every pair of same-labelled shared transitions.
+  for (const Transition& ta : a.transitions_) {
+    if (ta.label.empty() || !shared.count(ta.label)) continue;
+    for (const Transition& tb : b.transitions_) {
+      if (tb.label != ta.label) continue;
+      Transition fused;
+      fused.label = ta.label;
+      fused.pre = ta.pre;
+      fused.post = ta.post;
+      const auto bp = shift(tb.pre);
+      const auto bq = shift(tb.post);
+      fused.pre.insert(fused.pre.end(), bp.begin(), bp.end());
+      fused.post.insert(fused.post.end(), bq.begin(), bq.end());
+      out.transitions_.push_back(std::move(fused));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PetriNet::alphabet() const {
+  std::set<std::string> labels;
+  for (const Transition& t : transitions_) {
+    if (!t.label.empty()) labels.insert(t.label);
+  }
+  return {labels.begin(), labels.end()};
+}
+
+void PetriNet::hide_prefixes(const std::vector<std::string>& prefixes) {
+  for (Transition& t : transitions_) {
+    for (const std::string& p : prefixes) {
+      if (t.label.rfind(p, 0) == 0) {
+        t.label.clear();
+        break;
+      }
+    }
+  }
+}
+
+Lts PetriNet::reachability(std::size_t limit) const {
+  Lts lts;
+  std::map<std::vector<bool>, int> index;
+  std::deque<std::vector<bool>> queue;
+
+  index[initial_marking_] = 0;
+  queue.push_back(initial_marking_);
+  lts.num_states = 1;
+
+  while (!queue.empty()) {
+    const std::vector<bool> marking = std::move(queue.front());
+    queue.pop_front();
+    const int from = index.at(marking);
+
+    for (const Transition& t : transitions_) {
+      bool enabled = true;
+      for (const int p : t.pre) {
+        if (!marking[p]) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled) continue;
+
+      std::vector<bool> next = marking;
+      for (const int p : t.pre) next[p] = false;
+      for (const int p : t.post) {
+        if (next[p]) {
+          throw std::runtime_error(
+              "PetriNet::reachability: net is not 1-safe");
+        }
+        next[p] = true;
+      }
+
+      const auto [it, inserted] = index.emplace(next, lts.num_states);
+      if (inserted) {
+        ++lts.num_states;
+        if (static_cast<std::size_t>(lts.num_states) > limit) {
+          throw std::runtime_error(
+              "PetriNet::reachability: state limit exceeded");
+        }
+        queue.push_back(std::move(next));
+      }
+      lts.edges.push_back(Lts::Edge{from, it->second, t.label});
+    }
+  }
+  return lts;
+}
+
+std::string PetriNet::to_string() const {
+  std::string s = "petri-net: " + std::to_string(num_places()) + " places, " +
+                  std::to_string(transitions_.size()) + " transitions\n";
+  for (const Transition& t : transitions_) {
+    s += "  [" + (t.label.empty() ? std::string("tau") : t.label) + "] pre={";
+    for (std::size_t i = 0; i < t.pre.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(t.pre[i]);
+    }
+    s += "} post={";
+    for (std::size_t i = 0; i < t.post.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(t.post[i]);
+    }
+    s += "}\n";
+  }
+  return s;
+}
+
+}  // namespace bb::petri

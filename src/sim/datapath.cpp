@@ -1,0 +1,507 @@
+#include "src/sim/datapath.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+
+namespace bb::sim {
+
+namespace {
+
+std::uint64_t mask_of(int width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+std::uint64_t apply_op(const std::string& op, std::uint64_t a,
+                       std::uint64_t b, int width) {
+  const std::uint64_t m = mask_of(width);
+  if (op == "add") return (a + b) & m;
+  if (op == "sub") return (a - b) & m;
+  if (op == "and") return a & b & m;
+  if (op == "or") return (a | b) & m;
+  if (op == "xor") return (a ^ b) & m;
+  if (op == "eq") return (a & m) == (b & m) ? 1 : 0;
+  if (op == "ne") return (a & m) != (b & m) ? 1 : 0;
+  if (op == "lt") return (a & m) < (b & m) ? 1 : 0;
+  if (op == "lts") {
+    const std::uint64_t sign = 1ull << (width - 1);
+    const auto ext = [&](std::uint64_t v) {
+      return static_cast<std::int64_t>((v & m) ^ sign) -
+             static_cast<std::int64_t>(sign);
+    };
+    return ext(a) < ext(b) ? 1 : 0;
+  }
+  if (op == "shl") return (a << (b & 63)) & m;
+  if (op == "shr") return ((a & m) >> (b & 63)) & m;
+  throw std::invalid_argument("datapath: unknown binary op '" + op + "'");
+}
+
+std::uint64_t apply_unop(const std::string& op, std::uint64_t a, int width) {
+  const std::uint64_t m = mask_of(width);
+  if (op == "not") return ~a & m;
+  if (op == "neg") return (~a + 1) & m;
+  throw std::invalid_argument("datapath: unknown unary op '" + op + "'");
+}
+
+/// Base class: owns the channel-net handles and a subscription list.
+class Model : public Process {
+ public:
+  const std::vector<int>& watched() const { return watched_; }
+
+ protected:
+  Model(netlist::GateNetlist& gates, DatapathContext& data,
+        const DpModels& models)
+      : gates_(gates), data_(data), models_(models) {}
+
+  ChannelNets ch(const std::string& name) {
+    return channel_nets(gates_, name);
+  }
+  void watch(int net) { watched_.push_back(net); }
+
+  DatapathContext& data() { return data_; }
+  const DpModels& models() const { return models_; }
+
+ private:
+  netlist::GateNetlist& gates_;
+  DatapathContext& data_;
+  DpModels models_;
+  std::vector<int> watched_;
+};
+
+class VariableModel : public Model {
+ public:
+  VariableModel(netlist::GateNetlist& g, DatapathContext& d,
+                const DpModels& m, const hsnet::Component& c)
+      : Model(g, d, m), mask_(mask_of(c.width > 0 ? c.width : 64)) {
+    const int writes = c.ways;  // ways = number of write ports
+    for (int i = 0; i < static_cast<int>(c.ports.size()); ++i) {
+      Port p;
+      p.name = c.ports[i];
+      p.nets = ch(c.ports[i]);
+      p.is_write = i < writes;
+      watch(p.nets.req);
+      ports_.push_back(std::move(p));
+    }
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    for (const Port& p : ports_) {
+      if (net != p.nets.req) continue;
+      if (sim.value(net)) {
+        if (p.is_write) {
+          value_ = data().get(p.name) & mask_;
+          sim.schedule(p.nets.ack, true, models().latch_ns);
+        } else {
+          data().set(p.name, value_);
+          sim.schedule(p.nets.ack, true, models().read_ns);
+        }
+      } else {
+        sim.schedule(p.nets.ack, false, models().step_ns);
+      }
+    }
+  }
+
+ private:
+  struct Port {
+    std::string name;
+    ChannelNets nets;
+    bool is_write = false;
+  };
+  std::vector<Port> ports_;
+  std::uint64_t mask_ = ~0ull;
+  std::uint64_t value_ = 0;
+};
+
+class FetchModel : public Model {
+ public:
+  FetchModel(netlist::GateNetlist& g, DatapathContext& d, const DpModels& m,
+             const hsnet::Component& c)
+      : Model(g, d, m),
+        in_name_(c.ports.at(1)),
+        out_name_(c.ports.at(2)),
+        a_(ch(c.ports.at(0))),
+        i_(ch(c.ports.at(1))),
+        o_(ch(c.ports.at(2))) {
+    watch(a_.req);
+    watch(i_.ack);
+    watch(o_.ack);
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    const double d = models().step_ns;
+    if (net == a_.req) {
+      if (sim.value(net)) {
+        sim.schedule(i_.req, true, d);
+      } else {
+        sim.schedule(a_.ack, false, models().ctl_ns);
+      }
+    } else if (net == i_.ack) {
+      if (sim.value(net)) {
+        tmp_ = data().get(in_name_);
+        sim.schedule(i_.req, false, d);
+      } else {
+        data().set(out_name_, tmp_);
+        sim.schedule(o_.req, true, d);
+      }
+    } else if (net == o_.ack) {
+      if (sim.value(net)) {
+        sim.schedule(o_.req, false, d);
+      } else {
+        sim.schedule(a_.ack, true, models().ctl_ns);
+      }
+    }
+  }
+
+ private:
+  std::string in_name_;
+  std::string out_name_;
+  ChannelNets a_, i_, o_;
+  std::uint64_t tmp_ = 0;
+};
+
+class BinaryFuncModel : public Model {
+ public:
+  BinaryFuncModel(netlist::GateNetlist& g, DatapathContext& d,
+                  const DpModels& m, const hsnet::Component& c)
+      : Model(g, d, m),
+        op_(c.op),
+        width_(c.width),
+        out_name_(c.ports.at(0)),
+        in1_name_(c.ports.at(1)),
+        in2_name_(c.ports.at(2)),
+        o_(ch(c.ports.at(0))),
+        i1_(ch(c.ports.at(1))),
+        i2_(ch(c.ports.at(2))) {
+    watch(o_.req);
+    watch(i1_.ack);
+    watch(i2_.ack);
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    const double d = models().step_ns;
+    if (net == o_.req) {
+      if (sim.value(net)) {
+        sim.schedule(i1_.req, true, d);
+        sim.schedule(i2_.req, true, d);
+      } else {
+        sim.schedule(o_.ack, false, d);
+      }
+    } else if (net == i1_.ack || net == i2_.ack) {
+      if (sim.value(net)) {
+        if (sim.value(i1_.ack) && sim.value(i2_.ack)) {
+          result_ = apply_op(op_, data().get(in1_name_), data().get(in2_name_),
+                             width_);
+          sim.schedule(i1_.req, false, d);
+          sim.schedule(i2_.req, false, d);
+        }
+      } else if (!sim.value(i1_.ack) && !sim.value(i2_.ack) &&
+                 sim.value(o_.req)) {
+        data().set(out_name_, result_);
+        sim.schedule(o_.ack, true, DpModels::func_delay_ns(op_, width_));
+      }
+    }
+  }
+
+ private:
+  std::string op_;
+  int width_;
+  std::string out_name_, in1_name_, in2_name_;
+  ChannelNets o_, i1_, i2_;
+  std::uint64_t result_ = 0;
+};
+
+class UnaryFuncModel : public Model {
+ public:
+  UnaryFuncModel(netlist::GateNetlist& g, DatapathContext& d,
+                 const DpModels& m, const hsnet::Component& c)
+      : Model(g, d, m),
+        op_(c.op),
+        width_(c.width),
+        out_name_(c.ports.at(0)),
+        in_name_(c.ports.at(1)),
+        o_(ch(c.ports.at(0))),
+        i_(ch(c.ports.at(1))) {
+    watch(o_.req);
+    watch(i_.ack);
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    const double d = models().step_ns;
+    if (net == o_.req) {
+      if (sim.value(net)) {
+        sim.schedule(i_.req, true, d);
+      } else {
+        sim.schedule(o_.ack, false, d);
+      }
+    } else if (net == i_.ack) {
+      if (sim.value(net)) {
+        result_ = apply_unop(op_, data().get(in_name_), width_);
+        sim.schedule(i_.req, false, d);
+      } else if (sim.value(o_.req)) {
+        data().set(out_name_, result_);
+        sim.schedule(o_.ack, true, DpModels::func_delay_ns(op_, width_));
+      }
+    }
+  }
+
+ private:
+  std::string op_;
+  int width_;
+  std::string out_name_, in_name_;
+  ChannelNets o_, i_;
+  std::uint64_t result_ = 0;
+};
+
+class ConstantModel : public Model {
+ public:
+  ConstantModel(netlist::GateNetlist& g, DatapathContext& d,
+                const DpModels& m, const hsnet::Component& c)
+      : Model(g, d, m),
+        value_(static_cast<std::uint64_t>(c.value)),
+        out_name_(c.ports.at(0)),
+        o_(ch(c.ports.at(0))) {
+    watch(o_.req);
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    if (net != o_.req) return;
+    if (sim.value(net)) {
+      data().set(out_name_, value_);
+      sim.schedule(o_.ack, true, models().const_ns);
+    } else {
+      sim.schedule(o_.ack, false, models().step_ns);
+    }
+  }
+
+ private:
+  std::uint64_t value_;
+  std::string out_name_;
+  ChannelNets o_;
+};
+
+class GuardModel : public Model {
+ public:
+  GuardModel(netlist::GateNetlist& g, DatapathContext& d, const DpModels& m,
+             const hsnet::Component& c)
+      : Model(g, d, m),
+        cond_name_(c.ports.at(1)),
+        cond_(ch(c.ports.at(1))),
+        ways_(std::max(c.ways, 2)),
+        boolean_(c.op != "index"),
+        labels_(c.labels),
+        default_branch_(static_cast<int>(c.value)) {
+    const std::string q = util::to_lower(c.ports.at(0));
+    query_req_ = g.net(q + "_r");
+    if (query_req_ < 0) query_req_ = g.add_net(q + "_r");
+    for (int i = 1; i <= ways_; ++i) {
+      const std::string name = q + "_a" + std::to_string(i);
+      int net = g.net(name);
+      if (net < 0) net = g.add_net(name);
+      acks_.push_back(net);
+    }
+    watch(query_req_);
+    watch(cond_.ack);
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    const double d = models().step_ns;
+    if (net == query_req_) {
+      if (sim.value(net)) {
+        sim.schedule(cond_.req, true, d);
+      } else {
+        sim.schedule(acks_.at(index_), false, models().ctl_ns);
+      }
+    } else if (net == cond_.ack) {
+      if (sim.value(net)) {
+        index_ = select(data().get(cond_name_));
+        sim.schedule(cond_.req, false, d);
+      } else {
+        sim.schedule(acks_.at(index_), true, models().ctl_ns);
+      }
+    }
+  }
+
+ private:
+  int select(std::uint64_t v) const {
+    if (boolean_) return v != 0 ? 0 : 1;
+    if (v < labels_.size()) return labels_[v];
+    return default_branch_;
+  }
+
+  std::string cond_name_;
+  ChannelNets cond_;
+  int ways_;
+  int query_req_ = -1;
+  std::vector<int> acks_;
+  int index_ = 0;
+  bool boolean_ = true;
+  std::vector<int> labels_;
+  int default_branch_ = 0;
+};
+
+class MergeModel : public Model {
+ public:
+  MergeModel(netlist::GateNetlist& g, DatapathContext& d, const DpModels& m,
+             const hsnet::Component& c)
+      : Model(g, d, m), push_(c.op != "pull"), server_name_(c.ports.back()),
+        server_(ch(c.ports.back())) {
+    for (std::size_t i = 0; i + 1 < c.ports.size(); ++i) {
+      client_names_.push_back(c.ports[i]);
+      clients_.push_back(ch(c.ports[i]));
+      watch(clients_.back().req);
+    }
+    watch(server_.ack);
+  }
+
+  void on_change(Simulator& sim, int net) override {
+    const double d = models().step_ns;
+    for (std::size_t k = 0; k < clients_.size(); ++k) {
+      if (net != clients_[k].req) continue;
+      if (sim.value(net)) {
+        active_ = static_cast<int>(k);
+        if (push_) data().set(server_name_, data().get(client_names_[k]));
+        sim.schedule(server_.req, true, d);
+      } else {
+        sim.schedule(server_.req, false, d);
+      }
+      return;
+    }
+    if (net == server_.ack && active_ >= 0) {
+      if (sim.value(net)) {
+        if (!push_) {
+          data().set(client_names_[active_], data().get(server_name_));
+        }
+        sim.schedule(clients_[active_].ack, true, d);
+      } else {
+        sim.schedule(clients_[active_].ack, false, d);
+      }
+    }
+  }
+
+ private:
+  bool push_;
+  std::string server_name_;
+  ChannelNets server_;
+  std::vector<std::string> client_names_;
+  std::vector<ChannelNets> clients_;
+  int active_ = -1;
+};
+
+}  // namespace
+
+ChannelNets channel_nets(netlist::GateNetlist& net, const std::string& name) {
+  const std::string base = util::to_lower(name);
+  ChannelNets out;
+  out.req = net.net(base + "_r");
+  if (out.req < 0) out.req = net.add_net(base + "_r");
+  out.ack = net.net(base + "_a");
+  if (out.ack < 0) out.ack = net.add_net(base + "_a");
+  return out;
+}
+
+double DpModels::func_delay_ns(const std::string& op, int width) {
+  if (op == "add" || op == "sub" || op == "neg" || op == "lts" ||
+      op == "lt") {
+    return 0.25 + 0.11 * width;  // ripple-carry chain
+  }
+  if (op == "eq" || op == "ne") {
+    return 0.30 + 0.05 * std::ceil(std::log2(std::max(width, 2)));
+  }
+  if (op == "shl" || op == "shr") return 0.10;
+  return 0.25;  // bitwise logic
+}
+
+double DpModels::func_area(const std::string& op, int width) {
+  if (op == "add" || op == "sub" || op == "neg" || op == "lts" ||
+      op == "lt") {
+    return 330.0 * width;
+  }
+  if (op == "eq" || op == "ne") return 120.0 * width;
+  if (op == "shl" || op == "shr") return 10.0 * width;
+  if (op == "not") return 55.0 * width;
+  return 73.0 * width;
+}
+
+double DpModels::variable_area(int width, int writes, int reads) {
+  return 128.0 * width + 90.0 * width * std::max(writes - 1, 0) +
+         40.0 * width * reads + 150.0;
+}
+
+double DpModels::fetch_area(int width) { return 180.0 + 8.0 * width; }
+
+double DpModels::guard_area(int ways) { return 250.0 + 60.0 * ways; }
+
+double DpModels::merge_area(int width, int ways) {
+  return 120.0 * ways + 90.0 * width * std::max(ways - 1, 0);
+}
+
+DatapathBuilder::DatapathBuilder(netlist::GateNetlist& gates,
+                                 DatapathContext& data)
+    : gates_(gates), data_(data) {}
+
+double DatapathBuilder::build(const hsnet::Component& c) {
+  std::unique_ptr<Model> model;
+  double area = 0.0;
+  switch (c.kind) {
+    case hsnet::ComponentKind::kVariable: {
+      const int writes = c.ways;
+      const int reads = static_cast<int>(c.ports.size()) - writes;
+      area = DpModels::variable_area(c.width, writes, reads);
+      model = std::make_unique<VariableModel>(gates_, data_, models_, c);
+      break;
+    }
+    case hsnet::ComponentKind::kFetch:
+      area = DpModels::fetch_area(c.width);
+      model = std::make_unique<FetchModel>(gates_, data_, models_, c);
+      break;
+    case hsnet::ComponentKind::kBinaryFunc:
+      area = DpModels::func_area(c.op, c.width);
+      model = std::make_unique<BinaryFuncModel>(gates_, data_, models_, c);
+      break;
+    case hsnet::ComponentKind::kUnaryFunc:
+      area = DpModels::func_area(c.op, c.width);
+      model = std::make_unique<UnaryFuncModel>(gates_, data_, models_, c);
+      break;
+    case hsnet::ComponentKind::kConstant:
+      area = 18.0 * std::max(c.width, 1);
+      model = std::make_unique<ConstantModel>(gates_, data_, models_, c);
+      break;
+    case hsnet::ComponentKind::kGuard:
+      area = DpModels::guard_area(std::max(c.ways, 2));
+      model = std::make_unique<GuardModel>(gates_, data_, models_, c);
+      break;
+    case hsnet::ComponentKind::kMerge:
+      area = DpModels::merge_area(c.width,
+                                  static_cast<int>(c.ports.size()) - 1);
+      model = std::make_unique<MergeModel>(gates_, data_, models_, c);
+      break;
+    default:
+      throw std::invalid_argument("DatapathBuilder: " + c.display_name() +
+                                  " is not a datapath component");
+  }
+  subscriptions_.push_back(model->watched());
+  processes_.push_back(std::move(model));
+  return area;
+}
+
+double DatapathBuilder::build_all(const hsnet::Netlist& netlist) {
+  double area = 0.0;
+  for (const int id : netlist.datapath_ids()) {
+    const auto& c = netlist.component(id);
+    if (c.kind == hsnet::ComponentKind::kMemory) continue;  // environment
+    area += build(c);
+  }
+  return area;
+}
+
+void DatapathBuilder::attach(Simulator& sim) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    for (const int net : subscriptions_[i]) {
+      sim.subscribe(net, processes_[i].get());
+    }
+    sim.add_process(processes_[i].get());
+  }
+}
+
+}  // namespace bb::sim

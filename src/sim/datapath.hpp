@@ -1,0 +1,97 @@
+// Behavioural datapath models (the "Balsa tech-mapped datapath" side of
+// Fig. 1).
+//
+// Control is simulated at gate level; datapath handshake components run as
+// behavioural processes with characterized delays and areas (see
+// DESIGN.md's substitution table).  Data values travel through a channel
+// registry rather than modelled wires; the req/ack wires are real nets so
+// control and datapath interact exactly as in the merged circuit.
+//
+// All data channels follow a pull-style four-phase protocol: the consumer
+// raises <ch>_r, the producer publishes data[<ch>] and raises <ch>_a, then
+// both return to zero.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hsnet/netlist.hpp"
+#include "src/netlist/gates.hpp"
+#include "src/sim/kernel.hpp"
+
+namespace bb::sim {
+
+/// Data carried by channels during simulation.
+struct DatapathContext {
+  std::map<std::string, std::uint64_t> data;
+
+  std::uint64_t get(const std::string& channel) const {
+    const auto it = data.find(channel);
+    return it == data.end() ? 0 : it->second;
+  }
+  void set(const std::string& channel, std::uint64_t value) {
+    data[channel] = value;
+  }
+};
+
+/// Request/acknowledge nets of a channel, created on demand with the
+/// names "<ch>_r" / "<ch>_a" so control netlists merge onto them.
+struct ChannelNets {
+  int req = -1;
+  int ack = -1;
+};
+ChannelNets channel_nets(netlist::GateNetlist& net, const std::string& name);
+
+/// Characterized delays and area models shared by all datapath models.
+struct DpModels {
+  // Handshake step delays.  Edges that feed a *controller* input must
+  // respect the controllers' one-sided timing assumption (see
+  // techmap/cells.cpp): no controller-facing response faster than
+  // ctl_ns.  Datapath-internal steps (component-to-component) are the
+  // faster latch-controller delays.
+  double step_ns = 0.30;         ///< datapath-internal handshake step
+  double ctl_ns = 0.80;          ///< controller-facing response
+  double latch_ns = 0.50;        ///< variable write
+  double read_ns = 0.40;         ///< variable read
+  double const_ns = 0.30;
+
+  static double func_delay_ns(const std::string& op, int width);
+  static double func_area(const std::string& op, int width);
+  static double variable_area(int width, int writes, int reads);
+  static double fetch_area(int width);
+  static double guard_area(int ways);
+  static double merge_area(int width, int ways);
+};
+
+/// Instantiates behavioural models for every datapath component of the
+/// handshake netlist and wires them to the gate netlist by channel name.
+/// Returns the total datapath area.
+class DatapathBuilder {
+ public:
+  DatapathBuilder(netlist::GateNetlist& gates, DatapathContext& data);
+
+  /// Builds the model for one component; returns its area.
+  double build(const hsnet::Component& component);
+
+  /// Builds everything datapath in `netlist`; returns total area.
+  double build_all(const hsnet::Netlist& netlist);
+
+  /// Registers all built processes with a simulator.
+  void attach(Simulator& sim);
+
+  const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  netlist::GateNetlist& gates_;
+  DatapathContext& data_;
+  DpModels models_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::vector<int>> subscriptions_;  // per process: nets
+};
+
+}  // namespace bb::sim

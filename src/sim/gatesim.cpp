@@ -1,0 +1,109 @@
+#include "src/sim/gatesim.hpp"
+
+#include <stdexcept>
+
+namespace bb::sim {
+
+namespace {
+using netlist::CellFn;
+using netlist::Gate;
+}  // namespace
+
+GateBinding::GateBinding(const netlist::GateNetlist& netlist)
+    : netlist_(netlist), fanout_(netlist.num_nets()) {
+  const auto& gates = netlist_.gates();
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    for (const int f : gates[g].fanins) {
+      fanout_[f].push_back(static_cast<int>(g));
+    }
+  }
+}
+
+void GateBinding::bind(Simulator& sim) {
+  for (int net = 0; net < netlist_.num_nets(); ++net) {
+    if (!fanout_[net].empty()) sim.subscribe(net, this);
+  }
+  sim.add_process(this);
+}
+
+bool GateBinding::eval(const Simulator& sim, const Gate& gate) const {
+  const auto in = [&](std::size_t i) { return sim.value(gate.fanins[i]); };
+  switch (gate.fn) {
+    case CellFn::kInv:
+      return !in(0);
+    case CellFn::kBuf:
+      return in(0);
+    case CellFn::kAnd:
+    case CellFn::kNand: {
+      bool v = true;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) v = v && in(i);
+      return gate.fn == CellFn::kAnd ? v : !v;
+    }
+    case CellFn::kOr:
+    case CellFn::kNor: {
+      bool v = false;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) v = v || in(i);
+      return gate.fn == CellFn::kOr ? v : !v;
+    }
+    case CellFn::kXor: {
+      bool v = false;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) v = v != in(i);
+      return v;
+    }
+    case CellFn::kCelem: {
+      const bool first = in(0);
+      for (std::size_t i = 1; i < gate.fanins.size(); ++i) {
+        if (in(i) != first) return sim.value(gate.output);  // hold
+      }
+      return first;
+    }
+    case CellFn::kConst0:
+      return false;
+    case CellFn::kConst1:
+      return true;
+  }
+  return false;
+}
+
+void GateBinding::on_change(Simulator& sim, int net) {
+  for (const int g : fanout_[net]) {
+    const Gate& gate = netlist_.gates()[g];
+    sim.schedule(gate.output, eval(sim, gate), gate.delay_ns);
+  }
+}
+
+void GateBinding::settle_initial(Simulator& sim,
+                                 const std::vector<int>& clamped) const {
+  std::vector<bool> is_clamped(netlist_.num_nets(), false);
+  for (const int net : clamped) is_clamped.at(net) = true;
+
+  bool settled = false;
+  for (int pass = 0; pass < 1000 && !settled; ++pass) {
+    settled = true;
+    for (const Gate& gate : netlist_.gates()) {
+      if (is_clamped[gate.output]) continue;
+      const bool v = eval(sim, gate);
+      if (sim.value(gate.output) != v) {
+        sim.set_initial(gate.output, v);
+        settled = false;
+      }
+    }
+  }
+  if (!settled) {
+    throw std::runtime_error(
+        "GateBinding: no stable initial assignment (oscillating loop)");
+  }
+  // The clamped nets must be reproduced by their drivers: the seeded
+  // state is a stable point of the feedback logic.
+  for (const Gate& gate : netlist_.gates()) {
+    if (!is_clamped[gate.output]) continue;
+    if (eval(sim, gate) != sim.value(gate.output)) {
+      throw std::runtime_error(
+          "GateBinding: seeded value on net '" +
+          netlist_.net_name(gate.output) +
+          "' is not stable under the feedback logic");
+    }
+  }
+}
+
+}  // namespace bb::sim

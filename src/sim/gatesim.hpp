@@ -1,0 +1,35 @@
+// Gate-level binding: evaluates a GateNetlist inside the event kernel.
+#pragma once
+
+#include "src/netlist/gates.hpp"
+#include "src/sim/kernel.hpp"
+
+namespace bb::sim {
+
+class GateBinding : public Process {
+ public:
+  /// The netlist must outlive the binding.
+  explicit GateBinding(const netlist::GateNetlist& netlist);
+
+  /// Subscribes every gate to its fanin nets.
+  void bind(Simulator& sim);
+
+  /// Computes a consistent initial assignment by iterating gate
+  /// evaluation to a fixpoint.  Call after seeding primary inputs and
+  /// state-bit nets with set_initial; pass the seeded feedback nets as
+  /// `clamped` so the iteration cannot stomp them before their drivers
+  /// settle.  Throws if no fixpoint is reached or if the released clamps
+  /// are inconsistent with the seeded values.
+  void settle_initial(Simulator& sim,
+                      const std::vector<int>& clamped = {}) const;
+
+  void on_change(Simulator& sim, int net) override;
+
+ private:
+  bool eval(const Simulator& sim, const netlist::Gate& gate) const;
+
+  const netlist::GateNetlist& netlist_;
+  std::vector<std::vector<int>> fanout_;  // net id -> gate indices
+};
+
+}  // namespace bb::sim

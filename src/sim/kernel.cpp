@@ -1,0 +1,86 @@
+#include "src/sim/kernel.hpp"
+
+#include <stdexcept>
+
+namespace bb::sim {
+
+Simulator::Simulator(int num_nets)
+    : values_(num_nets, false),
+      pending_seq_(num_nets, 0),
+      pending_value_(num_nets, false),
+      has_pending_(num_nets, false),
+      subscribers_(num_nets) {}
+
+void Simulator::set_initial(int net, bool value) { values_.at(net) = value; }
+
+void Simulator::schedule(int net, bool value, double delay_ns) {
+  if (delay_ns < 0) throw std::invalid_argument("schedule: negative delay");
+  if (has_pending_[net]) {
+    if (pending_value_[net] == value) return;  // already on its way
+    // Contradicted pending transition: cancel it (inertial filtering).
+    has_pending_[net] = false;
+    if (values_[net] == value) return;  // glitch swallowed entirely
+  } else if (values_[net] == value) {
+    return;  // no change needed
+  }
+  const std::uint64_t token = ++seq_;
+  pending_seq_[net] = token;
+  pending_value_[net] = value;
+  has_pending_[net] = true;
+  queue_.push(NetEvent{now_ + delay_ns, token, net, value});
+}
+
+void Simulator::subscribe(int net, Process* process) {
+  subscribers_.at(net).push_back(process);
+}
+
+void Simulator::call_at(double delay_ns, std::function<void()> fn) {
+  callbacks_.push(Callback{now_ + delay_ns, ++seq_, std::move(fn)});
+}
+
+void Simulator::add_process(Process* process) {
+  processes_.push_back(process);
+  if (started_) process->start(*this);
+}
+
+void Simulator::apply(int net, bool value) {
+  if (values_[net] == value) return;
+  values_[net] = value;
+  for (Process* p : subscribers_[net]) p->on_change(*this, net);
+}
+
+bool Simulator::run(double max_time_ns, std::uint64_t max_events) {
+  if (!started_) {
+    started_ = true;
+    for (Process* p : processes_) p->start(*this);
+  }
+  while (!queue_.empty() || !callbacks_.empty()) {
+    if (++events_ > max_events) return false;
+
+    const double net_time =
+        queue_.empty() ? 1e300 : queue_.top().time;
+    const double cb_time =
+        callbacks_.empty() ? 1e300 : callbacks_.top().time;
+    const double t = std::min(net_time, cb_time);
+    if (t > max_time_ns) return false;
+
+    if (cb_time <= net_time) {
+      Callback cb = callbacks_.top();
+      callbacks_.pop();
+      now_ = cb.time;
+      cb.fn();
+      continue;
+    }
+
+    const NetEvent ev = queue_.top();
+    queue_.pop();
+    // Skip stale events (replaced or cancelled).
+    if (!has_pending_[ev.net] || pending_seq_[ev.net] != ev.seq) continue;
+    now_ = ev.time;
+    has_pending_[ev.net] = false;
+    apply(ev.net, ev.value);
+  }
+  return true;
+}
+
+}  // namespace bb::sim

@@ -1,0 +1,86 @@
+#include "src/techmap/cells.hpp"
+
+#include <stdexcept>
+
+namespace bb::techmap {
+
+namespace {
+
+using netlist::CellFn;
+
+CellLibrary build_ams035() {
+  std::vector<Cell> cells;
+  const auto add = [&cells](std::string name, CellFn fn, int fanin,
+                            double area, double delay) {
+    cells.push_back(Cell{std::move(name), fn, fanin, area, delay});
+  };
+  add("INV", CellFn::kInv, 1, 55, 0.07);
+  add("BUF", CellFn::kBuf, 1, 73, 0.12);
+  // Feedback delay element for Huffman-style state bits: its delay must
+  // exceed the worst-case literal-path skew through the decomposed AND
+  // trees so feedback changes never race the input burst (fundamental
+  // mode inside the controller).
+  add("DEL", CellFn::kBuf, 1, 91, 0.25);
+  // Output-commit delay: controller outputs become visible only after the
+  // state handoff is safely underway, so even a fast peer cannot inject
+  // the next input burst before the feedback commits (one-sided timing
+  // assumption of Huffman/Burst-Mode implementations, realised
+  // structurally).
+  add("DOUT", CellFn::kBuf, 1, 91, 0.50);
+  add("NAND2", CellFn::kNand, 2, 73, 0.10);
+  add("NAND3", CellFn::kNand, 3, 91, 0.13);
+  add("NAND4", CellFn::kNand, 4, 110, 0.16);
+  add("NOR2", CellFn::kNor, 2, 73, 0.12);
+  add("NOR3", CellFn::kNor, 3, 91, 0.16);
+  add("AND2", CellFn::kAnd, 2, 91, 0.15);
+  add("AND3", CellFn::kAnd, 3, 110, 0.18);
+  add("AND4", CellFn::kAnd, 4, 128, 0.21);
+  add("OR2", CellFn::kOr, 2, 91, 0.16);
+  add("OR3", CellFn::kOr, 3, 110, 0.20);
+  add("OR4", CellFn::kOr, 4, 128, 0.24);
+  add("XOR2", CellFn::kXor, 2, 128, 0.18);
+  add("C2", CellFn::kCelem, 2, 182, 0.20);
+  add("C3", CellFn::kCelem, 3, 225, 0.26);
+  add("TIE0", CellFn::kConst0, 0, 18, 0.0);
+  add("TIE1", CellFn::kConst1, 0, 18, 0.0);
+  return CellLibrary(std::move(cells));
+}
+
+}  // namespace
+
+const CellLibrary& CellLibrary::ams035() {
+  static const CellLibrary lib = build_ams035();
+  return lib;
+}
+
+const Cell& CellLibrary::pick(netlist::CellFn fn, int fanin) const {
+  const Cell* best = nullptr;
+  for (const Cell& c : cells_) {
+    if (c.fn != fn || c.fanin < fanin) continue;
+    if (best == nullptr || c.fanin < best->fanin) best = &c;
+  }
+  if (best == nullptr) {
+    throw std::out_of_range(std::string("CellLibrary: no cell for ") +
+                            std::string(netlist::fn_name(fn)) + "/" +
+                            std::to_string(fanin));
+  }
+  return *best;
+}
+
+const Cell& CellLibrary::by_name(std::string_view name) const {
+  for (const Cell& c : cells_) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("CellLibrary: no cell named '" +
+                          std::string(name) + "'");
+}
+
+int CellLibrary::max_fanin(netlist::CellFn fn) const {
+  int best = 0;
+  for (const Cell& c : cells_) {
+    if (c.fn == fn && c.fanin > best) best = c.fanin;
+  }
+  return best;
+}
+
+}  // namespace bb::techmap

@@ -1,0 +1,47 @@
+// Standard-cell library (Synopsys + AMS 0.35um substitute).
+//
+// Areas are in um^2 and pin-to-pin delays in ns, chosen with realistic
+// relative ratios for a 0.35um process.  The same library is used for the
+// unoptimized and the optimized flows, so relative speed/area comparisons
+// (Table 3) are meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/gates.hpp"
+
+namespace bb::techmap {
+
+struct Cell {
+  std::string name;
+  netlist::CellFn fn = netlist::CellFn::kBuf;
+  int fanin = 1;
+  double area = 0.0;      // um^2
+  double delay_ns = 0.0;  // pin-to-output
+};
+
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+  explicit CellLibrary(std::vector<Cell> cells) : cells_(std::move(cells)) {}
+
+  /// The default 0.35um-flavoured library.
+  static const CellLibrary& ams035();
+
+  /// Cell for a function class and fanin count (throws if unavailable).
+  const Cell& pick(netlist::CellFn fn, int fanin) const;
+
+  /// Cell by library name (throws if unknown).
+  const Cell& by_name(std::string_view name) const;
+
+  /// Largest available fanin for a function class (0 if none).
+  int max_fanin(netlist::CellFn fn) const;
+
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+}  // namespace bb::techmap

@@ -1,0 +1,205 @@
+#include "src/techmap/map.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace bb::techmap {
+
+namespace {
+
+using netlist::CellFn;
+using netlist::GateNetlist;
+
+/// Builds wide logic trees out of bounded-fanin cells, using only
+/// hazard-non-increasing decompositions (associativity of AND/OR,
+/// De Morgan for the NAND top level).
+class Mapper {
+ public:
+  Mapper(GateNetlist& net, const CellLibrary& lib) : net_(net), lib_(lib) {}
+
+  int emit(CellFn fn, const std::vector<int>& fanins, int target = -1) {
+    const Cell& cell = lib_.pick(fn, static_cast<int>(fanins.size()));
+    return net_.add_gate(cell.name, cell.fn, fanins, cell.delay_ns, cell.area,
+                         target);
+  }
+
+  /// n-ary AND as a tree of AND cells.
+  int and_tree(std::vector<int> nets, int target = -1) {
+    return reduce(CellFn::kAnd, std::move(nets), target);
+  }
+
+  /// n-ary OR as a tree of OR cells.
+  int or_tree(std::vector<int> nets, int target = -1) {
+    return reduce(CellFn::kOr, std::move(nets), target);
+  }
+
+  /// n-ary NAND: groups of inputs collapse through AND subtrees first
+  /// (associativity), then a single NAND at the top.
+  int nand_of(std::vector<int> nets, int target = -1) {
+    if (nets.size() == 1) {
+      const Cell& inv = lib_.pick(CellFn::kInv, 1);
+      return net_.add_gate(inv.name, inv.fn, nets, inv.delay_ns, inv.area,
+                           target);
+    }
+    const int max = lib_.max_fanin(CellFn::kNand);
+    while (static_cast<int>(nets.size()) > max) {
+      // Collapse the first `max` inputs into one AND subtree.
+      std::vector<int> group(nets.begin(), nets.begin() + max);
+      nets.erase(nets.begin(), nets.begin() + max);
+      nets.insert(nets.begin(), and_tree(std::move(group)));
+    }
+    return emit(CellFn::kNand, nets, target);
+  }
+
+ private:
+  int reduce(CellFn fn, std::vector<int> nets, int target) {
+    if (nets.size() == 1) {
+      if (target < 0) return nets[0];
+      const Cell& buf = lib_.pick(CellFn::kBuf, 1);
+      return net_.add_gate(buf.name, buf.fn, nets, buf.delay_ns, buf.area,
+                           target);
+    }
+    const int max = lib_.max_fanin(fn);
+    while (static_cast<int>(nets.size()) > max) {
+      std::vector<int> group(nets.begin(), nets.begin() + max);
+      nets.erase(nets.begin(), nets.begin() + max);
+      nets.push_back(emit(fn, group));
+    }
+    return emit(fn, nets, target);
+  }
+
+  GateNetlist& net_;
+  const CellLibrary& lib_;
+};
+
+}  // namespace
+
+netlist::GateNetlist map_controller(
+    const minimalist::SynthesizedController& ctrl, const CellLibrary& lib,
+    const MapOptions& options, const std::string& prefix) {
+  GateNetlist net(prefix);
+  Mapper mapper(net, lib);
+
+  // Variable nets: inputs by signal name, state bits prefixed.
+  std::vector<int> var_net(ctrl.num_vars, -1);
+  for (std::size_t i = 0; i < ctrl.inputs.size(); ++i) {
+    var_net[i] = net.add_net(ctrl.inputs[i]);
+    net.mark_input(var_net[i]);
+  }
+  for (std::size_t s = 0; s < ctrl.state_bits.size(); ++s) {
+    var_net[ctrl.inputs.size() + s] =
+        net.add_net(prefix + "/" + ctrl.state_bits[s]);
+  }
+
+  // Output nets by signal name.
+  std::vector<int> out_net(ctrl.outputs.size());
+  for (std::size_t z = 0; z < ctrl.outputs.size(); ++z) {
+    out_net[z] = net.add_net(ctrl.outputs[z]);
+  }
+
+  // Shared literal inverters.
+  std::vector<int> inv_net(ctrl.num_vars, -1);
+  // Whole-cone mapping may share identical product terms across functions
+  // (impossible when each level of each function is mapped in isolation).
+  std::map<std::string, int> product_cache;
+  const auto literal = [&](std::size_t v, logic::Lit lit) {
+    if (lit == logic::Lit::kOne) return var_net[v];
+    if (inv_net[v] < 0) {
+      inv_net[v] = mapper.emit(CellFn::kInv, {var_net[v]});
+    }
+    return inv_net[v];
+  };
+
+  for (std::size_t fi = 0; fi < ctrl.functions.size(); ++fi) {
+    const auto& f = ctrl.functions[fi];
+    int target;
+    if (fi < ctrl.outputs.size()) {
+      // Outputs pass through an output-commit delay (see cells.cpp).
+      const Cell& dout = lib.by_name("DOUT");
+      target = net.add_net();
+      net.add_gate(dout.name, dout.fn, {target}, dout.delay_ns, dout.area,
+                   out_net[fi]);
+    } else {
+      // State-bit feedback runs through an explicit delay element so the
+      // state change can never race the input burst through unequal
+      // literal paths (Huffman fundamental-mode discipline).
+      const int feedback =
+          var_net[ctrl.inputs.size() + (fi - ctrl.outputs.size())];
+      const Cell& del = lib.by_name("DEL");
+      target = net.add_net();
+      net.add_gate(del.name, del.fn, {target}, del.delay_ns, del.area,
+                   feedback);
+    }
+
+    if (f.products.empty()) {
+      mapper.emit(CellFn::kConst0, {}, target);
+      continue;
+    }
+
+    // Gather literal nets per product.
+    std::vector<std::vector<int>> product_lits;
+    bool constant_one = false;
+    for (const auto& cube : f.products.cubes()) {
+      std::vector<int> lits;
+      for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
+        if (cube[v] != logic::Lit::kDash) lits.push_back(literal(v, cube[v]));
+      }
+      if (lits.empty()) constant_one = true;
+      product_lits.push_back(std::move(lits));
+    }
+    if (constant_one) {
+      mapper.emit(CellFn::kConst1, {}, target);
+      continue;
+    }
+
+    if (options.level_separated) {
+      // Level 1: one NAND plane per product; level 2: NAND of products.
+      // Mapped independently, as the paper's per-module DC runs are.
+      std::vector<int> plane;
+      plane.reserve(product_lits.size());
+      for (auto& lits : product_lits) {
+        plane.push_back(mapper.nand_of(std::move(lits)));
+      }
+      mapper.nand_of(std::move(plane), target);
+    } else {
+      // Whole-cone mapping: NAND-NAND with the cross-level
+      // simplifications the paper's per-level flow forbids: a
+      // single-literal product feeds the output NAND as the complementary
+      // literal (absorbing its first-level inverter), and a single-product
+      // function collapses to an AND/buffer instead of NAND+INV pairs.
+      if (product_lits.size() == 1) {
+        mapper.and_tree(std::move(product_lits[0]), target);
+      } else {
+        std::vector<int> plane;
+        plane.reserve(product_lits.size());
+        for (std::size_t p = 0; p < product_lits.size(); ++p) {
+          if (product_lits[p].size() == 1) {
+            // NAND(lit) == the complementary literal; reuse it directly.
+            const auto& cube = f.products.cubes()[p];
+            for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
+              if (cube[v] == logic::Lit::kDash) continue;
+              plane.push_back(literal(v, cube[v] == logic::Lit::kOne
+                                             ? logic::Lit::kZero
+                                             : logic::Lit::kOne));
+              break;
+            }
+          } else {
+            const std::string key = f.products.cubes()[p].to_string();
+            const auto it = product_cache.find(key);
+            if (it != product_cache.end()) {
+              plane.push_back(it->second);
+            } else {
+              const int pnet = mapper.nand_of(std::move(product_lits[p]));
+              product_cache.emplace(key, pnet);
+              plane.push_back(pnet);
+            }
+          }
+        }
+        mapper.nand_of(std::move(plane), target);
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace bb::techmap

@@ -1,0 +1,36 @@
+// Technology mapping of synthesized two-level controllers (Section 5).
+//
+// The paper's flow models the two-level nand-nand implementation as
+// separate Verilog modules per logic level and maps each level in
+// isolation with hazard-non-increasing transforms only (De Morgan,
+// associativity, factoring per Kung [18]).  `level_separated = true`
+// reproduces that: products and the output plane are mapped to NAND trees
+// independently, so cross-level simplifications (e.g. NAND+INV -> AND)
+// are forbidden, costing area exactly as Section 6 discusses.
+// `level_separated = false` maps the whole cone (used for the baseline
+// component templates and the ablation study).
+#pragma once
+
+#include <string>
+
+#include "src/minimalist/synth.hpp"
+#include "src/netlist/gates.hpp"
+#include "src/techmap/cells.hpp"
+
+namespace bb::techmap {
+
+struct MapOptions {
+  bool level_separated = true;
+};
+
+/// Maps a controller into gates.
+///
+/// Net naming: the controller's input and output wires keep their signal
+/// names (so controllers and datapath models merge by name); internal nets
+/// (literal inverters, products, state bits) are prefixed with
+/// "<prefix>/".  State-bit nets feed back combinationally.
+netlist::GateNetlist map_controller(
+    const minimalist::SynthesizedController& ctrl, const CellLibrary& lib,
+    const MapOptions& options, const std::string& prefix);
+
+}  // namespace bb::techmap

@@ -1,0 +1,205 @@
+#include "src/techmap/templates.hpp"
+
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+
+namespace bb::techmap {
+
+namespace {
+
+using hsnet::Component;
+using hsnet::ComponentKind;
+using netlist::CellFn;
+using netlist::GateNetlist;
+
+/// Helper wrapping a netlist with channel-wire access and cell emission.
+class Builder {
+ public:
+  Builder(GateNetlist& net, const CellLibrary& lib) : net_(net), lib_(lib) {}
+
+  int req(const std::string& channel) {
+    return wire(util::to_lower(channel) + "_r");
+  }
+  int ack(const std::string& channel) {
+    return wire(util::to_lower(channel) + "_a");
+  }
+
+  int cell(const std::string& name, std::vector<int> fanins,
+           int target = -1) {
+    const Cell& c = lib_.by_name(name);
+    return net_.add_gate(c.name, c.fn, std::move(fanins), c.delay_ns, c.area,
+                         target);
+  }
+
+  int emit(CellFn fn, std::vector<int> fanins, int target = -1) {
+    const Cell& c = lib_.pick(fn, static_cast<int>(fanins.size()));
+    return net_.add_gate(c.name, c.fn, std::move(fanins), c.delay_ns, c.area,
+                         target);
+  }
+
+  /// Output-commit delay onto a named output net.
+  void commit(int from, int target) { cell("DOUT", {from}, target); }
+
+  /// C-element tree over any number of inputs.
+  int c_tree(std::vector<int> nets) {
+    const int max = lib_.max_fanin(CellFn::kCelem);
+    while (static_cast<int>(nets.size()) > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i < nets.size(); i += max) {
+        const std::size_t end = std::min(nets.size(), i + max);
+        std::vector<int> group(nets.begin() + i, nets.begin() + end);
+        next.push_back(group.size() == 1 ? group[0]
+                                         : emit(CellFn::kCelem, group));
+      }
+      nets = std::move(next);
+    }
+    return nets[0];
+  }
+
+  /// OR tree.
+  int or_tree(std::vector<int> nets) {
+    const int max = lib_.max_fanin(CellFn::kOr);
+    while (static_cast<int>(nets.size()) > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i < nets.size(); i += max) {
+        const std::size_t end = std::min(nets.size(), i + max);
+        std::vector<int> group(nets.begin() + i, nets.begin() + end);
+        next.push_back(group.size() == 1 ? group[0]
+                                         : emit(CellFn::kOr, group));
+      }
+      nets = std::move(next);
+    }
+    return nets[0];
+  }
+
+  /// The S-element: passive (p_r, returns p_a net) wrapping one complete
+  /// active handshake on (b_r target, b_a).  Returns the p_a-logic net
+  /// (before any commit delay).
+  ///   s   = C(p_r, b_a)
+  ///   b_r = p_r AND NOT s     (committed onto `b_req_target`)
+  ///   p_a = s AND NOT b_a
+  int s_element(int p_req, const std::string& b_channel) {
+    const int b_ack = ack(b_channel);
+    const int s = emit(CellFn::kCelem, {p_req, b_ack});
+    const int ns = emit(CellFn::kInv, {s});
+    const int br_logic = emit(CellFn::kAnd, {p_req, ns});
+    commit(br_logic, req(b_channel));
+    const int nba = emit(CellFn::kInv, {b_ack});
+    return emit(CellFn::kAnd, {s, nba});
+  }
+
+ private:
+  int wire(const std::string& name) {
+    const int existing = net_.net(name);
+    return existing >= 0 ? existing : net_.add_net(name);
+  }
+
+  GateNetlist& net_;
+  const CellLibrary& lib_;
+};
+
+}  // namespace
+
+bool has_template(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kContinue:
+    case ComponentKind::kLoop:
+    case ComponentKind::kSequence:
+    case ComponentKind::kConcur:
+    case ComponentKind::kCall:
+    case ComponentKind::kSynch:
+    case ComponentKind::kPassivator:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<GateNetlist> template_circuit(const Component& comp,
+                                            const CellLibrary& lib) {
+  if (!has_template(comp.kind)) return std::nullopt;
+
+  GateNetlist net(comp.display_name());
+  Builder b(net, lib);
+
+  switch (comp.kind) {
+    case ComponentKind::kContinue: {
+      // a_a follows a_r directly.
+      b.commit(b.req(comp.ports.at(0)), b.ack(comp.ports.at(0)));
+      break;
+    }
+    case ComponentKind::kLoop: {
+      // b_r = a_r AND NOT b_a; the activation is never acknowledged.
+      const int a_r = b.req(comp.ports.at(0));
+      const int b_a = b.ack(comp.ports.at(1));
+      const int n = b.emit(CellFn::kInv, {b_a});
+      const int logic = b.emit(CellFn::kAnd, {a_r, n});
+      b.commit(logic, b.req(comp.ports.at(1)));
+      b.emit(CellFn::kConst0, {}, b.ack(comp.ports.at(0)));
+      break;
+    }
+    case ComponentKind::kSequence: {
+      // A chain of S-elements: each wraps one branch handshake; the
+      // completion of branch k starts branch k+1; the last completion
+      // acknowledges the activation.
+      int link = b.req(comp.ports.at(0));
+      for (std::size_t k = 1; k < comp.ports.size(); ++k) {
+        link = b.s_element(link, comp.ports[k]);
+      }
+      b.commit(link, b.ack(comp.ports.at(0)));
+      break;
+    }
+    case ComponentKind::kConcur: {
+      // Fork the request; join the acknowledges with a C-element tree.
+      const int a_r = b.req(comp.ports.at(0));
+      std::vector<int> acks;
+      for (std::size_t k = 1; k < comp.ports.size(); ++k) {
+        b.commit(a_r, b.req(comp.ports[k]));
+        acks.push_back(b.ack(comp.ports[k]));
+      }
+      b.commit(b.c_tree(std::move(acks)), b.ack(comp.ports.at(0)));
+      break;
+    }
+    case ComponentKind::kCall: {
+      // b_r = OR of client requests; each client ack = its request AND
+      // the shared acknowledge (clients are mutually exclusive).
+      std::vector<int> reqs;
+      for (std::size_t k = 0; k + 1 < comp.ports.size(); ++k) {
+        reqs.push_back(b.req(comp.ports[k]));
+      }
+      b.commit(b.or_tree(std::move(reqs)), b.req(comp.ports.back()));
+      const int b_a = b.ack(comp.ports.back());
+      for (std::size_t k = 0; k + 1 < comp.ports.size(); ++k) {
+        const int logic = b.emit(CellFn::kAnd, {b.req(comp.ports[k]), b_a});
+        b.commit(logic, b.ack(comp.ports[k]));
+      }
+      break;
+    }
+    case ComponentKind::kSynch: {
+      // o_r = C of all input requests; every input ack mirrors o_a.
+      std::vector<int> reqs;
+      for (std::size_t k = 0; k + 1 < comp.ports.size(); ++k) {
+        reqs.push_back(b.req(comp.ports[k]));
+      }
+      b.commit(b.c_tree(std::move(reqs)), b.req(comp.ports.back()));
+      const int o_a = b.ack(comp.ports.back());
+      for (std::size_t k = 0; k + 1 < comp.ports.size(); ++k) {
+        b.commit(o_a, b.ack(comp.ports[k]));
+      }
+      break;
+    }
+    case ComponentKind::kPassivator: {
+      const int c = b.emit(CellFn::kCelem, {b.req(comp.ports.at(0)),
+                                            b.req(comp.ports.at(1))});
+      b.commit(c, b.ack(comp.ports.at(0)));
+      b.commit(c, b.ack(comp.ports.at(1)));
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return net;
+}
+
+}  // namespace bb::techmap

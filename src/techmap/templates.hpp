@@ -1,0 +1,34 @@
+// Hand-optimized gate templates for the standard control handshake
+// components (the Balsa component library stand-in).
+//
+// These are the classic speed-independent circuits: Loop as a request
+// gater, Sequence as a chain of S-elements, Concur/Synch as C-element
+// trees, Call as an OR/AND merge, Passivator as a C-element.  They are the
+// *unoptimized baseline* of Table 3: compact, manually designed
+// implementations that keep every internal channel's handshake overhead.
+//
+// Every externally visible output runs through the same output-commit
+// delay as synthesized controllers (cells.cpp "DOUT"), giving the whole
+// system one uniform environment-response bound.
+//
+// Components with data-dependent control (While, Case, DecisionWait) have
+// no template here; the baseline flow synthesizes those in area mode.
+#pragma once
+
+#include <optional>
+
+#include "src/hsnet/component.hpp"
+#include "src/netlist/gates.hpp"
+#include "src/techmap/cells.hpp"
+
+namespace bb::techmap {
+
+/// True if a hand template exists for this component kind.
+bool has_template(hsnet::ComponentKind kind);
+
+/// Builds the template circuit (channel wires named "<ch>_r"/"<ch>_a").
+/// Returns nullopt when no template exists.
+std::optional<netlist::GateNetlist> template_circuit(
+    const hsnet::Component& component, const CellLibrary& lib);
+
+}  // namespace bb::techmap

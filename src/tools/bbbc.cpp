@@ -1,0 +1,152 @@
+// bbbc — the Balsa Burst-Mode Back-end Compiler driver.
+//
+// Runs any stage of the Fig. 1 flow on a mini-Balsa source file or one of
+// the built-in evaluation designs:
+//
+//   bbbc netlist  <file|design>   handshake-component netlist (balsa-c out)
+//   bbbc ch       <file|design>   CH programs before and after clustering
+//   bbbc bms      <file|design>   Burst-Mode specs of the final controllers
+//   bbbc sol      <file|design>   synthesized two-level logic (.sol style)
+//   bbbc verilog  <file|design>   mapped control netlist, structural Verilog
+//   bbbc report   <file|design>   controller/area report for both flows
+//   bbbc bench    <design>        run the design's Table 3 benchmark row
+//
+// Options: --unoptimized (template baseline instead of the clustered
+// back-end), --max-states N.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/balsa/compile.hpp"
+#include "src/bm/compile.hpp"
+#include "src/ch/printer.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/benchmarks.hpp"
+#include "src/flow/flow.hpp"
+#include "src/hsnet/to_ch.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/opt/cluster.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: bbbc <netlist|ch|bms|sol|verilog|report|bench> "
+         "<file.balsa|design> [--unoptimized] [--max-states N]\n"
+         "built-in designs: systolic wagging stack ssem\n";
+  std::exit(2);
+}
+
+std::string load_source(const std::string& arg) {
+  for (const auto* d : bb::designs::all_designs()) {
+    if (d->name == arg) return d->source;
+  }
+  std::ifstream file(arg);
+  if (!file) {
+    std::cerr << "bbbc: cannot open '" << arg
+              << "' (and it is not a built-in design)\n";
+    std::exit(1);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string command = argv[1];
+  const std::string target = argv[2];
+
+  bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--unoptimized") {
+      options = bb::flow::FlowOptions::unoptimized();
+    } else if (flag == "--max-states" && i + 1 < argc) {
+      options.max_states = std::stoi(argv[++i]);
+    } else {
+      usage();
+    }
+  }
+
+  try {
+    if (command == "bench") {
+      const auto row = bb::flow::run_table3_row(target);
+      std::cout << row.title << "\n  unoptimized: " << row.unoptimized.time_ns
+                << " ns, area " << row.unoptimized.total_area << " ("
+                << row.unoptimized.detail << ")\n  optimized:   "
+                << row.optimized.time_ns << " ns, area "
+                << row.optimized.total_area << " (" << row.optimized.detail
+                << ")\n  improvement " << row.speed_improvement_pct
+                << " %, area overhead " << row.area_overhead_pct << " %\n";
+      return row.unoptimized.ok && row.optimized.ok ? 0 : 1;
+    }
+
+    const auto net = bb::balsa::compile_source(load_source(target));
+
+    if (command == "netlist") {
+      std::cout << net.to_string();
+      return 0;
+    }
+    if (command == "ch") {
+      std::cout << "-- CH programs (Balsa-to-CH):\n";
+      auto programs = bb::hsnet::control_programs(net);
+      for (const auto& p : programs) {
+        std::cout << p.name << ":\n"
+                  << bb::ch::to_pretty_string(*p.body, 1) << "\n";
+      }
+      bb::opt::ClusterOptions copts;
+      copts.max_states = options.max_states;
+      bb::opt::ClusterStats stats;
+      const auto clustered =
+          bb::opt::optimize(std::move(programs), copts, &stats);
+      std::cout << "\n-- after clustering (" << clustered.size()
+                << " controllers):\n";
+      for (const auto& line : stats.log) std::cout << "   " << line << "\n";
+      for (const auto& c : clustered) {
+        std::cout << c.program.name << ":\n"
+                  << bb::ch::to_pretty_string(*c.program.body, 1) << "\n";
+      }
+      return 0;
+    }
+    if (command == "bms" || command == "sol") {
+      bb::opt::ClusterOptions copts;
+      copts.max_states = options.max_states;
+      auto clustered = options.cluster
+                           ? bb::opt::optimize(
+                                 bb::hsnet::control_programs(net), copts,
+                                 nullptr)
+                           : bb::opt::wrap(bb::hsnet::control_programs(net));
+      for (const auto& c : clustered) {
+        const auto spec = bb::bm::compile(*c.program.body, c.program.name);
+        if (command == "bms") {
+          std::cout << spec.to_bms() << "\n";
+        } else {
+          std::cout << bb::minimalist::synthesize(spec, options.mode).to_sol()
+                    << "\n";
+        }
+      }
+      return 0;
+    }
+    if (command == "verilog" || command == "report") {
+      const auto result = bb::flow::synthesize_control(net, options);
+      if (command == "verilog") {
+        std::cout << bb::netlist::to_verilog(result.gates);
+      } else {
+        std::cout << bb::flow::report(result);
+        for (const auto& line : result.cluster_stats.log) {
+          std::cout << "  " << line << "\n";
+        }
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bbbc: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,44 @@
+// Trace structures (AVER substitute, Section 4.3).
+//
+// The paper checks "conformation equivalence" between the composed+hidden
+// behaviour of two controllers and the clustered controller, using Dill's
+// trace theory.  For these closed, choice-deterministic controllers that
+// check reduces to equality of the prefix-closed trace languages, which we
+// decide by tau-eliminating determinization (subset construction) and a
+// product-automaton walk.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/petri/net.hpp"
+
+namespace bb::trace {
+
+/// A deterministic automaton over signal-edge labels.  Every state is
+/// accepting (safety/prefix-closed languages); a missing edge rejects.
+struct Dfa {
+  int num_states = 0;
+  int initial = 0;
+  std::map<std::pair<int, std::string>, int> delta;
+
+  /// All labels leaving `state`.
+  std::vector<std::string> labels_from(int state) const;
+};
+
+/// Subset construction with tau-closure over an LTS.
+Dfa determinize(const petri::Lts& lts);
+
+/// True if every trace of `b` is a trace of `a` (L(b) subset of L(a)).
+/// This is the safety half of trace-theory conformance.
+bool language_contains(const Dfa& a, const Dfa& b);
+
+/// Conformation equivalence: mutual containment.
+bool language_equivalent(const Dfa& a, const Dfa& b);
+
+/// A counterexample trace in L(b) \ L(a), empty when contained.
+std::vector<std::string> containment_counterexample(const Dfa& a,
+                                                    const Dfa& b);
+
+}  // namespace bb::trace

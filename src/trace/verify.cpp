@@ -1,0 +1,34 @@
+#include "src/trace/verify.hpp"
+
+#include "src/petri/from_ch.hpp"
+#include "src/util/strings.hpp"
+
+namespace bb::trace {
+
+std::string hide_prefix(const std::string& channel) {
+  return util::to_lower(channel) + "_";
+}
+
+VerifyResult verify_clustering(const ch::Expr& x, const ch::Expr& y,
+                               const std::string& channel,
+                               const ch::Expr& clustered) {
+  petri::PetriNet nx = petri::from_ch(x);
+  petri::PetriNet ny = petri::from_ch(y);
+  petri::PetriNet composed = petri::PetriNet::compose(nx, ny);
+  composed.hide_prefixes({hide_prefix(channel)});
+
+  const Dfa lhs = determinize(composed.reachability());
+  const Dfa rhs = determinize(petri::from_ch(clustered).reachability());
+
+  VerifyResult result;
+  result.composed_states = lhs.num_states;
+  result.clustered_states = rhs.num_states;
+  result.counterexample = containment_counterexample(lhs, rhs);
+  if (result.counterexample.empty()) {
+    result.counterexample = containment_counterexample(rhs, lhs);
+  }
+  result.equivalent = result.counterexample.empty();
+  return result;
+}
+
+}  // namespace bb::trace

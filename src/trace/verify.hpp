@@ -1,0 +1,31 @@
+// The Section 4.3 verification procedure, end to end:
+//   1. translate the activating and activated CH programs to Petri nets;
+//   2. compose them and hide the activation channel;
+//   3. translate the clustered CH program to a Petri net;
+//   4. check conformation equivalence of the two trace structures.
+#pragma once
+
+#include <string>
+
+#include "src/ch/ast.hpp"
+#include "src/trace/automaton.hpp"
+
+namespace bb::trace {
+
+struct VerifyResult {
+  bool equivalent = false;
+  /// A witness trace distinguishing the behaviours (empty if equivalent).
+  std::vector<std::string> counterexample;
+  int composed_states = 0;   ///< DFA states of compose+hide
+  int clustered_states = 0;  ///< DFA states of the clustered controller
+};
+
+/// The wire-name prefix hidden when channel `channel` is eliminated.
+std::string hide_prefix(const std::string& channel);
+
+/// Checks that `clustered` conforms to (compose(x, y) hide channel).
+VerifyResult verify_clustering(const ch::Expr& x, const ch::Expr& y,
+                               const std::string& channel,
+                               const ch::Expr& clustered);
+
+}  // namespace bb::trace

@@ -1,0 +1,32 @@
+// String utilities shared across the back-end tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::util {
+
+/// Splits `s` on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+}  // namespace bb::util

@@ -1,0 +1,69 @@
+#include "src/netlist/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/bm/compile.hpp"
+#include "src/ch/parser.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/techmap/map.hpp"
+
+namespace bb::netlist {
+namespace {
+
+TEST(Analysis, ChainDepth) {
+  GateNetlist n("chain");
+  const int a = n.add_net("a");
+  n.mark_input(a);
+  const int b = n.add_gate("INV", CellFn::kInv, {a}, 0.1, 55);
+  const int c = n.add_gate("INV", CellFn::kInv, {b}, 0.1, 55);
+  n.add_gate("NAND2", CellFn::kNand, {b, c}, 0.2, 73);
+
+  const auto stats = analyze(n);
+  EXPECT_EQ(stats.num_gates, 3);
+  EXPECT_DOUBLE_EQ(stats.area, 183.0);
+  EXPECT_NEAR(stats.critical_path_ns, 0.4, 1e-9);
+  EXPECT_EQ(stats.cell_histogram.at("INV"), 2);
+  EXPECT_EQ(stats.cell_histogram.at("NAND2"), 1);
+}
+
+TEST(Analysis, FeedbackLoopDoesNotDiverge) {
+  // A combinational loop (state feedback) must not hang or blow up the
+  // critical path: the cycle is cut at the revisit.
+  GateNetlist n("loop");
+  const int a = n.add_net("a");
+  n.mark_input(a);
+  const int q = n.add_net("q");
+  const int x = n.add_gate("NAND2", CellFn::kNand, {a, q}, 0.1, 73);
+  n.add_gate("DEL", CellFn::kBuf, {x}, 0.25, 91, q);
+
+  const auto stats = analyze(n);
+  EXPECT_LT(stats.critical_path_ns, 1.0);
+  EXPECT_GT(stats.critical_path_ns, 0.0);
+}
+
+TEST(Analysis, MappedControllerStats) {
+  const auto spec = bm::compile(
+      *ch::parse("(rep (enc-early (p-to-p passive P)"
+                 " (seq (p-to-p active A1) (p-to-p active A2))))"),
+      "seq");
+  const auto ctrl = minimalist::synthesize(spec);
+  const auto net = techmap::map_controller(
+      ctrl, techmap::CellLibrary::ams035(), {}, "p");
+  const auto stats = analyze(net);
+  EXPECT_GT(stats.num_gates, 10);
+  EXPECT_GT(stats.cell_histogram.at("DEL"), 0);
+  EXPECT_GT(stats.cell_histogram.at("DOUT"), 0);
+  // The combinational response path must sit below the environment
+  // response bound times a small number of handshake phases.
+  EXPECT_GT(stats.critical_path_ns, 0.0);
+  EXPECT_LT(stats.critical_path_ns, 20.0);
+}
+
+TEST(Analysis, HistogramStringOrdersByCount) {
+  NetlistStats stats;
+  stats.cell_histogram = {{"INV", 2}, {"NAND2", 7}, {"C2", 1}};
+  EXPECT_EQ(histogram_string(stats), "NAND2 x7, INV x2, C2 x1");
+}
+
+}  // namespace
+}  // namespace bb::netlist

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "src/balsa/compile.hpp"
+#include "src/balsa/parser.hpp"
+#include "src/hsnet/to_ch.hpp"
+
+namespace bb::balsa {
+namespace {
+
+TEST(Parser, MinimalProcedure) {
+  const Procedure p = parse_procedure(
+      "procedure tick (sync t) is begin loop sync t end end");
+  EXPECT_EQ(p.name, "tick");
+  ASSERT_EQ(p.ports.size(), 1u);
+  EXPECT_EQ(p.ports[0].dir, PortDir::kSync);
+  ASSERT_NE(p.body, nullptr);
+  EXPECT_EQ(p.body->kind, Command::Kind::kLoop);
+}
+
+TEST(Parser, PortsAndVariables) {
+  const Procedure p = parse_procedure(R"(
+    procedure buf (input in : 8; output out : 8; sync go, stop) is
+      variable v, w : 8
+      variable flag : 1
+    begin
+      loop in -> v ; out <- v end
+    end)");
+  EXPECT_EQ(p.ports.size(), 4u);
+  EXPECT_EQ(p.ports[1].width, 8);
+  EXPECT_EQ(p.ports[2].name, "go");
+  EXPECT_EQ(p.variables.size(), 3u);
+  EXPECT_EQ(p.variables[2].width, 1);
+}
+
+TEST(Parser, SequenceAndParallel) {
+  const Procedure p = parse_procedure(R"(
+    procedure x (sync a, b) is begin
+      loop (sync a ; sync b) || sync a end
+    end)");
+  EXPECT_EQ(p.body->body->kind, Command::Kind::kPar);
+  EXPECT_EQ(p.body->body->children[0]->kind, Command::Kind::kSeq);
+}
+
+TEST(Parser, ControlConstructs) {
+  const Procedure p = parse_procedure(R"(
+    procedure y (input c : 2; sync t) is
+      variable v : 2
+    begin
+      c -> v ;
+      while v < 3 then
+        if v = 1 then sync t else continue end ;
+        case v of 0: sync t | 1, 2: continue else v := 0 end ;
+        v := v + 1
+      end
+    end)");
+  const Command& seq = *p.body;
+  ASSERT_EQ(seq.kind, Command::Kind::kSeq);
+  const Command& wh = *seq.children[1];
+  ASSERT_EQ(wh.kind, Command::Kind::kWhile);
+  const Command& inner = *wh.body;
+  EXPECT_EQ(inner.children[0]->kind, Command::Kind::kIf);
+  EXPECT_EQ(inner.children[1]->kind, Command::Kind::kCase);
+  EXPECT_EQ(inner.children[1]->alts.size(), 3u);
+  EXPECT_EQ(inner.children[1]->alts[1].labels,
+            (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(inner.children[1]->alts[2].labels.empty());
+}
+
+TEST(Parser, Expressions) {
+  const Procedure p = parse_procedure(R"(
+    procedure e (output o : 8) is
+      variable v : 8
+    begin
+      o <- (v + 1 - 2 or v xor 3) ;
+      o <- v[7..4] ;
+      o <- not v and 0x0F ;
+      o <- - v
+    end)");
+  EXPECT_EQ(p.body->children.size(), 4u);
+  EXPECT_EQ(p.body->children[1]->value->kind, Expr::Kind::kSlice);
+  EXPECT_EQ(p.body->children[1]->value->slice_hi, 7);
+  EXPECT_EQ(p.body->children[3]->value->un_op, UnOp::kNeg);
+}
+
+TEST(Parser, Comments) {
+  const Procedure p = parse_procedure(
+      "-- header\nprocedure c (sync t) is begin -- mid\n sync t end");
+  EXPECT_EQ(p.name, "c");
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_procedure("procedure"), ParseError);
+  EXPECT_THROW(parse_procedure("procedure p (sync) is begin sync t end"),
+               ParseError);
+  EXPECT_THROW(
+      parse_procedure("procedure p (sync t) is begin sync t end extra"),
+      ParseError);
+  EXPECT_THROW(
+      parse_procedure("procedure p (input x : 99) is begin sync x end"),
+      ParseError);
+  EXPECT_THROW(parse_procedure("procedure p (sync t) is begin t end"),
+               ParseError);
+}
+
+TEST(Compile, SyncLoop) {
+  const auto net = compile_source(
+      "procedure tick (sync t) is begin loop sync t end end");
+  // Loop + direct connection to the singly-used port: one control
+  // component, no datapath.
+  ASSERT_EQ(net.components().size(), 1u);
+  EXPECT_EQ(net.components()[0].kind, hsnet::ComponentKind::kLoop);
+  EXPECT_EQ(net.components()[0].ports[0], "activate");
+  EXPECT_EQ(net.components()[0].ports[1], "t");
+}
+
+TEST(Compile, MultiplyUsedSyncPortGetsCall) {
+  const auto net = compile_source(
+      "procedure two (sync t) is begin loop sync t ; sync t end end");
+  int calls = 0;
+  for (const auto& c : net.components()) {
+    if (c.kind == hsnet::ComponentKind::kCall) ++calls;
+  }
+  EXPECT_EQ(calls, 1);
+  // The call merges two clients onto the external port.
+  for (const auto& c : net.components()) {
+    if (c.kind == hsnet::ComponentKind::kCall) {
+      ASSERT_EQ(c.ports.size(), 3u);
+      EXPECT_EQ(c.ports.back(), "t");
+    }
+  }
+}
+
+TEST(Compile, AssignBuildsDatapath) {
+  const auto net = compile_source(R"(
+    procedure inc (sync go) is
+      variable v : 8
+    begin
+      loop sync go ; v := v + 1 end
+    end)");
+  int fetches = 0, vars = 0, funcs = 0, consts = 0;
+  for (const auto& c : net.components()) {
+    switch (c.kind) {
+      case hsnet::ComponentKind::kFetch: ++fetches; break;
+      case hsnet::ComponentKind::kVariable: ++vars; break;
+      case hsnet::ComponentKind::kBinaryFunc: ++funcs; break;
+      case hsnet::ComponentKind::kConstant: ++consts; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(fetches, 1);
+  EXPECT_EQ(vars, 1);
+  EXPECT_EQ(funcs, 1);
+  EXPECT_EQ(consts, 1);
+}
+
+TEST(Compile, VariableWritePortsCounted) {
+  const auto net = compile_source(R"(
+    procedure wr (input i : 4) is
+      variable v : 4
+    begin
+      loop i -> v ; v := v + 1 end
+    end)");
+  for (const auto& c : net.components()) {
+    if (c.kind == hsnet::ComponentKind::kVariable) {
+      EXPECT_EQ(c.ways, 2);        // two write sites
+      EXPECT_EQ(c.ports.size(), 3u);  // + one read site
+    }
+  }
+}
+
+TEST(Compile, WhileBuildsGuard) {
+  const auto net = compile_source(R"(
+    procedure w (sync t) is
+      variable v : 2
+    begin
+      v := 0 ; while v < 2 then sync t ; v := v + 1 end
+    end)");
+  int whiles = 0, guards = 0;
+  for (const auto& c : net.components()) {
+    if (c.kind == hsnet::ComponentKind::kWhile) ++whiles;
+    if (c.kind == hsnet::ComponentKind::kGuard) ++guards;
+  }
+  EXPECT_EQ(whiles, 1);
+  EXPECT_EQ(guards, 1);
+}
+
+TEST(Compile, CaseBuildsSelectionTable) {
+  const auto net = compile_source(R"(
+    procedure c (input i : 2; sync a, b) is
+      variable v : 2
+    begin
+      loop i -> v ; case v of 0: sync a | 1: sync b end end
+    end)");
+  bool found = false;
+  for (const auto& c : net.components()) {
+    if (c.kind != hsnet::ComponentKind::kGuard) continue;
+    found = true;
+    EXPECT_EQ(c.op, "index");
+    ASSERT_EQ(c.labels.size(), 2u);
+    EXPECT_EQ(c.labels[0], 0);
+    EXPECT_EQ(c.labels[1], 1);
+    EXPECT_EQ(c.ways, 3);  // two labelled branches + implicit skip
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compile, ExternalChannelsDeclared) {
+  const auto net = compile_source(R"(
+    procedure p (input i : 8; output o : 8) is
+      variable v : 8
+    begin
+      loop i -> v ; o <- v end
+    end)");
+  ASSERT_NE(net.channel("activate"), nullptr);
+  EXPECT_TRUE(net.channel("activate")->external);
+  ASSERT_NE(net.channel("i"), nullptr);
+  EXPECT_EQ(net.channel("i")->width, 8);
+  EXPECT_TRUE(net.channel("i")->external);
+}
+
+TEST(Compile, ControlProgramsAreWellFormed) {
+  const auto net = compile_source(R"(
+    procedure p (input i : 4; output o : 4; sync t) is
+      variable v : 4
+    begin
+      loop
+        i -> v ;
+        while v < 8 then v := v + 1 end ;
+        if v = 8 then sync t else continue end ;
+        o <- v
+      end
+    end)");
+  // Every control component must translate to CH without errors.
+  const auto programs = hsnet::control_programs(net);
+  EXPECT_GE(programs.size(), 4u);
+}
+
+TEST(Compile, Errors) {
+  EXPECT_THROW(compile_source("procedure p (sync t) is begin sync u end"),
+               CompileError);
+  EXPECT_THROW(
+      compile_source("procedure p (input i : 4) is begin i <- 1 end"),
+      CompileError);
+  EXPECT_THROW(
+      compile_source(
+          "procedure p (output o : 4) is variable v : 4 begin o <- v end"),
+      CompileError);
+  EXPECT_THROW(compile_source("procedure p (sync t, t) is begin sync t end"),
+               CompileError);
+}
+
+}  // namespace
+}  // namespace bb::balsa

@@ -1,0 +1,238 @@
+// CH-to-BMS compilation checked against the Burst-Mode machines of Fig. 3
+// (sequencer, call, passivator) and structural/validity properties.
+#include "src/bm/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/bm/validate.hpp"
+#include "src/ch/parser.hpp"
+
+namespace bb::bm {
+namespace {
+
+Spec compile_source(const std::string& source, const std::string& name = "m") {
+  return compile(*ch::parse(source), name);
+}
+
+/// Finds the unique arc from `from` whose input burst equals `in`.
+const Arc* find_arc(const Spec& spec, int from, const std::string& in) {
+  const Arc* found = nullptr;
+  for (const Arc& a : spec.arcs) {
+    if (a.from == from && a.in_burst.to_string() == in) {
+      EXPECT_EQ(found, nullptr) << "duplicate arc";
+      found = &a;
+    }
+  }
+  return found;
+}
+
+constexpr const char* kSequencer =
+    "(rep (enc-early (p-to-p passive P)"
+    "  (seq (p-to-p active A1) (p-to-p active A2))))";
+
+constexpr const char* kCall =
+    "(rep (mutex"
+    "  (enc-early (p-to-p passive A1) (p-to-p active B))"
+    "  (enc-early (p-to-p passive A2) (p-to-p active B))))";
+
+constexpr const char* kPassivator =
+    "(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))";
+
+TEST(Compile, SequencerMatchesFig3) {
+  const Spec spec = compile_source(kSequencer, "sequencer");
+  // Fig. 3: 6 states, a single cycle:
+  // 0 --p_r+/a1_r+--> 1 --a1_a+/a1_r-> 2 --a1_a-/a2_r+--> 3
+  //   --a2_a+/a2_r--> 4 --a2_a-/p_a+--> 5 --p_r-/p_a--> 0
+  EXPECT_EQ(spec.num_states, 6);
+  EXPECT_EQ(spec.arcs.size(), 6u);
+
+  const Arc* a = find_arc(spec, 0, "p_r+");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a1_r+");
+
+  a = find_arc(spec, a->to, "a1_a+");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a1_r-");
+
+  a = find_arc(spec, a->to, "a1_a-");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a2_r+");
+
+  a = find_arc(spec, a->to, "a2_a+");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a2_r-");
+
+  a = find_arc(spec, a->to, "a2_a-");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "p_a+");
+
+  a = find_arc(spec, a->to, "p_r-");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "p_a-");
+  EXPECT_EQ(a->to, 0) << "cycle must close back to the initial state";
+}
+
+TEST(Compile, SequencerIsValid) {
+  const auto result = validate(compile_source(kSequencer));
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+TEST(Compile, CallMatchesFig3) {
+  const Spec spec = compile_source(kCall, "call");
+  // Fig. 3: 7 states; initial state has two arcs (input choice).
+  EXPECT_EQ(spec.num_states, 7);
+  EXPECT_EQ(spec.arcs.size(), 8u);
+
+  const Arc* left = find_arc(spec, 0, "a1_r+");
+  const Arc* right = find_arc(spec, 0, "a2_r+");
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(left->out_burst.to_string(), "b_r+");
+  EXPECT_EQ(right->out_burst.to_string(), "b_r+");
+  EXPECT_NE(left->to, right->to);
+
+  // Follow the left branch: b_a+/b_r-, b_a-/a1_a+, a1_r-/a1_a- back to 0.
+  const Arc* a = find_arc(spec, left->to, "b_a+");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "b_r-");
+  a = find_arc(spec, a->to, "b_a-");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a1_a+");
+  a = find_arc(spec, a->to, "a1_r-");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a1_a-");
+  EXPECT_EQ(a->to, 0);
+}
+
+TEST(Compile, CallIsValid) {
+  const auto result = validate(compile_source(kCall));
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+TEST(Compile, PassivatorMatchesFig3) {
+  const Spec spec = compile_source(kPassivator, "passivator");
+  // Fig. 3: 2 states:
+  // 0 --a_r+ b_r+ / a_a+ b_a+--> 1 --a_r- b_r- / a_a- b_a---> 0
+  EXPECT_EQ(spec.num_states, 2);
+  ASSERT_EQ(spec.arcs.size(), 2u);
+
+  const Arc* a = find_arc(spec, 0, "a_r+ b_r+");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a_a+ b_a+");
+  a = find_arc(spec, a->to, "a_r- b_r-");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->out_burst.to_string(), "a_a- b_a-");
+  EXPECT_EQ(a->to, 0);
+}
+
+TEST(Compile, PassivatorIsValid) {
+  const auto result = validate(compile_source(kPassivator));
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+TEST(Compile, LoopComponentOutputLeadingLoop) {
+  // Loop: activate once, then handshake the output forever.  The loop body
+  // begins with an *output*, exercising deferred label binding: the back
+  // edge must carry b_r+ so every input burst stays non-empty.
+  const Spec spec = compile_source(
+      "(enc-early (p-to-p passive a) (rep (p-to-p active b)))", "loop");
+  const auto result = validate(spec);
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+
+  const Arc* entry = find_arc(spec, 0, "a_r+");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->out_burst.to_string(), "b_r+");
+
+  const Arc* first = find_arc(spec, entry->to, "b_a+");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->out_burst.to_string(), "b_r-");
+  const Arc* back = find_arc(spec, first->to, "b_a-");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->out_burst.to_string(), "b_r+")
+      << "loop-back arc must re-emit the loop head's output prefix";
+  EXPECT_EQ(back->to, entry->to);
+}
+
+TEST(Compile, WhileWithBreak) {
+  // While loop: guard handshake selects body vs. break.
+  const Spec spec = compile_source(
+      "(rep (enc-early (p-to-p passive a)"
+      "  (rep (mux-ack g (seq (p-to-p active b)) (seq (break))))))",
+      "while");
+  const auto result = validate(spec);
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+
+  // Initial arc: a_r+/g_r+.
+  const Arc* entry = find_arc(spec, 0, "a_r+");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->out_burst.to_string(), "g_r+");
+
+  // From the decision state, g_a1+ (true) and g_a2+ (false) both leave.
+  const Arc* t = find_arc(spec, entry->to, "g_a1+");
+  const Arc* f = find_arc(spec, entry->to, "g_a2+");
+  ASSERT_NE(t, nullptr);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(t->out_burst.to_string(), "g_r-");
+  EXPECT_EQ(f->out_burst.to_string(), "g_r-");
+
+  // True branch eventually loops back to the decision state with g_r+ on
+  // the back edge; false branch reaches the return-to-zero of channel a.
+  bool found_backedge = false;
+  for (const Arc& a : spec.arcs) {
+    if (a.to == entry->to && a.out_burst.to_string().find("g_r+") !=
+                                 std::string::npos) {
+      found_backedge = true;
+    }
+  }
+  EXPECT_TRUE(found_backedge);
+}
+
+TEST(Compile, EmptyInputBurstDetected) {
+  // A bare active channel starts with an output: not a valid BM machine.
+  const Spec spec = compile_source("(p-to-p active b)");
+  const auto result = validate(spec);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Compile, DecisionWaitFromSection41) {
+  const Spec spec = compile_source(
+      "(rep (enc-early (p-to-p passive a1)"
+      "  (mutex (enc-early (p-to-p passive i1) (p-to-p active o1))"
+      "         (enc-early (p-to-p passive i2) (p-to-p active o2)))))",
+      "dw");
+  const auto result = validate(spec);
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  // Fig. 4 left: 9 states.
+  EXPECT_EQ(spec.num_states, 9);
+  // The two decision arcs leave state 0 together with the activation:
+  // a1_r+ i1_r+ / o1_r+ and a1_r+ i2_r+ / o2_r+.
+  EXPECT_NE(find_arc(spec, 0, "a1_r+ i1_r+"), nullptr);
+  EXPECT_NE(find_arc(spec, 0, "a1_r+ i2_r+"), nullptr);
+}
+
+TEST(Compile, BmsOutputFormat) {
+  const Spec spec = compile_source(kPassivator, "passivator");
+  const std::string bms = spec.to_bms();
+  EXPECT_NE(bms.find("name passivator"), std::string::npos);
+  EXPECT_NE(bms.find("input a_r 0"), std::string::npos);
+  EXPECT_NE(bms.find("output a_a 0"), std::string::npos);
+  EXPECT_NE(bms.find(" | "), std::string::npos);
+}
+
+TEST(Compile, DotOutput) {
+  const Spec spec = compile_source(kPassivator, "passivator");
+  const std::string dot = spec.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+}
+
+TEST(Compile, SignalDirectory) {
+  const Spec spec = compile_source(kSequencer);
+  const auto inputs = spec.input_names();
+  const auto outputs = spec.output_names();
+  EXPECT_EQ(inputs.size(), 3u);   // p_r, a1_a, a2_a
+  EXPECT_EQ(outputs.size(), 3u);  // p_a, a1_r, a2_r
+}
+
+}  // namespace
+}  // namespace bb::bm

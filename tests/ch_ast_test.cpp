@@ -1,0 +1,100 @@
+#include "src/ch/ast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ch/printer.hpp"
+
+namespace bb::ch {
+namespace {
+
+TEST(Activity, Channels) {
+  EXPECT_EQ(activity_of(*ptop(Activity::kPassive, "a")), Activity::kPassive);
+  EXPECT_EQ(activity_of(*ptop(Activity::kActive, "a")), Activity::kActive);
+  EXPECT_EQ(activity_of(*void_channel()), Activity::kNeither);
+  EXPECT_EQ(activity_of(*mult_ack(Activity::kActive, "c", 2)),
+            Activity::kActive);
+  EXPECT_EQ(activity_of(*mult_req(Activity::kPassive, "c", 2)),
+            Activity::kPassive);
+}
+
+TEST(Activity, MuxChannelsAreFixed) {
+  std::vector<MuxBranch> b1;
+  b1.push_back(MuxBranch{ExprKind::kSeq, ptop(Activity::kActive, "x")});
+  EXPECT_EQ(activity_of(*mux_ack("g", std::move(b1))), Activity::kActive);
+
+  std::vector<MuxBranch> b2;
+  b2.push_back(MuxBranch{ExprKind::kEncEarly, ptop(Activity::kActive, "x")});
+  EXPECT_EQ(activity_of(*mux_req("g", std::move(b2))), Activity::kPassive);
+}
+
+TEST(Activity, OperatorsInheritFirstArgument) {
+  auto e = enc_early(ptop(Activity::kPassive, "p"),
+                     ptop(Activity::kActive, "a"));
+  EXPECT_EQ(activity_of(*e), Activity::kPassive);
+
+  auto e2 = seq(ptop(Activity::kActive, "a"), ptop(Activity::kActive, "b"));
+  EXPECT_EQ(activity_of(*e2), Activity::kActive);
+}
+
+TEST(Activity, VoidFirstArgumentDefersToBody) {
+  // This is the shape Activation Channel Removal creates (Section 4.1):
+  // (enc-early void body) takes the body's activity.
+  auto e = enc_early(void_channel(), seq(ptop(Activity::kActive, "c1"),
+                                         ptop(Activity::kActive, "c2")));
+  EXPECT_EQ(activity_of(*e), Activity::kActive);
+}
+
+TEST(Activity, SeqOvActiveMutexPassive) {
+  auto so = seq_ov(ptop(Activity::kActive, "a"), ptop(Activity::kActive, "b"));
+  EXPECT_EQ(activity_of(*so), Activity::kActive);
+  auto mx = mutex(ptop(Activity::kPassive, "a"),
+                  ptop(Activity::kPassive, "b"));
+  EXPECT_EQ(activity_of(*mx), Activity::kPassive);
+}
+
+TEST(Activity, RepInheritsBody) {
+  EXPECT_EQ(activity_of(*rep(ptop(Activity::kPassive, "p"))),
+            Activity::kPassive);
+  EXPECT_EQ(activity_of(*brk()), Activity::kNeither);
+}
+
+TEST(Clone, DeepCopyIsIndependent) {
+  auto original = rep(enc_early(ptop(Activity::kPassive, "p"),
+                                seq(ptop(Activity::kActive, "a1"),
+                                    ptop(Activity::kActive, "a2"))));
+  auto copy = original->clone();
+  EXPECT_EQ(to_string(*original), to_string(*copy));
+  // Mutate the copy; the original must be unaffected.
+  copy->args[0]->args[0]->channel = "renamed";
+  EXPECT_NE(to_string(*original), to_string(*copy));
+}
+
+TEST(Clone, MuxBranches) {
+  std::vector<MuxBranch> branches;
+  branches.push_back(MuxBranch{ExprKind::kSeq, ptop(Activity::kActive, "b")});
+  branches.push_back(MuxBranch{ExprKind::kSeq, brk()});
+  auto original = mux_ack("g", std::move(branches));
+  auto copy = original->clone();
+  ASSERT_EQ(copy->branches.size(), 2u);
+  EXPECT_EQ(to_string(*original), to_string(*copy));
+}
+
+TEST(Kinds, Predicates) {
+  EXPECT_TRUE(is_channel(ExprKind::kPToP));
+  EXPECT_TRUE(is_channel(ExprKind::kVoid));
+  EXPECT_FALSE(is_channel(ExprKind::kSeq));
+  EXPECT_TRUE(is_interleaving(ExprKind::kEncEarly));
+  EXPECT_TRUE(is_interleaving(ExprKind::kMutex));
+  EXPECT_FALSE(is_interleaving(ExprKind::kRep));
+  EXPECT_FALSE(is_interleaving(ExprKind::kPToP));
+}
+
+TEST(Kinds, Keywords) {
+  EXPECT_EQ(kind_keyword(ExprKind::kEncEarly), "enc-early");
+  EXPECT_EQ(kind_keyword(ExprKind::kSeqOv), "seq-ov");
+  EXPECT_EQ(kind_keyword(ExprKind::kPToP), "p-to-p");
+  EXPECT_EQ(activity_name(Activity::kPassive), "passive");
+}
+
+}  // namespace
+}  // namespace bb::ch

@@ -1,0 +1,302 @@
+// Checks the four-phase expansion engine against the rows of Table 2 and
+// the worked examples printed in Sections 3.1-3.4 of the paper.
+#include "src/ch/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ch/parser.hpp"
+
+namespace bb::ch {
+namespace {
+
+std::string expansion_text(const std::string& source) {
+  return to_string(expand(*parse(source)));
+}
+
+TEST(Expansion, PassivePToP) {
+  // Section 3.1: [(i a_r +)] [(o a_a +)] [(i a_r -)] [(o a_a -)]
+  EXPECT_EQ(expansion_text("(p-to-p passive A)"),
+            "[(i a_r +)] [(o a_a +)] [(i a_r -)] [(o a_a -)]");
+}
+
+TEST(Expansion, ActivePToP) {
+  EXPECT_EQ(expansion_text("(p-to-p active B)"),
+            "[(o b_r +)] [(i b_a +)] [(o b_r -)] [(i b_a -)]");
+}
+
+TEST(Expansion, EncEarlyPassiveActiveFromPaper) {
+  // Section 3: (enc-early (p-to-p passive A) (p-to-p active B)) =
+  // [(i a_r +)(o b_r +)(i b_a +)(o b_r -)(i b_a -)]
+  // [(o a_a +)] [(i a_r -)] [(o a_a -)]
+  EXPECT_EQ(
+      expansion_text("(enc-early (p-to-p passive A) (p-to-p active B))"),
+      "[(i a_r +) (o b_r +) (i b_a +) (o b_r -) (i b_a -)] "
+      "[(o a_a +)] [(i a_r -)] [(o a_a -)]");
+}
+
+TEST(Expansion, MultAckFromPaper) {
+  // Section 3.1 example: one request, two synchronized acks.
+  EXPECT_EQ(expansion_text("(mult-ack active c 2)"),
+            "[(o c_r +)] [(i c_a1 +) (i c_a2 +)] "
+            "[(o c_r -)] [(i c_a1 -) (i c_a2 -)]");
+}
+
+TEST(Expansion, MultReq) {
+  EXPECT_EQ(expansion_text("(mult-req passive d 2)"),
+            "[(i d_r1 +) (i d_r2 +)] [(o d_a +)] "
+            "[(i d_r1 -) (i d_r2 -)] [(o d_a -)]");
+}
+
+// --- Table 2 rows ---
+
+TEST(Table2, EncEarlyActiveActive) {
+  // [a1][a2 b1 b2 b3 b4][a3][a4]
+  EXPECT_EQ(expansion_text("(enc-early (p-to-p active A) (p-to-p active B))"),
+            "[(o a_r +)] "
+            "[(i a_a +) (o b_r +) (i b_a +) (o b_r -) (i b_a -)] "
+            "[(o a_r -)] [(i a_a -)]");
+}
+
+TEST(Table2, EncEarlyPassivePassive) {
+  // [a1 b1 b2 b3 b4][a2][a3][a4]
+  EXPECT_EQ(
+      expansion_text("(enc-early (p-to-p passive A) (p-to-p passive B))"),
+      "[(i a_r +) (i b_r +) (o b_a +) (i b_r -) (o b_a -)] "
+      "[(o a_a +)] [(i a_r -)] [(o a_a -)]");
+}
+
+TEST(Table2, EncLatePassiveActive) {
+  // [a1][a2][a3][b1 b2 b3 b4 a4]
+  EXPECT_EQ(expansion_text("(enc-late (p-to-p passive A) (p-to-p active B))"),
+            "[(i a_r +)] [(o a_a +)] [(i a_r -)] "
+            "[(o b_r +) (i b_a +) (o b_r -) (i b_a -) (o a_a -)]");
+}
+
+TEST(Table2, EncMiddlePassivePassive) {
+  // [a1 b1][b2 a2][a3 b3][b4 a4] - the passivator shape.
+  EXPECT_EQ(
+      expansion_text("(enc-middle (p-to-p passive A) (p-to-p passive B))"),
+      "[(i a_r +) (i b_r +)] [(o b_a +) (o a_a +)] "
+      "[(i a_r -) (i b_r -)] [(o b_a -) (o a_a -)]");
+}
+
+TEST(Table2, EncMiddleActiveActive) {
+  // C-element-like synchronization of two active channels (fork).
+  EXPECT_EQ(
+      expansion_text("(enc-middle (p-to-p active A) (p-to-p active B))"),
+      "[(o a_r +) (o b_r +)] [(i b_a +) (i a_a +)] "
+      "[(o a_r -) (o b_r -)] [(i b_a -) (i a_a -)]");
+}
+
+TEST(Table2, SeqPassiveActive) {
+  // [a1 a2 a3 a4 b1][b2][b3][b4]
+  EXPECT_EQ(expansion_text("(seq (p-to-p passive A) (p-to-p active B))"),
+            "[(i a_r +) (o a_a +) (i a_r -) (o a_a -) (o b_r +)] "
+            "[(i b_a +)] [(o b_r -)] [(i b_a -)]");
+}
+
+TEST(Table2, SeqOvActiveActive) {
+  // [a1 a2][b1 b2][a3 a4][b3 b4] - the transferrer shape.
+  EXPECT_EQ(expansion_text("(seq-ov (p-to-p active A) (p-to-p active B))"),
+            "[(o a_r +) (i a_a +)] [(o b_r +) (i b_a +)] "
+            "[(o a_r -) (i a_a -)] [(o b_r -) (i b_a -)]");
+}
+
+TEST(Table2, MutexPassivePassive) {
+  const auto exp =
+      expand(*parse("(mutex (p-to-p passive A) (p-to-p passive B))"));
+  ASSERT_EQ(exp.events[0].size(), 1u);
+  EXPECT_EQ(exp.events[0][0].kind, Item::Kind::kChoice);
+  ASSERT_EQ(exp.events[0][0].alternatives.size(), 2u);
+  EXPECT_TRUE(exp.events[1].empty());
+  EXPECT_TRUE(exp.events[2].empty());
+  EXPECT_TRUE(exp.events[3].empty());
+  EXPECT_EQ(exp.activity, Activity::kPassive);
+}
+
+// --- Table 1 legality ---
+
+struct LegalityCase {
+  ExprKind op;
+  Activity first;
+  Activity second;
+  bool legal;
+};
+
+class Table1Test : public ::testing::TestWithParam<LegalityCase> {};
+
+TEST_P(Table1Test, MatchesPaper) {
+  const LegalityCase& c = GetParam();
+  EXPECT_EQ(is_bm_aware(c.op, c.first, c.second), c.legal);
+}
+
+constexpr Activity kP = Activity::kPassive;
+constexpr Activity kA = Activity::kActive;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, Table1Test,
+    ::testing::Values(
+        // enc-early: AA yes, AP no, PA yes, PP yes
+        LegalityCase{ExprKind::kEncEarly, kA, kA, true},
+        LegalityCase{ExprKind::kEncEarly, kA, kP, false},
+        LegalityCase{ExprKind::kEncEarly, kP, kA, true},
+        LegalityCase{ExprKind::kEncEarly, kP, kP, true},
+        // enc-late: AA no, AP no, PA yes, PP yes
+        LegalityCase{ExprKind::kEncLate, kA, kA, false},
+        LegalityCase{ExprKind::kEncLate, kA, kP, false},
+        LegalityCase{ExprKind::kEncLate, kP, kA, true},
+        LegalityCase{ExprKind::kEncLate, kP, kP, true},
+        // enc-middle: AA yes, AP no, PA yes, PP yes
+        LegalityCase{ExprKind::kEncMiddle, kA, kA, true},
+        LegalityCase{ExprKind::kEncMiddle, kA, kP, false},
+        LegalityCase{ExprKind::kEncMiddle, kP, kA, true},
+        LegalityCase{ExprKind::kEncMiddle, kP, kP, true},
+        // seq: AA yes, AP no, PA yes, PP yes
+        LegalityCase{ExprKind::kSeq, kA, kA, true},
+        LegalityCase{ExprKind::kSeq, kA, kP, false},
+        LegalityCase{ExprKind::kSeq, kP, kA, true},
+        LegalityCase{ExprKind::kSeq, kP, kP, true},
+        // seq-ov: only AA
+        LegalityCase{ExprKind::kSeqOv, kA, kA, true},
+        LegalityCase{ExprKind::kSeqOv, kA, kP, false},
+        LegalityCase{ExprKind::kSeqOv, kP, kA, false},
+        LegalityCase{ExprKind::kSeqOv, kP, kP, false},
+        // mutex: only PP
+        LegalityCase{ExprKind::kMutex, kA, kA, false},
+        LegalityCase{ExprKind::kMutex, kA, kP, false},
+        LegalityCase{ExprKind::kMutex, kP, kA, false},
+        LegalityCase{ExprKind::kMutex, kP, kP, true}));
+
+TEST(Legality, IllegalCombinationThrows) {
+  EXPECT_THROW(
+      expand(*parse("(enc-early (p-to-p active A) (p-to-p passive B))")),
+      BmAwareError);
+  EXPECT_THROW(
+      expand(*parse("(mutex (p-to-p active A) (p-to-p active B))")),
+      BmAwareError);
+  EXPECT_THROW(
+      expand(*parse("(seq-ov (p-to-p passive A) (p-to-p active B))")),
+      BmAwareError);
+}
+
+TEST(Legality, AllowIllegalBypasses) {
+  ExpandOptions options;
+  options.allow_illegal = true;
+  EXPECT_NO_THROW(expand(
+      *parse("(enc-early (p-to-p active A) (p-to-p passive B))"), options));
+}
+
+TEST(Legality, VoidArgumentIsTransparent) {
+  // (enc-early void X) arises from Activation Channel Removal and must be
+  // accepted for any body activity.
+  EXPECT_TRUE(is_bm_aware(ExprKind::kEncEarly, Activity::kNeither, kA));
+  EXPECT_TRUE(is_bm_aware(ExprKind::kEncEarly, Activity::kNeither, kP));
+  EXPECT_TRUE(is_bm_aware(ExprKind::kSeq, kP, Activity::kNeither));
+  // seq-ov demands active/active; a void side can adopt "active".
+  EXPECT_TRUE(is_bm_aware(ExprKind::kSeqOv, Activity::kNeither, kA));
+  EXPECT_FALSE(is_bm_aware(ExprKind::kSeqOv, Activity::kNeither, kP));
+}
+
+// --- rep / break / void ---
+
+TEST(Expansion, VoidIsEmpty) {
+  const auto exp = expand(*parse("void"));
+  for (const auto& ev : exp.events) EXPECT_TRUE(ev.empty());
+  EXPECT_EQ(exp.activity, Activity::kNeither);
+}
+
+TEST(Expansion, EncEarlyVoidBodyCollapses) {
+  // (enc-early void (p-to-p active C)) == the body alone, in event 1.
+  const auto exp = expand(*parse("(enc-early void (p-to-p active C))"));
+  EXPECT_EQ(to_string(exp),
+            "[(o c_r +) (i c_a +) (o c_r -) (i c_a -)] [] [] []");
+  EXPECT_EQ(exp.activity, Activity::kActive);
+}
+
+TEST(Expansion, RepWrapsWithLabelAndGoto) {
+  const auto exp = expand(*parse("(rep (p-to-p passive A))"));
+  const auto& ev = exp.events[0];
+  // label, 4 transitions, goto, end-label
+  ASSERT_EQ(ev.size(), 7u);
+  EXPECT_EQ(ev.front().kind, Item::Kind::kLabel);
+  EXPECT_EQ(ev[5].kind, Item::Kind::kGoto);
+  EXPECT_EQ(ev[5].label, ev.front().label);
+  EXPECT_EQ(ev.back().kind, Item::Kind::kLabel);
+  for (std::size_t i = 1; i < 3; ++i) EXPECT_TRUE(exp.events[i].empty());
+}
+
+TEST(Expansion, BreakTargetsInnermostLoop) {
+  const auto exp = expand(*parse(
+      "(rep (seq (p-to-p passive A) (rep (seq (p-to-p passive B) (break)))))"));
+  // Find the bgoto and the inner loop's end label; they must match.
+  const auto flat = exp.flatten();
+  std::string bgoto_label;
+  std::vector<std::string> labels;
+  for (const Item& item : flat) {
+    if (item.kind == Item::Kind::kBGoto) bgoto_label = item.label;
+    if (item.kind == Item::Kind::kLabel) labels.push_back(item.label);
+  }
+  ASSERT_FALSE(bgoto_label.empty());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), bgoto_label),
+            labels.end());
+}
+
+TEST(Expansion, BreakOutsideLoopThrows) {
+  EXPECT_THROW(expand(*parse("(seq (p-to-p passive A) (break))")),
+               std::logic_error);
+}
+
+TEST(Expansion, SignalsOf) {
+  const auto exp =
+      expand(*parse("(enc-early (p-to-p passive A) (p-to-p active B))"));
+  const auto signals = signals_of(exp);
+  ASSERT_EQ(signals.size(), 4u);
+  // Sorted by name: a_a, a_r, b_a, b_r.
+  EXPECT_EQ(signals[0].name, "a_a");
+  EXPECT_FALSE(signals[0].is_input);
+  EXPECT_EQ(signals[1].name, "a_r");
+  EXPECT_TRUE(signals[1].is_input);
+  EXPECT_EQ(signals[2].name, "b_a");
+  EXPECT_TRUE(signals[2].is_input);
+  EXPECT_EQ(signals[3].name, "b_r");
+  EXPECT_FALSE(signals[3].is_input);
+}
+
+TEST(Expansion, MuxAckBreakOutsideRepThrows) {
+  EXPECT_THROW(
+      expand(*parse("(mux-ack g (seq (p-to-p active b)) (seq (break)))")),
+      std::logic_error);
+}
+
+TEST(Expansion, MuxAckShape) {
+  // The While-loop decision shape: guard true runs the body, guard false
+  // breaks out of the enclosing rep.
+  const auto exp = expand(*parse(
+      "(rep (mux-ack g (seq (p-to-p active b)) (seq (break))))"));
+  const auto flat = exp.flatten();
+  // label, g_r+, choice, goto, end-label
+  ASSERT_EQ(flat.size(), 5u);
+  EXPECT_EQ(flat[0].kind, Item::Kind::kLabel);
+  EXPECT_EQ(flat[1].kind, Item::Kind::kTransition);
+  EXPECT_EQ(flat[1].transition.signal, "g_r");
+  EXPECT_FALSE(flat[1].transition.is_input);
+  ASSERT_EQ(flat[2].kind, Item::Kind::kChoice);
+  ASSERT_EQ(flat[2].alternatives.size(), 2u);
+  // The false branch ends with a bgoto to the rep's end label.
+  const auto& false_branch = flat[2].alternatives[1];
+  ASSERT_FALSE(false_branch.empty());
+  EXPECT_EQ(false_branch.back().kind, Item::Kind::kBGoto);
+  EXPECT_EQ(false_branch.back().label, flat[4].label);
+}
+
+TEST(Expansion, MuxReqShape) {
+  const auto exp = expand(*parse(
+      "(mux-req a (enc-early (p-to-p active x)) (enc-early (p-to-p active y)))"));
+  ASSERT_EQ(exp.events[0].size(), 1u);
+  EXPECT_EQ(exp.events[0][0].kind, Item::Kind::kChoice);
+  EXPECT_EQ(exp.events[0][0].alternatives.size(), 2u);
+  EXPECT_EQ(exp.activity, Activity::kPassive);
+}
+
+}  // namespace
+}  // namespace bb::ch

@@ -1,0 +1,134 @@
+#include "src/ch/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/ch/printer.hpp"
+
+namespace bb::ch {
+namespace {
+
+TEST(Parser, PToP) {
+  auto e = parse("(p-to-p passive A)");
+  EXPECT_EQ(e->kind, ExprKind::kPToP);
+  EXPECT_EQ(e->declared_activity, Activity::kPassive);
+  EXPECT_EQ(e->channel, "A");
+}
+
+TEST(Parser, UnderscoreKeywordAlias) {
+  // The paper writes both "mux-ack" and "mux_ack"; accept either.
+  auto e = parse("(p_to_p active B)");
+  EXPECT_EQ(e->kind, ExprKind::kPToP);
+  EXPECT_EQ(e->declared_activity, Activity::kActive);
+}
+
+TEST(Parser, MultChannels) {
+  auto e = parse("(mult-ack active c 2)");
+  EXPECT_EQ(e->kind, ExprKind::kMultAck);
+  EXPECT_EQ(e->wires, 2);
+  auto e2 = parse("(mult-req passive d 3)");
+  EXPECT_EQ(e2->kind, ExprKind::kMultReq);
+  EXPECT_EQ(e2->wires, 3);
+}
+
+TEST(Parser, SequencerFromPaper) {
+  // Section 3.4 sequencer.
+  auto e = parse(R"((rep (enc-early (p-to-p passive P)
+                     (seq (p-to-p active A1)
+                          (p-to-p active A2)))))");
+  ASSERT_EQ(e->kind, ExprKind::kRep);
+  const Expr& enc = *e->args[0];
+  ASSERT_EQ(enc.kind, ExprKind::kEncEarly);
+  EXPECT_EQ(enc.args[0]->channel, "P");
+  EXPECT_EQ(enc.args[1]->kind, ExprKind::kSeq);
+}
+
+TEST(Parser, SeqRightAssociates) {
+  // (seq c1 c2 c3) == (seq c1 (seq c2 c3))  per Section 3.3.
+  auto e = parse("(seq (p-to-p active c1) (p-to-p active c2) "
+                 "(p-to-p active c3))");
+  ASSERT_EQ(e->kind, ExprKind::kSeq);
+  EXPECT_EQ(e->args[0]->channel, "c1");
+  ASSERT_EQ(e->args[1]->kind, ExprKind::kSeq);
+  EXPECT_EQ(e->args[1]->args[0]->channel, "c2");
+  EXPECT_EQ(e->args[1]->args[1]->channel, "c3");
+}
+
+TEST(Parser, MutexRightAssociates) {
+  auto e = parse("(mutex (p-to-p passive a) (p-to-p passive b) "
+                 "(p-to-p passive c))");
+  ASSERT_EQ(e->kind, ExprKind::kMutex);
+  EXPECT_EQ(e->args[1]->kind, ExprKind::kMutex);
+}
+
+TEST(Parser, MuxAck) {
+  auto e = parse("(mux-ack g (seq (p-to-p active b)) (seq (break)))");
+  ASSERT_EQ(e->kind, ExprKind::kMuxAck);
+  ASSERT_EQ(e->branches.size(), 2u);
+  EXPECT_EQ(e->branches[0].op, ExprKind::kSeq);
+  EXPECT_EQ(e->branches[0].body->channel, "b");
+  EXPECT_EQ(e->branches[1].body->kind, ExprKind::kBreak);
+}
+
+TEST(Parser, MuxReq) {
+  auto e = parse("(mux-req a (enc-early (p-to-p active x)) "
+                 "(enc-early (p-to-p active y)))");
+  ASSERT_EQ(e->kind, ExprKind::kMuxReq);
+  ASSERT_EQ(e->branches.size(), 2u);
+}
+
+TEST(Parser, VoidForms) {
+  EXPECT_EQ(parse("void")->kind, ExprKind::kVoid);
+  EXPECT_EQ(parse("(void)")->kind, ExprKind::kVoid);
+}
+
+TEST(Parser, Verb) {
+  auto e = parse("(verb ((i x_r +)) ((o x_a +)) ((i x_r -)) ((o x_a -)))");
+  ASSERT_EQ(e->kind, ExprKind::kVerb);
+  ASSERT_EQ(e->verb_events[0].size(), 1u);
+  EXPECT_TRUE(e->verb_events[0][0].is_input);
+  EXPECT_EQ(e->verb_events[0][0].signal, "x_r");
+  EXPECT_TRUE(e->verb_events[0][0].rising);
+  EXPECT_FALSE(e->verb_events[3][0].rising);
+}
+
+TEST(Parser, Comments) {
+  auto e = parse("; the activation channel\n(p-to-p passive A) ; done");
+  EXPECT_EQ(e->channel, "A");
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("(p-to-p sideways A)"), ParseError);
+  EXPECT_THROW(parse("(p-to-p passive)"), ParseError);
+  EXPECT_THROW(parse("(rep)"), ParseError);
+  EXPECT_THROW(parse("(rep (break) (break))"), ParseError);
+  EXPECT_THROW(parse("(enc-early (p-to-p passive a))"), ParseError);
+  EXPECT_THROW(parse("(frobnicate x y)"), ParseError);
+  EXPECT_THROW(parse("(p-to-p passive A) extra"), ParseError);
+  EXPECT_THROW(parse("(mult-ack active c 0)"), ParseError);
+  EXPECT_THROW(parse("(mux-ack g)"), ParseError);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const std::string source =
+      "(rep (mutex (enc-early (p-to-p passive A1) (p-to-p active B)) "
+      "(enc-early (p-to-p passive A2) (p-to-p active B))))";
+  auto e = parse(source);
+  auto e2 = parse(to_string(*e));
+  EXPECT_EQ(to_string(*e), to_string(*e2));
+}
+
+TEST(Parser, ProgramWithName) {
+  const Program p = parse_program("SEQ : (p-to-p passive a)");
+  EXPECT_EQ(p.name, "SEQ");
+  EXPECT_EQ(p.body->channel, "a");
+}
+
+TEST(Parser, ProgramWithoutName) {
+  const Program p = parse_program("(p-to-p passive a)");
+  EXPECT_EQ(p.name, "");
+  ASSERT_NE(p.body, nullptr);
+}
+
+}  // namespace
+}  // namespace bb::ch

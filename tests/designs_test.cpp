@@ -1,0 +1,80 @@
+// The four evaluation designs: sources parse and compile, and the SSEM
+// machine-code tooling encodes the benchmark program correctly.
+#include "src/designs/designs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/balsa/compile.hpp"
+#include "src/hsnet/to_ch.hpp"
+
+namespace bb::designs {
+namespace {
+
+TEST(Designs, AllFourPresent) {
+  const auto all = all_designs();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name, "systolic");
+  EXPECT_EQ(all[1]->name, "wagging");
+  EXPECT_EQ(all[2]->name, "stack");
+  EXPECT_EQ(all[3]->name, "ssem");
+}
+
+TEST(Designs, LookupByName) {
+  EXPECT_EQ(design("stack").title, "Stack");
+  EXPECT_THROW(design("unknown"), std::out_of_range);
+}
+
+TEST(Designs, AllSourcesCompile) {
+  for (const DesignInfo* d : all_designs()) {
+    const auto net = balsa::compile_source(d->source);
+    EXPECT_GT(net.components().size(), 0u) << d->name;
+    // Every control component must translate to CH.
+    EXPECT_NO_THROW(hsnet::control_programs(net)) << d->name;
+  }
+}
+
+TEST(Designs, SystolicIsControlOnly) {
+  const auto net = balsa::compile_source(systolic_counter().source);
+  EXPECT_TRUE(net.datapath_ids().empty());
+  EXPECT_EQ(net.control_ids().size(), 3u);  // loop, sequencer, call
+}
+
+TEST(Designs, SsemIsDatapathDominated) {
+  const auto net = balsa::compile_source(ssem().source);
+  EXPECT_GT(net.datapath_ids().size(), net.control_ids().size());
+}
+
+TEST(Ssem, Encoding) {
+  // function bits 15..13, line bits 4..0.
+  EXPECT_EQ(ssem_encode(7, 0), 0xE000u);
+  EXPECT_EQ(ssem_encode(2, 26), (2u << 13) | 26u);
+  EXPECT_EQ(ssem_encode(0, 31), 31u);
+  EXPECT_EQ(ssem_encode(3, 40), (3u << 13) | 8u) << "line wraps to 5 bits";
+}
+
+TEST(Ssem, BenchmarkProgramLayout) {
+  const auto mem = ssem_benchmark_program();
+  ASSERT_EQ(mem.size(), 32u);
+  // 5 x (LDN, STO) then STP.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(mem[2 * k], ssem_encode(2, 26 + k)) << k;
+    EXPECT_EQ(mem[2 * k + 1], ssem_encode(3, 20 + k)) << k;
+  }
+  EXPECT_EQ(mem[10], ssem_encode(7, 0));
+  // Negated constants.
+  EXPECT_EQ(mem[26], 0u);
+  EXPECT_EQ(mem[27], 0xFFFFFFFFu);
+  EXPECT_EQ(mem[30], 0xFFFFFFFCu);
+}
+
+TEST(Ssem, ExpectedResults) {
+  const auto expected = ssem_expected_results();
+  ASSERT_EQ(expected.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(expected[k].address, 20 + k);
+    EXPECT_EQ(expected[k].value, static_cast<std::uint32_t>(k));
+  }
+}
+
+}  // namespace
+}  // namespace bb::designs

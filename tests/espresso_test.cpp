@@ -1,0 +1,120 @@
+// Classic espresso-style minimization, and the demonstration of why the
+// Burst-Mode synthesizer cannot use it: classic covers may satisfy the
+// function while violating the hazard-free required-cube condition.
+#include "src/logic/espresso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/bm/compile.hpp"
+#include "src/ch/parser.hpp"
+#include "src/minimalist/funcspec.hpp"
+#include "src/minimalist/synth.hpp"
+
+namespace bb::logic {
+namespace {
+
+bool same_function(const Cover& a, const Cover& b, std::size_t n) {
+  for (std::size_t m = 0; m < (1u << n); ++m) {
+    std::vector<bool> bits(n);
+    for (std::size_t v = 0; v < n; ++v) bits[v] = (m >> v) & 1u;
+    if (a.covers_minterm(bits) != b.covers_minterm(bits)) return false;
+  }
+  return true;
+}
+
+TEST(Espresso, ExpandReachesPrimes) {
+  // f = ab + ab' expands to a.
+  const Cover on = Cover::parse(2, "11 10");
+  const Cover off = on.complement();
+  const Cover expanded = expand_against(on, off);
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].to_string(), "1-");
+}
+
+TEST(Espresso, IrredundantDropsCoveredCube) {
+  // The consensus term bc is redundant in ab + a'c + bc.
+  const Cover classic = Cover::parse(3, "11- 0-1 -11");
+  const Cover result = irredundant(classic, Cover(3));
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(same_function(classic, result, 3));
+}
+
+TEST(Espresso, IrredundantKeepsEssentialCubes) {
+  const Cover cover = Cover::parse(2, "1- -1");
+  const Cover result = irredundant(cover, Cover(2));
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(Espresso, DontCaresEnableRemoval) {
+  // With the right DC set, a cube becomes removable.
+  const Cover cover = Cover::parse(2, "11 00");
+  const Cover dc = Cover::parse(2, "0-");
+  const Cover result = irredundant(cover, dc);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].to_string(), "11");
+}
+
+TEST(Espresso, MinimizePreservesFunction) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> lit(0, 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Cover on(4);
+    for (int c = 0; c < 4; ++c) {
+      Cube cube(4);
+      for (int v = 0; v < 4; ++v) {
+        cube.set(v, static_cast<Lit>(lit(rng)));
+      }
+      on.add(std::move(cube));
+    }
+    const Cover result = espresso_minimize(on, Cover(4));
+    EXPECT_TRUE(same_function(on, result, 4)) << trial;
+    EXPECT_LE(result.size(), on.size());
+  }
+}
+
+TEST(Espresso, ClassicCoverCanViolateHazardFreedom) {
+  // The textbook hazard: f = a'b + ac at the transition a: 0->1 with b=c=1.
+  // The two-product classic cover is functionally minimal but has no
+  // single product containing the required cube "-11" (b=c=1, a free), so
+  // a 1->1 transition across it can glitch.  The hazard-free cover must
+  // add the consensus term bc.
+  const Cover classic = Cover::parse(3, "01- 1-1");
+  const Cube required = Cube::parse("-11");
+  // Classic cover covers the cube as a union...
+  EXPECT_TRUE(classic.covers_cube(required));
+  // ...but no single product contains it (the hazard-free condition).
+  for (const auto& p : classic.cubes()) {
+    EXPECT_FALSE(p.contains(required));
+  }
+  // And classic irredundancy would *remove* the consensus term that
+  // hazard-freedom requires.
+  const Cover hazard_free = Cover::parse(3, "01- 1-1 -11");
+  const Cover reduced = irredundant(hazard_free, Cover(3));
+  EXPECT_EQ(reduced.size(), 2u) << "classic minimization drops bc";
+}
+
+TEST(Espresso, HazardFreeSynthesisKeepsRequiredCubesIntact) {
+  // Cross-check on a real controller: every required cube of every
+  // function is contained in a single product of the hazard-free cover.
+  const auto spec = bm::compile(
+      *ch::parse("(rep (enc-early (p-to-p passive P)"
+                 " (seq (p-to-p active A1) (p-to-p active A2))))"),
+      "seq");
+  const auto machine = minimalist::extract(spec);
+  const auto ctrl = minimalist::synthesize(spec);
+  for (std::size_t fi = 0; fi < machine.functions.size(); ++fi) {
+    for (const auto& required : machine.functions[fi].on_required) {
+      bool contained = false;
+      for (const auto& p : ctrl.functions[fi].products.cubes()) {
+        if (p.contains(required)) contained = true;
+      }
+      EXPECT_TRUE(contained) << machine.functions[fi].name << " misses "
+                             << required.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bb::logic

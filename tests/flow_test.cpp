@@ -1,0 +1,139 @@
+// End-to-end flow tests: Balsa source -> handshake netlist -> clustered
+// controllers -> gates -> simulated system, for both the unoptimized and
+// the optimized back-ends (Fig. 1 / Table 3).
+#include "src/flow/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/balsa/compile.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/system.hpp"
+#include "src/flow/testbench.hpp"
+
+namespace bb::flow {
+namespace {
+
+TEST(Flow, SynthesizeControlOptimizedClusters) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  const auto result = synthesize_control(net, FlowOptions::optimized());
+  // Loop + 9-way sequencer + 8-way call collapse to a single controller.
+  ASSERT_EQ(result.controllers.size(), 1u);
+  EXPECT_EQ(result.info[0].states, 19);
+  EXPECT_EQ(result.cluster_stats.calls_distributed, 1);
+  EXPECT_GT(result.area, 0.0);
+}
+
+TEST(Flow, SynthesizeControlBaselineUsesTemplates) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  const auto result = synthesize_control(net, FlowOptions::unoptimized());
+  // All three components have hand templates: no synthesized controllers.
+  EXPECT_TRUE(result.controllers.empty());
+  EXPECT_EQ(result.info.size(), 3u);
+  for (const auto& info : result.info) {
+    EXPECT_NE(info.name.find("(template)"), std::string::npos);
+  }
+}
+
+TEST(Flow, ReportMentionsEveryController) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  const auto result = synthesize_control(net, FlowOptions::optimized());
+  const std::string text = report(result);
+  EXPECT_NE(text.find("states"), std::string::npos);
+  EXPECT_NE(text.find("total control area"), std::string::npos);
+}
+
+struct DesignCase {
+  const char* name;
+};
+
+class Table3Designs : public ::testing::TestWithParam<DesignCase> {};
+
+TEST_P(Table3Designs, UnoptimizedRunsCorrectly) {
+  const auto r = run_benchmark(GetParam().name, FlowOptions::unoptimized());
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.time_ns, 0.0);
+  EXPECT_GT(r.total_area, 0.0);
+}
+
+TEST_P(Table3Designs, OptimizedRunsCorrectly) {
+  const auto r = run_benchmark(GetParam().name, FlowOptions::optimized());
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.time_ns, 0.0);
+}
+
+TEST_P(Table3Designs, OptimizedIsFaster) {
+  // The headline of Table 3: the clustered back-end wins on speed for
+  // every design.
+  const auto row = run_table3_row(GetParam().name);
+  ASSERT_TRUE(row.unoptimized.ok) << row.unoptimized.detail;
+  ASSERT_TRUE(row.optimized.ok) << row.optimized.detail;
+  EXPECT_GT(row.speed_improvement_pct, 0.0)
+      << row.title << ": " << row.unoptimized.time_ns << " -> "
+      << row.optimized.time_ns;
+  // Clustering reduces the controller count.
+  EXPECT_LE(row.optimized.controllers, row.unoptimized.components);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, Table3Designs,
+                         ::testing::Values(DesignCase{"systolic"},
+                                           DesignCase{"wagging"},
+                                           DesignCase{"stack"},
+                                           DesignCase{"ssem"}),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Flow, SystolicImprovementIsControlDominated) {
+  // Control-dominated designs benefit most (Section 6's observation).
+  const auto systolic = run_table3_row("systolic");
+  const auto ssem = run_table3_row("ssem");
+  ASSERT_TRUE(systolic.optimized.ok);
+  ASSERT_TRUE(ssem.optimized.ok);
+  EXPECT_GT(systolic.speed_improvement_pct, ssem.speed_improvement_pct);
+}
+
+TEST(Flow, StackIsLifoCorrectUnderBothFlows) {
+  for (const bool optimized : {false, true}) {
+    const auto opts = optimized ? FlowOptions::optimized()
+                                : FlowOptions::unoptimized();
+    const auto r = run_benchmark("stack", opts);
+    EXPECT_TRUE(r.ok) << r.detail;
+    EXPECT_NE(r.detail.find("LIFO"), std::string::npos);
+  }
+}
+
+TEST(Flow, SsemStoresExpectedValues) {
+  const auto r = run_benchmark("ssem", FlowOptions::optimized());
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_NE(r.detail.find("stores 0..4"), std::string::npos);
+}
+
+TEST(Flow, UnknownDesignThrows) {
+  EXPECT_THROW(run_benchmark("nonesuch", FlowOptions::optimized()),
+               std::invalid_argument);
+}
+
+TEST(System, ChannelsAvailableBeforeStart) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  System system(net, FlowOptions::optimized());
+  const auto nets = system.chan("count");
+  EXPECT_GE(nets.req, 0);
+  EXPECT_GE(nets.ack, 0);
+  system.start();
+  EXPECT_THROW(system.chan("carry"), std::logic_error);
+}
+
+TEST(System, StartTwiceThrows) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  System system(net, FlowOptions::optimized());
+  system.start();
+  EXPECT_THROW(system.start(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bb::flow

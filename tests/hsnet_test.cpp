@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/bm/compile.hpp"
+#include "src/bm/validate.hpp"
+#include "src/ch/printer.hpp"
+#include "src/hsnet/netlist.hpp"
+#include "src/hsnet/to_ch.hpp"
+
+namespace bb::hsnet {
+namespace {
+
+Component make(ComponentKind kind, std::vector<std::string> ports,
+               int ways = 0) {
+  Component c;
+  c.kind = kind;
+  c.ports = std::move(ports);
+  c.ways = ways;
+  return c;
+}
+
+TEST(Component, ControlPartition) {
+  EXPECT_TRUE(is_control(ComponentKind::kSequence));
+  EXPECT_TRUE(is_control(ComponentKind::kCall));
+  EXPECT_TRUE(is_control(ComponentKind::kWhile));
+  EXPECT_FALSE(is_control(ComponentKind::kVariable));
+  EXPECT_FALSE(is_control(ComponentKind::kFetch));
+  EXPECT_FALSE(is_control(ComponentKind::kMemory));
+}
+
+TEST(ToCh, SequencerMatchesSection34) {
+  const auto p = to_ch(make(ComponentKind::kSequence, {"P", "A1", "A2"}));
+  EXPECT_EQ(ch::to_string(*p.body),
+            "(rep (enc-early (p-to-p passive P) "
+            "(seq (p-to-p active A1) (p-to-p active A2))))");
+}
+
+TEST(ToCh, SequencerThreeWayNestsRight) {
+  const auto p =
+      to_ch(make(ComponentKind::kSequence, {"P", "A1", "A2", "A3"}));
+  EXPECT_EQ(ch::to_string(*p.body),
+            "(rep (enc-early (p-to-p passive P) "
+            "(seq (p-to-p active A1) "
+            "(seq (p-to-p active A2) (p-to-p active A3)))))");
+}
+
+TEST(ToCh, CallMatchesSection34) {
+  const auto p = to_ch(make(ComponentKind::kCall, {"A1", "A2", "B"}));
+  EXPECT_EQ(ch::to_string(*p.body),
+            "(rep (mutex "
+            "(enc-early (p-to-p passive A1) (p-to-p active B)) "
+            "(enc-early (p-to-p passive A2) (p-to-p active B))))");
+}
+
+TEST(ToCh, PassivatorMatchesSection34) {
+  const auto p = to_ch(make(ComponentKind::kPassivator, {"A", "B"}));
+  EXPECT_EQ(ch::to_string(*p.body),
+            "(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))");
+}
+
+TEST(ToCh, DecisionWaitMatchesSection41) {
+  const auto p = to_ch(
+      make(ComponentKind::kDecisionWait, {"a1", "i1", "i2", "o1", "o2"}, 2));
+  EXPECT_EQ(ch::to_string(*p.body),
+            "(rep (enc-early (p-to-p passive a1) "
+            "(mutex "
+            "(enc-early (p-to-p passive i1) (p-to-p active o1)) "
+            "(enc-early (p-to-p passive i2) (p-to-p active o2)))))");
+}
+
+TEST(ToCh, AllControlKindsProduceValidBmMachines) {
+  const std::vector<Component> components = {
+      make(ComponentKind::kLoop, {"a", "b"}),
+      make(ComponentKind::kSequence, {"a", "b1", "b2"}),
+      make(ComponentKind::kSequence, {"a", "b1", "b2", "b3", "b4"}),
+      make(ComponentKind::kConcur, {"a", "b1", "b2"}),
+      make(ComponentKind::kConcur, {"a", "b1", "b2", "b3"}),
+      make(ComponentKind::kCall, {"a1", "a2", "b"}),
+      make(ComponentKind::kCall, {"a1", "a2", "a3", "b"}),
+      make(ComponentKind::kDecisionWait, {"a", "i1", "i2", "o1", "o2"}, 2),
+      make(ComponentKind::kWhile, {"a", "g", "b"}),
+      make(ComponentKind::kCase, {"a", "s", "o1", "o2", "o3"}, 3),
+      make(ComponentKind::kSynch, {"i1", "i2", "o"}),
+      make(ComponentKind::kPassivator, {"a", "b"}),
+  };
+  for (const Component& c : components) {
+    const auto program = to_ch(c);
+    const auto spec = bm::compile(*program.body, program.name);
+    const auto check = bm::validate(spec);
+    EXPECT_TRUE(check.ok) << program.name << ": "
+                          << (check.errors.empty() ? "" : check.errors[0]);
+    EXPECT_GT(spec.num_states, 0) << program.name;
+  }
+}
+
+TEST(ToCh, DatapathComponentThrows) {
+  EXPECT_THROW(to_ch(make(ComponentKind::kVariable, {"w", "r"})),
+               std::invalid_argument);
+}
+
+TEST(Netlist, ChannelBookkeeping) {
+  Netlist n("t");
+  n.add(make(ComponentKind::kSequence, {"a", "b1", "b2"}));
+  n.add(make(ComponentKind::kCall, {"b1", "b2", "c"}));
+  const ChannelInfo* b1 = n.channel("b1");
+  ASSERT_NE(b1, nullptr);
+  EXPECT_EQ(b1->endpoints.size(), 2u);
+  const ChannelInfo* c = n.channel("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->endpoints.size(), 1u);
+}
+
+TEST(Netlist, InternalControlChannels) {
+  Netlist n("t");
+  n.declare_channel("a", 0, /*external=*/true);
+  n.add(make(ComponentKind::kSequence, {"a", "b1", "b2"}));
+  n.add(make(ComponentKind::kCall, {"b1", "b2", "c"}));
+  n.add(make(ComponentKind::kFetch, {"c", "din", "dout"}));
+  const auto internal = n.internal_control_channels();
+  // b1 and b2 connect two control components; a is external; c touches a
+  // datapath component.
+  EXPECT_EQ(internal, (std::vector<std::string>{"b1", "b2"}));
+}
+
+TEST(Netlist, ControlDatapathSplit) {
+  Netlist n("t");
+  n.add(make(ComponentKind::kSequence, {"a", "b1", "b2"}));
+  n.add(make(ComponentKind::kFetch, {"b1", "x", "y"}));
+  n.add(make(ComponentKind::kVariable, {"y", "z"}));
+  EXPECT_EQ(n.control_ids().size(), 1u);
+  EXPECT_EQ(n.datapath_ids().size(), 2u);
+}
+
+TEST(Netlist, ControlPrograms) {
+  Netlist n("t");
+  n.add(make(ComponentKind::kSequence, {"a", "b1", "b2"}));
+  n.add(make(ComponentKind::kFetch, {"b1", "x", "y"}));
+  n.add(make(ComponentKind::kLoop, {"b2", "c"}));
+  const auto programs = control_programs(n);
+  ASSERT_EQ(programs.size(), 2u);
+  EXPECT_NE(programs[0].name.find("$BrzSequence"), std::string::npos);
+  EXPECT_NE(programs[1].name.find("$BrzLoop"), std::string::npos);
+}
+
+TEST(Netlist, ToStringMentionsEveryComponent) {
+  Netlist n("demo");
+  n.add(make(ComponentKind::kSequence, {"a", "b1", "b2"}));
+  n.add(make(ComponentKind::kConstant, {"k"}));
+  const std::string dump = n.to_string();
+  EXPECT_NE(dump.find("$BrzSequence#0"), std::string::npos);
+  EXPECT_NE(dump.find("$BrzConstant#1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bb::hsnet

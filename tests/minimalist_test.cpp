@@ -1,0 +1,197 @@
+// Burst-Mode synthesis (Minimalist substitute): every controller the flow
+// produces must synthesize into hazard-free two-level logic that replays
+// its specification exactly.
+#include <gtest/gtest.h>
+
+#include "src/bm/compile.hpp"
+#include "src/bm/validate.hpp"
+#include "src/ch/parser.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/opt/cluster.hpp"
+
+namespace bb::minimalist {
+namespace {
+
+bm::Spec spec_of(const std::string& source, const std::string& name) {
+  const bm::Spec spec = bm::compile(*ch::parse(source), name);
+  const auto check = bm::validate(spec);
+  EXPECT_TRUE(check.ok) << name;
+  return spec;
+}
+
+void expect_synthesizes(const std::string& source, const std::string& name,
+                        SynthMode mode = SynthMode::kSpeed) {
+  const bm::Spec spec = spec_of(source, name);
+  const SynthesizedController ctrl = synthesize(spec, mode);
+  const ValidationReport report = validate_against_spec(ctrl, spec);
+  EXPECT_TRUE(report.ok) << name << ": "
+                         << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_GT(ctrl.num_products(), 0u);
+}
+
+constexpr const char* kSequencer =
+    "(rep (enc-early (p-to-p passive P)"
+    "  (seq (p-to-p active A1) (p-to-p active A2))))";
+constexpr const char* kCall =
+    "(rep (mutex (enc-early (p-to-p passive A1) (p-to-p active B))"
+    "            (enc-early (p-to-p passive A2) (p-to-p active B))))";
+constexpr const char* kPassivator =
+    "(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))";
+
+TEST(Extract, SequencerShape) {
+  const MachineSpec m = extract(spec_of(kSequencer, "sequencer"));
+  EXPECT_EQ(m.inputs.size(), 3u);       // p_r, a1_a, a2_a
+  EXPECT_EQ(m.state_bits.size(), 6u);   // one per state
+  EXPECT_EQ(m.functions.size(), 3u + 6u);
+  EXPECT_EQ(m.num_vars, 9u);
+  // Initial code is one-hot state 0.
+  EXPECT_TRUE(m.initial_state_code[0]);
+  for (std::size_t s = 1; s < 6; ++s) EXPECT_FALSE(m.initial_state_code[s]);
+}
+
+TEST(Extract, FunctionsHaveConsistentSpecs) {
+  const MachineSpec m = extract(spec_of(kCall, "call"));
+  for (const FuncSpec& f : m.functions) {
+    for (const auto& c : f.on_required) {
+      for (const auto& off : f.off.cubes()) {
+        EXPECT_FALSE(c.intersects(off)) << f.name;
+      }
+    }
+  }
+}
+
+TEST(Synthesize, Sequencer) { expect_synthesizes(kSequencer, "sequencer"); }
+TEST(Synthesize, Call) { expect_synthesizes(kCall, "call"); }
+TEST(Synthesize, Passivator) { expect_synthesizes(kPassivator, "passivator"); }
+
+TEST(Synthesize, Loop) {
+  expect_synthesizes(
+      "(enc-early (p-to-p passive a) (rep (p-to-p active b)))", "loop");
+}
+
+TEST(Synthesize, Concur) {
+  expect_synthesizes(
+      "(rep (enc-middle (p-to-p passive a)"
+      "  (enc-middle (p-to-p active b1) (p-to-p active b2))))",
+      "concur");
+}
+
+TEST(Synthesize, While) {
+  expect_synthesizes(
+      "(rep (enc-early (p-to-p passive a)"
+      "  (rep (mux-ack g (seq (p-to-p active b)) (seq (break))))))",
+      "while");
+}
+
+TEST(Synthesize, DecisionWait) {
+  expect_synthesizes(
+      "(rep (enc-early (p-to-p passive a1)"
+      "  (mutex (enc-early (p-to-p passive i1) (p-to-p active o1))"
+      "         (enc-early (p-to-p passive i2) (p-to-p active o2)))))",
+      "dw");
+}
+
+TEST(Synthesize, Synch) {
+  expect_synthesizes(
+      "(rep (enc-middle (p-to-p passive i1)"
+      "  (enc-middle (p-to-p passive i2) (p-to-p active o))))",
+      "synch");
+}
+
+TEST(Synthesize, ThreeWaySequencer) {
+  expect_synthesizes(
+      "(rep (enc-early (p-to-p passive P)"
+      "  (seq (p-to-p active A1) (seq (p-to-p active A2)"
+      "       (p-to-p active A3)))))",
+      "seq3");
+}
+
+TEST(Synthesize, Fig4MergedController) {
+  // The Section 4.1 clustered decision-wait + sequencer.
+  std::vector<ch::Program> programs;
+  programs.emplace_back(
+      "DW", ch::parse("(rep (enc-early (p-to-p passive a1)"
+                      "  (mutex (enc-early (p-to-p passive i1)"
+                      "                    (p-to-p active o1))"
+                      "         (enc-early (p-to-p passive i2)"
+                      "                    (p-to-p active o2)))))"));
+  programs.emplace_back(
+      "SEQ", ch::parse("(rep (enc-early (p-to-p passive o2)"
+                       "  (seq (p-to-p active c1) (p-to-p active c2))))"));
+  const auto clustered = opt::optimize(std::move(programs));
+  ASSERT_EQ(clustered.size(), 1u);
+  const bm::Spec spec = bm::compile(*clustered[0].program.body, "fig4");
+  const SynthesizedController ctrl = synthesize(spec);
+  const auto report = validate_against_spec(ctrl, spec);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(Synthesize, Fig5MergedController) {
+  expect_synthesizes(
+      "(rep (enc-early (p-to-p passive a)"
+      "  (seq (enc-early void (p-to-p active c))"
+      "       (enc-early void (p-to-p active c)))))",
+      "fig5");
+}
+
+TEST(Synthesize, AreaModeUsesFewerOrEqualLiterals) {
+  const bm::Spec spec = spec_of(kSequencer, "sequencer");
+  const auto speed = synthesize(spec, SynthMode::kSpeed);
+  const auto area = synthesize(spec, SynthMode::kArea);
+  EXPECT_LE(area.num_literals(), speed.num_literals());
+  const auto report = validate_against_spec(area, spec);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(Synthesize, SolOutputListsAllFunctions) {
+  const auto ctrl = synthesize(spec_of(kPassivator, "passivator"));
+  const std::string sol = ctrl.to_sol();
+  EXPECT_NE(sol.find(".fn a_a"), std::string::npos);
+  EXPECT_NE(sol.find(".fn b_a"), std::string::npos);
+  EXPECT_NE(sol.find(".fn y0 (state)"), std::string::npos);
+}
+
+TEST(Hfmin, DhfImplicantCheck) {
+  FuncSpec f;
+  f.off = logic::Cover(3);
+  f.off.add(logic::Cube::parse("11-"));
+  EXPECT_TRUE(is_dhf_implicant(logic::Cube::parse("0--"), f));
+  EXPECT_FALSE(is_dhf_implicant(logic::Cube::parse("1--"), f));
+
+  // Privileged transition: products intersecting "--0" must contain "000".
+  f.privileges.push_back(
+      Privilege{logic::Cube::parse("--0"), logic::Cube::parse("000")});
+  EXPECT_TRUE(is_dhf_implicant(logic::Cube::parse("0--"), f));
+  EXPECT_FALSE(is_dhf_implicant(logic::Cube::parse("01-"), f));
+}
+
+TEST(Hfmin, ConstantZeroFunction) {
+  FuncSpec f;
+  f.name = "z";
+  f.off = logic::Cover(2);
+  f.off.add(logic::Cube::parse("--"));
+  const auto solved = minimize_function(f, 2, 2, SynthMode::kSpeed);
+  EXPECT_TRUE(solved.products.empty());
+}
+
+TEST(Hfmin, RequiredCubeMustBeImplicant) {
+  FuncSpec f;
+  f.name = "z";
+  f.off = logic::Cover(2);
+  f.off.add(logic::Cube::parse("1-"));
+  f.on_required.push_back(logic::Cube::parse("--"));  // overlaps OFF
+  EXPECT_THROW(minimize_function(f, 2, 2, SynthMode::kSpeed),
+               std::runtime_error);
+}
+
+TEST(Validate, RejectsBrokenController) {
+  const bm::Spec spec = spec_of(kPassivator, "passivator");
+  SynthesizedController ctrl = synthesize(spec);
+  // Sabotage: drop the products of the first output.
+  ctrl.functions[0].products = logic::Cover(ctrl.num_vars);
+  const auto report = validate_against_spec(ctrl, spec);
+  EXPECT_FALSE(report.ok);
+}
+
+}  // namespace
+}  // namespace bb::minimalist

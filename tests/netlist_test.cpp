@@ -1,0 +1,165 @@
+// Gate netlists, the Verilog writer, the cell library and the mapper.
+#include <gtest/gtest.h>
+
+#include "src/bm/compile.hpp"
+#include "src/ch/parser.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/netlist/gates.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/techmap/cells.hpp"
+#include "src/techmap/map.hpp"
+
+namespace bb::netlist {
+namespace {
+
+TEST(GateNetlist, NetNaming) {
+  GateNetlist n("t");
+  const int a = n.add_net("a");
+  EXPECT_EQ(n.net("a"), a);
+  EXPECT_EQ(n.net("missing"), -1);
+  EXPECT_THROW(n.add_net("a"), std::invalid_argument);
+  const int b = n.add_net();
+  n.name_net(b, "b");
+  EXPECT_EQ(n.net("b"), b);
+}
+
+TEST(GateNetlist, DriverTable) {
+  GateNetlist n("t");
+  const int a = n.add_net("a");
+  const int q = n.add_gate("INV", CellFn::kInv, {a}, 0.1, 55);
+  const auto drivers = n.driver_table();
+  EXPECT_EQ(drivers[a], -1);
+  EXPECT_EQ(drivers[q], 0);
+}
+
+TEST(GateNetlist, DoubleDriverDetected) {
+  GateNetlist n("t");
+  const int a = n.add_net("a");
+  const int q = n.add_net("q");
+  n.add_gate("INV", CellFn::kInv, {a}, 0.1, 55, q);
+  n.add_gate("BUF", CellFn::kBuf, {a}, 0.1, 73, q);
+  EXPECT_THROW(n.driver_table(), std::logic_error);
+}
+
+TEST(GateNetlist, MergeConnectsByName) {
+  GateNetlist a("a");
+  const int x = a.add_net("shared");
+  a.add_gate("INV", CellFn::kInv, {x}, 0.1, 55);
+
+  GateNetlist b("b");
+  const int y = b.add_net("shared");
+  b.mark_input(y);
+  b.add_gate("BUF", CellFn::kBuf, {y}, 0.1, 73);
+
+  a.merge(b);
+  EXPECT_EQ(a.gates().size(), 2u);
+  // Both gates read the same net.
+  EXPECT_EQ(a.gates()[0].fanins[0], a.gates()[1].fanins[0]);
+  EXPECT_DOUBLE_EQ(a.total_area(), 128.0);
+}
+
+TEST(Verilog, StructuralOutput) {
+  GateNetlist n("ctrl");
+  const int a = n.add_net("a_r");
+  n.mark_input(a);
+  const int inv = n.add_gate("INV", CellFn::kInv, {a}, 0.1, 55);
+  n.add_gate("NAND2", CellFn::kNand, {a, inv}, 0.1, 73,
+             n.add_net("a_a"));
+  const std::string v = to_verilog(n);
+  EXPECT_NE(v.find("module ctrl"), std::string::npos);
+  EXPECT_NE(v.find("input a_r;"), std::string::npos);
+  EXPECT_NE(v.find("output a_a;"), std::string::npos);
+  EXPECT_NE(v.find("not "), std::string::npos);
+  EXPECT_NE(v.find("nand "), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Cells, LibraryLookup) {
+  const auto& lib = techmap::CellLibrary::ams035();
+  EXPECT_EQ(lib.pick(CellFn::kNand, 2).name, "NAND2");
+  EXPECT_EQ(lib.pick(CellFn::kNand, 3).name, "NAND3");
+  EXPECT_EQ(lib.pick(CellFn::kInv, 1).name, "INV");
+  EXPECT_EQ(lib.max_fanin(CellFn::kNand), 4);
+  EXPECT_THROW(lib.pick(CellFn::kNand, 9), std::out_of_range);
+  EXPECT_EQ(lib.by_name("DEL").fn, CellFn::kBuf);
+  EXPECT_THROW(lib.by_name("XYZZY"), std::out_of_range);
+}
+
+TEST(Cells, DelaysAndAreasAreMonotone) {
+  const auto& lib = techmap::CellLibrary::ams035();
+  EXPECT_LT(lib.pick(CellFn::kNand, 2).delay_ns,
+            lib.pick(CellFn::kNand, 4).delay_ns);
+  EXPECT_LT(lib.pick(CellFn::kNand, 2).area,
+            lib.pick(CellFn::kNand, 4).area);
+  EXPECT_LT(lib.pick(CellFn::kInv, 1).area, lib.pick(CellFn::kCelem, 2).area);
+}
+
+TEST(Map, LevelSeparatedUsesMoreAreaThanWholeCone) {
+  // Section 5/6: mapping the two logic levels separately forbids
+  // cross-level simplification (e.g. collapsing a single-product
+  // function's NAND+INV pair) and costs area.  The loop controller has
+  // single-product functions, so the penalty is guaranteed to appear.
+  const auto spec = bm::compile(
+      *ch::parse("(enc-early (p-to-p passive a) (rep (p-to-p active b)))"),
+      "loop");
+  const auto ctrl = minimalist::synthesize(spec);
+  const auto& lib = techmap::CellLibrary::ams035();
+  techmap::MapOptions split;
+  split.level_separated = true;
+  techmap::MapOptions cone;
+  cone.level_separated = false;
+  const auto split_net = techmap::map_controller(ctrl, lib, split, "a");
+  const auto cone_net = techmap::map_controller(ctrl, lib, cone, "b");
+  EXPECT_GT(split_net.total_area(), cone_net.total_area());
+}
+
+TEST(Map, LevelSeparationNeverWins) {
+  // Whole-cone mapping is never larger: it has strictly more freedom.
+  const auto& lib = techmap::CellLibrary::ams035();
+  for (const char* src :
+       {"(rep (enc-early (p-to-p passive P)"
+        " (seq (p-to-p active A1) (p-to-p active A2))))",
+        "(rep (mutex (enc-early (p-to-p passive A1) (p-to-p active B))"
+        " (enc-early (p-to-p passive A2) (p-to-p active B))))",
+        "(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))"}) {
+    const auto ctrl = minimalist::synthesize(bm::compile(*ch::parse(src)));
+    techmap::MapOptions split;
+    split.level_separated = true;
+    techmap::MapOptions cone;
+    cone.level_separated = false;
+    EXPECT_GE(techmap::map_controller(ctrl, lib, split, "a").total_area(),
+              techmap::map_controller(ctrl, lib, cone, "b").total_area());
+  }
+}
+
+TEST(Map, ControllerNetsAreNamed) {
+  const auto spec = bm::compile(
+      *ch::parse("(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))"),
+      "pas");
+  const auto ctrl = minimalist::synthesize(spec);
+  const auto net = techmap::map_controller(
+      ctrl, techmap::CellLibrary::ams035(), {}, "pfx");
+  EXPECT_GE(net.net("a_r"), 0);
+  EXPECT_GE(net.net("a_a"), 0);
+  EXPECT_GE(net.net("pfx/y0"), 0);
+  EXPECT_TRUE(net.is_input(net.net("a_r")));
+}
+
+TEST(Map, StateBitsRunThroughDelayElements) {
+  const auto spec = bm::compile(
+      *ch::parse("(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))"),
+      "pas");
+  const auto ctrl = minimalist::synthesize(spec);
+  const auto net = techmap::map_controller(
+      ctrl, techmap::CellLibrary::ams035(), {}, "p");
+  int dels = 0, douts = 0;
+  for (const auto& g : net.gates()) {
+    if (g.cell == "DEL") ++dels;
+    if (g.cell == "DOUT") ++douts;
+  }
+  EXPECT_EQ(dels, 2);   // one per state bit
+  EXPECT_EQ(douts, 2);  // one per output
+}
+
+}  // namespace
+}  // namespace bb::netlist

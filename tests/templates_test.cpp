@@ -1,0 +1,195 @@
+// Hand-template circuits (the Balsa component-library baseline): each
+// template must execute its four-phase protocol correctly in the event
+// simulator.
+#include "src/techmap/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/gatesim.hpp"
+
+namespace bb::techmap {
+namespace {
+
+using hsnet::Component;
+using hsnet::ComponentKind;
+
+Component make(ComponentKind kind, std::vector<std::string> ports,
+               int ways = 0) {
+  Component c;
+  c.kind = kind;
+  c.ports = std::move(ports);
+  c.ways = ways;
+  return c;
+}
+
+/// Drives template circuits through handshakes.
+class Harness {
+ public:
+  explicit Harness(const Component& comp)
+      : netlist_(*template_circuit(comp, CellLibrary::ams035())),
+        binding_(netlist_),
+        sim_(netlist_.num_nets()) {
+    binding_.bind(sim_);
+    binding_.settle_initial(sim_);
+  }
+
+  int net(const std::string& name) {
+    const int id = netlist_.net(name);
+    EXPECT_GE(id, 0) << name;
+    return id;
+  }
+  bool value(const std::string& name) { return sim_.value(net(name)); }
+  void set(const std::string& name, bool v) {
+    sim_.schedule(net(name), v, 0.8);
+    EXPECT_TRUE(sim_.run());
+  }
+  double area() const { return netlist_.total_area(); }
+
+ private:
+  netlist::GateNetlist netlist_;
+  sim::GateBinding binding_;
+  sim::Simulator sim_;
+};
+
+TEST(Templates, Availability) {
+  EXPECT_TRUE(has_template(ComponentKind::kSequence));
+  EXPECT_TRUE(has_template(ComponentKind::kCall));
+  EXPECT_TRUE(has_template(ComponentKind::kLoop));
+  EXPECT_FALSE(has_template(ComponentKind::kWhile));
+  EXPECT_FALSE(has_template(ComponentKind::kCase));
+  EXPECT_FALSE(has_template(ComponentKind::kVariable));
+  EXPECT_FALSE(
+      template_circuit(make(ComponentKind::kWhile, {"a", "g", "b"}),
+                       CellLibrary::ams035())
+          .has_value());
+}
+
+TEST(Templates, Continue) {
+  Harness h(make(ComponentKind::kContinue, {"a"}));
+  EXPECT_FALSE(h.value("a_a"));
+  h.set("a_r", true);
+  EXPECT_TRUE(h.value("a_a"));
+  h.set("a_r", false);
+  EXPECT_FALSE(h.value("a_a"));
+}
+
+TEST(Templates, Loop) {
+  Harness h(make(ComponentKind::kLoop, {"a", "b"}));
+  EXPECT_FALSE(h.value("b_r"));
+  h.set("a_r", true);
+  EXPECT_TRUE(h.value("b_r"));
+  h.set("b_a", true);
+  EXPECT_FALSE(h.value("b_r"));
+  h.set("b_a", false);
+  EXPECT_TRUE(h.value("b_r")) << "loop must re-request";
+  EXPECT_FALSE(h.value("a_a")) << "loop never acknowledges its activation";
+}
+
+TEST(Templates, SequenceTwoWay) {
+  Harness h(make(ComponentKind::kSequence, {"a", "b1", "b2"}, 2));
+  h.set("a_r", true);
+  EXPECT_TRUE(h.value("b1_r"));
+  EXPECT_FALSE(h.value("b2_r"));
+  h.set("b1_a", true);
+  EXPECT_FALSE(h.value("b1_r"));
+  h.set("b1_a", false);
+  EXPECT_TRUE(h.value("b2_r")) << "second branch starts after the first";
+  h.set("b2_a", true);
+  EXPECT_FALSE(h.value("b2_r"));
+  h.set("b2_a", false);
+  EXPECT_TRUE(h.value("a_a")) << "activation acknowledged after both";
+  h.set("a_r", false);
+  EXPECT_FALSE(h.value("a_a"));
+  // Second activation must work identically.
+  h.set("a_r", true);
+  EXPECT_TRUE(h.value("b1_r"));
+}
+
+TEST(Templates, SequenceFourWayOrder) {
+  Harness h(make(ComponentKind::kSequence, {"a", "b1", "b2", "b3", "b4"}, 4));
+  h.set("a_r", true);
+  for (const char* b : {"b1", "b2", "b3", "b4"}) {
+    EXPECT_TRUE(h.value(std::string(b) + "_r")) << b;
+    h.set(std::string(b) + "_a", true);
+    h.set(std::string(b) + "_a", false);
+  }
+  EXPECT_TRUE(h.value("a_a"));
+}
+
+TEST(Templates, Concur) {
+  Harness h(make(ComponentKind::kConcur, {"a", "b1", "b2"}, 2));
+  h.set("a_r", true);
+  EXPECT_TRUE(h.value("b1_r"));
+  EXPECT_TRUE(h.value("b2_r")) << "both branches start in parallel";
+  h.set("b1_a", true);
+  EXPECT_FALSE(h.value("a_a")) << "join waits for every branch";
+  h.set("b2_a", true);
+  EXPECT_TRUE(h.value("a_a"));
+  h.set("a_r", false);
+  EXPECT_FALSE(h.value("b1_r"));
+  EXPECT_FALSE(h.value("b2_r"));
+  h.set("b1_a", false);
+  h.set("b2_a", false);
+  EXPECT_FALSE(h.value("a_a"));
+}
+
+TEST(Templates, CallTwoWay) {
+  Harness h(make(ComponentKind::kCall, {"a1", "a2", "b"}, 2));
+  h.set("a1_r", true);
+  EXPECT_TRUE(h.value("b_r"));
+  h.set("b_a", true);
+  EXPECT_TRUE(h.value("a1_a"));
+  EXPECT_FALSE(h.value("a2_a")) << "only the calling client is acknowledged";
+  h.set("a1_r", false);
+  EXPECT_FALSE(h.value("b_r"));
+  h.set("b_a", false);
+  EXPECT_FALSE(h.value("a1_a"));
+  // The other client takes its turn.
+  h.set("a2_r", true);
+  EXPECT_TRUE(h.value("b_r"));
+  h.set("b_a", true);
+  EXPECT_TRUE(h.value("a2_a"));
+  EXPECT_FALSE(h.value("a1_a"));
+}
+
+TEST(Templates, Synch) {
+  Harness h(make(ComponentKind::kSynch, {"i1", "i2", "o"}, 2));
+  h.set("i1_r", true);
+  EXPECT_FALSE(h.value("o_r")) << "waits for all participants";
+  h.set("i2_r", true);
+  EXPECT_TRUE(h.value("o_r"));
+  h.set("o_a", true);
+  EXPECT_TRUE(h.value("i1_a"));
+  EXPECT_TRUE(h.value("i2_a"));
+  h.set("i1_r", false);
+  h.set("i2_r", false);
+  EXPECT_FALSE(h.value("o_r"));
+}
+
+TEST(Templates, Passivator) {
+  Harness h(make(ComponentKind::kPassivator, {"a", "b"}));
+  h.set("a_r", true);
+  EXPECT_FALSE(h.value("a_a"));
+  h.set("b_r", true);
+  EXPECT_TRUE(h.value("a_a"));
+  EXPECT_TRUE(h.value("b_a"));
+  h.set("a_r", false);
+  EXPECT_TRUE(h.value("b_a")) << "C-element holds until both reqs fall";
+  h.set("b_r", false);
+  EXPECT_FALSE(h.value("a_a"));
+  EXPECT_FALSE(h.value("b_a"));
+}
+
+TEST(Templates, TemplatesAreCompact) {
+  // A key Table 3 premise: templates are far smaller than the synthesized
+  // speed-mode controllers they stand in for.
+  Harness seq(make(ComponentKind::kSequence, {"a", "b1", "b2"}, 2));
+  EXPECT_LT(seq.area(), 2500);
+  Harness call(make(ComponentKind::kCall, {"a1", "a2", "b"}, 2));
+  EXPECT_LT(call.area(), 1500);
+  Harness loop(make(ComponentKind::kLoop, {"a", "b"}));
+  EXPECT_LT(loop.area(), 600);
+}
+
+}  // namespace
+}  // namespace bb::techmap

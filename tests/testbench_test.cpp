@@ -1,0 +1,121 @@
+// Unit tests for the testbench building blocks (drivers, servers, the
+// SSEM memory) against small compiled systems.
+#include "src/flow/testbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/balsa/compile.hpp"
+#include "src/designs/designs.hpp"
+
+namespace bb::flow {
+namespace {
+
+hsnet::Netlist tick_design() {
+  return balsa::compile_source(
+      "procedure tick (sync t) is begin loop sync t end end");
+}
+
+TEST(Testbench, ActivateDriverHoldsRequest) {
+  auto net = tick_design();
+  System system(net, FlowOptions::optimized());
+  ActivateDriver activate(system, "activate");
+  SyncServer t(system, "t");
+  t.enabled = [&] { return t.completed() < 3; };
+  auto& sim = system.start();
+  EXPECT_TRUE(sim.run());
+  // The loop never acknowledges the activation.
+  EXPECT_FALSE(activate.done());
+  EXPECT_EQ(t.completed(), 3);
+}
+
+TEST(Testbench, SyncServerCycleCallback) {
+  auto net = tick_design();
+  System system(net, FlowOptions::unoptimized());
+  ActivateDriver activate(system, "activate");
+  SyncServer t(system, "t");
+  std::vector<double> times;
+  t.on_cycle = [&](int, double time) { times.push_back(time); };
+  t.enabled = [&] { return t.completed() < 4; };
+  system.start().run();
+  ASSERT_EQ(times.size(), 4u);
+  // Steady-state cycle times are positive and monotone.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+TEST(Testbench, PullPushServersMoveData) {
+  auto net = balsa::compile_source(R"(
+    procedure copy (input i : 8; output o : 8) is
+      variable v : 8
+    begin
+      loop i -> v ; o <- v + 1 end
+    end)");
+  System system(net, FlowOptions::optimized());
+  ActivateDriver activate(system, "activate");
+  std::uint64_t next = 10;
+  PullServer in(system, "i", [&] { return next++; });
+  PushServer out(system, "o");
+  in.enabled = [&] { return out.consumed() < 3; };
+  system.start().run();
+  EXPECT_EQ(out.values(),
+            (std::vector<std::uint64_t>{11, 12, 13}));
+  EXPECT_GE(in.served(), 3);
+}
+
+TEST(Testbench, SsemMemoryReadWrite) {
+  auto net = balsa::compile_source(designs::ssem().source);
+  System system(net, FlowOptions::optimized());
+  ActivateDriver activate(system, "activate");
+  // Program: LDN 26 (acc = -mem[26] = 7), STO 20, STP.
+  std::vector<std::uint32_t> image(32, 0);
+  image[0] = designs::ssem_encode(2, 26);
+  image[1] = designs::ssem_encode(3, 20);
+  image[2] = designs::ssem_encode(7, 0);
+  image[26] = static_cast<std::uint32_t>(-7);
+  SsemMemory memory(system, image);
+  system.start().run();
+  EXPECT_TRUE(activate.done());
+  EXPECT_EQ(memory.contents()[20], 7u);
+  EXPECT_EQ(memory.writes(), 1);
+  // 3 instruction fetches + 1 operand fetch.
+  EXPECT_EQ(memory.reads(), 4);
+}
+
+TEST(Testbench, SsemCmpSkipsOnNegative) {
+  auto net = balsa::compile_source(designs::ssem().source);
+  System system(net, FlowOptions::optimized());
+  ActivateDriver activate(system, "activate");
+  // acc = -1 (negative) -> CMP must skip the first STO.
+  std::vector<std::uint32_t> image(32, 0);
+  image[0] = designs::ssem_encode(2, 26);  // LDN: acc = -mem[26] = -1
+  image[1] = designs::ssem_encode(6, 0);   // CMP: acc < 0 -> skip
+  image[2] = designs::ssem_encode(3, 20);  // skipped STO
+  image[3] = designs::ssem_encode(3, 21);  // executed STO
+  image[4] = designs::ssem_encode(7, 0);   // STP
+  image[26] = 1;
+  SsemMemory memory(system, image);
+  system.start().run();
+  EXPECT_TRUE(activate.done());
+  EXPECT_EQ(memory.contents()[20], 0u) << "skipped store must not happen";
+  EXPECT_EQ(memory.contents()[21], 0xFFFFFFFFu);
+}
+
+TEST(Testbench, SsemJmpTransfersControl) {
+  auto net = balsa::compile_source(designs::ssem().source);
+  System system(net, FlowOptions::optimized());
+  ActivateDriver activate(system, "activate");
+  std::vector<std::uint32_t> image(32, 0);
+  image[0] = designs::ssem_encode(0, 28);  // JMP: pc = mem[28] = 5
+  image[1] = designs::ssem_encode(3, 20);  // never executed
+  image[5] = designs::ssem_encode(7, 0);   // STP
+  image[28] = 5;
+  SsemMemory memory(system, image);
+  system.start().run();
+  EXPECT_TRUE(activate.done());
+  EXPECT_EQ(memory.contents()[20], 0u);
+  EXPECT_EQ(memory.writes(), 0);
+}
+
+}  // namespace
+}  // namespace bb::flow

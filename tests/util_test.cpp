@@ -1,0 +1,55 @@
+#include "src/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a b  c", " ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitMultipleDelims) {
+  const auto parts = split("a,b;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmpty) { EXPECT_TRUE(split("", " ").empty()); }
+
+TEST(Strings, SplitOnlyDelims) { EXPECT_TRUE(split("   ", " ").empty()); }
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("enc-early", "enc"));
+  EXPECT_FALSE(starts_with("enc", "enc-early"));
+  EXPECT_TRUE(ends_with("a_r", "_r"));
+  EXPECT_FALSE(ends_with("r", "_r"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("A1_Req"), "a1_req"); }
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("mux_ack_x", "_", "-"), "mux-ack-x");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+}  // namespace
+}  // namespace bb::util
