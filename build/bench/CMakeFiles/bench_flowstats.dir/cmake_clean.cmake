@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flowstats.dir/bench_flowstats.cpp.o"
+  "CMakeFiles/bench_flowstats.dir/bench_flowstats.cpp.o.d"
+  "bench_flowstats"
+  "bench_flowstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flowstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microprocessor.dir/microprocessor.cpp.o"
+  "CMakeFiles/microprocessor.dir/microprocessor.cpp.o.d"
+  "microprocessor"
+  "microprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

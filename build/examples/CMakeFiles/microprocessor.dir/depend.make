@@ -1,0 +1,2 @@
+# Empty dependencies file for microprocessor.
+# This may be replaced when dependencies are built.

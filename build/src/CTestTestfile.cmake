@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("logic")
+subdirs("ch")
+subdirs("bm")
+subdirs("petri")
+subdirs("trace")
+subdirs("hsnet")
+subdirs("balsa")
+subdirs("opt")
+subdirs("minimalist")
+subdirs("netlist")
+subdirs("techmap")
+subdirs("sim")
+subdirs("designs")
+subdirs("flow")
+subdirs("tools")

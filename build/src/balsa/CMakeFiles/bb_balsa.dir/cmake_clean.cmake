@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_balsa.dir/compile.cpp.o"
+  "CMakeFiles/bb_balsa.dir/compile.cpp.o.d"
+  "CMakeFiles/bb_balsa.dir/parser.cpp.o"
+  "CMakeFiles/bb_balsa.dir/parser.cpp.o.d"
+  "libbb_balsa.a"
+  "libbb_balsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_balsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

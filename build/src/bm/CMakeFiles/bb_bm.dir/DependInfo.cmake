@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bm/compile.cpp" "src/bm/CMakeFiles/bb_bm.dir/compile.cpp.o" "gcc" "src/bm/CMakeFiles/bb_bm.dir/compile.cpp.o.d"
+  "/root/repo/src/bm/parse.cpp" "src/bm/CMakeFiles/bb_bm.dir/parse.cpp.o" "gcc" "src/bm/CMakeFiles/bb_bm.dir/parse.cpp.o.d"
+  "/root/repo/src/bm/spec.cpp" "src/bm/CMakeFiles/bb_bm.dir/spec.cpp.o" "gcc" "src/bm/CMakeFiles/bb_bm.dir/spec.cpp.o.d"
+  "/root/repo/src/bm/validate.cpp" "src/bm/CMakeFiles/bb_bm.dir/validate.cpp.o" "gcc" "src/bm/CMakeFiles/bb_bm.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ch/CMakeFiles/bb_ch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

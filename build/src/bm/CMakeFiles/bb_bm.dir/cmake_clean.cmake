@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_bm.dir/compile.cpp.o"
+  "CMakeFiles/bb_bm.dir/compile.cpp.o.d"
+  "CMakeFiles/bb_bm.dir/parse.cpp.o"
+  "CMakeFiles/bb_bm.dir/parse.cpp.o.d"
+  "CMakeFiles/bb_bm.dir/spec.cpp.o"
+  "CMakeFiles/bb_bm.dir/spec.cpp.o.d"
+  "CMakeFiles/bb_bm.dir/validate.cpp.o"
+  "CMakeFiles/bb_bm.dir/validate.cpp.o.d"
+  "libbb_bm.a"
+  "libbb_bm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_bm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

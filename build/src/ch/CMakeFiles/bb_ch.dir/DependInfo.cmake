@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ch/ast.cpp" "src/ch/CMakeFiles/bb_ch.dir/ast.cpp.o" "gcc" "src/ch/CMakeFiles/bb_ch.dir/ast.cpp.o.d"
+  "/root/repo/src/ch/expansion.cpp" "src/ch/CMakeFiles/bb_ch.dir/expansion.cpp.o" "gcc" "src/ch/CMakeFiles/bb_ch.dir/expansion.cpp.o.d"
+  "/root/repo/src/ch/parser.cpp" "src/ch/CMakeFiles/bb_ch.dir/parser.cpp.o" "gcc" "src/ch/CMakeFiles/bb_ch.dir/parser.cpp.o.d"
+  "/root/repo/src/ch/printer.cpp" "src/ch/CMakeFiles/bb_ch.dir/printer.cpp.o" "gcc" "src/ch/CMakeFiles/bb_ch.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_ch.dir/ast.cpp.o"
+  "CMakeFiles/bb_ch.dir/ast.cpp.o.d"
+  "CMakeFiles/bb_ch.dir/expansion.cpp.o"
+  "CMakeFiles/bb_ch.dir/expansion.cpp.o.d"
+  "CMakeFiles/bb_ch.dir/parser.cpp.o"
+  "CMakeFiles/bb_ch.dir/parser.cpp.o.d"
+  "CMakeFiles/bb_ch.dir/printer.cpp.o"
+  "CMakeFiles/bb_ch.dir/printer.cpp.o.d"
+  "libbb_ch.a"
+  "libbb_ch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_ch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_designs.dir/designs.cpp.o"
+  "CMakeFiles/bb_designs.dir/designs.cpp.o.d"
+  "libbb_designs.a"
+  "libbb_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_flow.dir/benchmarks.cpp.o"
+  "CMakeFiles/bb_flow.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/bb_flow.dir/flow.cpp.o"
+  "CMakeFiles/bb_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/bb_flow.dir/system.cpp.o"
+  "CMakeFiles/bb_flow.dir/system.cpp.o.d"
+  "CMakeFiles/bb_flow.dir/testbench.cpp.o"
+  "CMakeFiles/bb_flow.dir/testbench.cpp.o.d"
+  "libbb_flow.a"
+  "libbb_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsnet/component.cpp" "src/hsnet/CMakeFiles/bb_hsnet.dir/component.cpp.o" "gcc" "src/hsnet/CMakeFiles/bb_hsnet.dir/component.cpp.o.d"
+  "/root/repo/src/hsnet/netlist.cpp" "src/hsnet/CMakeFiles/bb_hsnet.dir/netlist.cpp.o" "gcc" "src/hsnet/CMakeFiles/bb_hsnet.dir/netlist.cpp.o.d"
+  "/root/repo/src/hsnet/to_ch.cpp" "src/hsnet/CMakeFiles/bb_hsnet.dir/to_ch.cpp.o" "gcc" "src/hsnet/CMakeFiles/bb_hsnet.dir/to_ch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ch/CMakeFiles/bb_ch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_hsnet.dir/component.cpp.o"
+  "CMakeFiles/bb_hsnet.dir/component.cpp.o.d"
+  "CMakeFiles/bb_hsnet.dir/netlist.cpp.o"
+  "CMakeFiles/bb_hsnet.dir/netlist.cpp.o.d"
+  "CMakeFiles/bb_hsnet.dir/to_ch.cpp.o"
+  "CMakeFiles/bb_hsnet.dir/to_ch.cpp.o.d"
+  "libbb_hsnet.a"
+  "libbb_hsnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_hsnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/cover.cpp" "src/logic/CMakeFiles/bb_logic.dir/cover.cpp.o" "gcc" "src/logic/CMakeFiles/bb_logic.dir/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/bb_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/bb_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/espresso.cpp" "src/logic/CMakeFiles/bb_logic.dir/espresso.cpp.o" "gcc" "src/logic/CMakeFiles/bb_logic.dir/espresso.cpp.o.d"
+  "/root/repo/src/logic/primes.cpp" "src/logic/CMakeFiles/bb_logic.dir/primes.cpp.o" "gcc" "src/logic/CMakeFiles/bb_logic.dir/primes.cpp.o.d"
+  "/root/repo/src/logic/ucp.cpp" "src/logic/CMakeFiles/bb_logic.dir/ucp.cpp.o" "gcc" "src/logic/CMakeFiles/bb_logic.dir/ucp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

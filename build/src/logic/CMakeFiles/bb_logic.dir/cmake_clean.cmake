@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_logic.dir/cover.cpp.o"
+  "CMakeFiles/bb_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/bb_logic.dir/cube.cpp.o"
+  "CMakeFiles/bb_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/bb_logic.dir/espresso.cpp.o"
+  "CMakeFiles/bb_logic.dir/espresso.cpp.o.d"
+  "CMakeFiles/bb_logic.dir/primes.cpp.o"
+  "CMakeFiles/bb_logic.dir/primes.cpp.o.d"
+  "CMakeFiles/bb_logic.dir/ucp.cpp.o"
+  "CMakeFiles/bb_logic.dir/ucp.cpp.o.d"
+  "libbb_logic.a"
+  "libbb_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

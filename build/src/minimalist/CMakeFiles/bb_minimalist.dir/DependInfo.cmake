@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimalist/funcspec.cpp" "src/minimalist/CMakeFiles/bb_minimalist.dir/funcspec.cpp.o" "gcc" "src/minimalist/CMakeFiles/bb_minimalist.dir/funcspec.cpp.o.d"
+  "/root/repo/src/minimalist/hfmin.cpp" "src/minimalist/CMakeFiles/bb_minimalist.dir/hfmin.cpp.o" "gcc" "src/minimalist/CMakeFiles/bb_minimalist.dir/hfmin.cpp.o.d"
+  "/root/repo/src/minimalist/statemin.cpp" "src/minimalist/CMakeFiles/bb_minimalist.dir/statemin.cpp.o" "gcc" "src/minimalist/CMakeFiles/bb_minimalist.dir/statemin.cpp.o.d"
+  "/root/repo/src/minimalist/synth.cpp" "src/minimalist/CMakeFiles/bb_minimalist.dir/synth.cpp.o" "gcc" "src/minimalist/CMakeFiles/bb_minimalist.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bm/CMakeFiles/bb_bm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch/CMakeFiles/bb_ch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_minimalist.dir/funcspec.cpp.o"
+  "CMakeFiles/bb_minimalist.dir/funcspec.cpp.o.d"
+  "CMakeFiles/bb_minimalist.dir/hfmin.cpp.o"
+  "CMakeFiles/bb_minimalist.dir/hfmin.cpp.o.d"
+  "CMakeFiles/bb_minimalist.dir/statemin.cpp.o"
+  "CMakeFiles/bb_minimalist.dir/statemin.cpp.o.d"
+  "CMakeFiles/bb_minimalist.dir/synth.cpp.o"
+  "CMakeFiles/bb_minimalist.dir/synth.cpp.o.d"
+  "libbb_minimalist.a"
+  "libbb_minimalist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_minimalist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

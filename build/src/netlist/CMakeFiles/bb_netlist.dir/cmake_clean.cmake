@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_netlist.dir/analysis.cpp.o"
+  "CMakeFiles/bb_netlist.dir/analysis.cpp.o.d"
+  "CMakeFiles/bb_netlist.dir/gates.cpp.o"
+  "CMakeFiles/bb_netlist.dir/gates.cpp.o.d"
+  "CMakeFiles/bb_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/bb_netlist.dir/verilog.cpp.o.d"
+  "libbb_netlist.a"
+  "libbb_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

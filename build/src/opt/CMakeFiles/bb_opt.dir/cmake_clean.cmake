@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_opt.dir/ch_util.cpp.o"
+  "CMakeFiles/bb_opt.dir/ch_util.cpp.o.d"
+  "CMakeFiles/bb_opt.dir/cluster.cpp.o"
+  "CMakeFiles/bb_opt.dir/cluster.cpp.o.d"
+  "libbb_opt.a"
+  "libbb_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_petri.dir/from_ch.cpp.o"
+  "CMakeFiles/bb_petri.dir/from_ch.cpp.o.d"
+  "CMakeFiles/bb_petri.dir/net.cpp.o"
+  "CMakeFiles/bb_petri.dir/net.cpp.o.d"
+  "libbb_petri.a"
+  "libbb_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_techmap.dir/cells.cpp.o"
+  "CMakeFiles/bb_techmap.dir/cells.cpp.o.d"
+  "CMakeFiles/bb_techmap.dir/map.cpp.o"
+  "CMakeFiles/bb_techmap.dir/map.cpp.o.d"
+  "CMakeFiles/bb_techmap.dir/templates.cpp.o"
+  "CMakeFiles/bb_techmap.dir/templates.cpp.o.d"
+  "libbb_techmap.a"
+  "libbb_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbbc.dir/bbbc.cpp.o"
+  "CMakeFiles/bbbc.dir/bbbc.cpp.o.d"
+  "bbbc"
+  "bbbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_trace.dir/automaton.cpp.o"
+  "CMakeFiles/bb_trace.dir/automaton.cpp.o.d"
+  "CMakeFiles/bb_trace.dir/verify.cpp.o"
+  "CMakeFiles/bb_trace.dir/verify.cpp.o.d"
+  "libbb_trace.a"
+  "libbb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_util.dir/strings.cpp.o"
+  "CMakeFiles/bb_util.dir/strings.cpp.o.d"
+  "libbb_util.a"
+  "libbb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/bb_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/techmap/CMakeFiles/bb_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimalist/CMakeFiles/bb_minimalist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bm/CMakeFiles/bb_bm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bb_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsnet/CMakeFiles/bb_hsnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch/CMakeFiles/bb_ch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

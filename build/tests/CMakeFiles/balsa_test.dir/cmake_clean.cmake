@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balsa_test.dir/balsa_test.cpp.o"
+  "CMakeFiles/balsa_test.dir/balsa_test.cpp.o.d"
+  "balsa_test"
+  "balsa_test.pdb"
+  "balsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

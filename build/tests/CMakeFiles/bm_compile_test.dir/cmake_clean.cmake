@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_compile_test.dir/bm_compile_test.cpp.o"
+  "CMakeFiles/bm_compile_test.dir/bm_compile_test.cpp.o.d"
+  "bm_compile_test"
+  "bm_compile_test.pdb"
+  "bm_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

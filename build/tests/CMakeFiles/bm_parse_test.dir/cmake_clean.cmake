@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_parse_test.dir/bm_parse_test.cpp.o"
+  "CMakeFiles/bm_parse_test.dir/bm_parse_test.cpp.o.d"
+  "bm_parse_test"
+  "bm_parse_test.pdb"
+  "bm_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_ast_test.dir/ch_ast_test.cpp.o"
+  "CMakeFiles/ch_ast_test.dir/ch_ast_test.cpp.o.d"
+  "ch_ast_test"
+  "ch_ast_test.pdb"
+  "ch_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

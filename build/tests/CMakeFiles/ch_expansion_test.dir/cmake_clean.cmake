@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_expansion_test.dir/ch_expansion_test.cpp.o"
+  "CMakeFiles/ch_expansion_test.dir/ch_expansion_test.cpp.o.d"
+  "ch_expansion_test"
+  "ch_expansion_test.pdb"
+  "ch_expansion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_parser_test.dir/ch_parser_test.cpp.o"
+  "CMakeFiles/ch_parser_test.dir/ch_parser_test.cpp.o.d"
+  "ch_parser_test"
+  "ch_parser_test.pdb"
+  "ch_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

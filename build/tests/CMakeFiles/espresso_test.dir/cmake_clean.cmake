@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_test.dir/espresso_test.cpp.o"
+  "CMakeFiles/espresso_test.dir/espresso_test.cpp.o.d"
+  "espresso_test"
+  "espresso_test.pdb"
+  "espresso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

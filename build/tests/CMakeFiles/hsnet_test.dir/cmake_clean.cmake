@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsnet_test.dir/hsnet_test.cpp.o"
+  "CMakeFiles/hsnet_test.dir/hsnet_test.cpp.o.d"
+  "hsnet_test"
+  "hsnet_test.pdb"
+  "hsnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

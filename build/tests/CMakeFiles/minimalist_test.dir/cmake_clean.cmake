@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimalist_test.dir/minimalist_test.cpp.o"
+  "CMakeFiles/minimalist_test.dir/minimalist_test.cpp.o.d"
+  "minimalist_test"
+  "minimalist_test.pdb"
+  "minimalist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimalist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
