@@ -2,7 +2,7 @@
 
 #include <deque>
 #include <map>
-#include <optional>
+#include <set>
 
 namespace bb::bm {
 
@@ -10,70 +10,131 @@ namespace {
 
 using Valuation = std::map<std::string, bool>;
 
-/// Applies a burst to a valuation; returns an error message on polarity
-/// violation.
-std::optional<std::string> apply_burst(const Burst& burst, Valuation& vals,
-                                       const std::string& where) {
+std::string arc_name(const Arc& a) {
+  return "arc " + std::to_string(a.from) + "->" + std::to_string(a.to);
+}
+
+std::string edge_name(const ch::Transition& t) {
+  return t.signal + (t.rising ? "+" : "-");
+}
+
+std::string valuation_string(const Valuation& vals) {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [signal, value] : vals) {
+    if (!first) s += " ";
+    first = false;
+    s += signal + "=" + (value ? "1" : "0");
+  }
+  return s + "}";
+}
+
+/// Applies a burst to a valuation, reporting BM005 for every edge that
+/// does not alternate.  Returns false when a violation was found.
+bool apply_burst(const Burst& burst, Valuation& vals, const Arc& arc,
+                 const char* which, lint::Report& report) {
+  bool clean = true;
   for (const ch::Transition& t : burst.transitions) {
     const bool current = vals.count(t.signal) ? vals[t.signal] : false;
     if (current == t.rising) {
-      return "polarity violation on '" + t.signal + "' (" +
-             (t.rising ? "+" : "-") + " while already " +
-             (current ? "1" : "0") + ") at " + where;
+      report.add("BM005", arc_name(arc),
+                 std::string(which) + " burst repeats edge '" + edge_name(t) +
+                     "' while '" + t.signal + "' is already " +
+                     (current ? "1" : "0") + "; along every path a wire must "
+                     "strictly alternate rising and falling edges (entered "
+                     "with valuation " + valuation_string(vals) + ")");
+      clean = false;
+      continue;
     }
     vals[t.signal] = t.rising;
   }
-  return std::nullopt;
+  return clean;
 }
 
 }  // namespace
 
 ValidationResult validate(const Spec& spec) {
   ValidationResult result;
+  lint::Report& report = result.report;
 
-  // 1. Direction consistency.
-  std::map<std::string, bool> direction;  // signal -> is_input
+  // 1. Direction consistency (BM001).  Remember the first arc that used
+  // each signal in each direction so the message names both witnesses.
+  struct DirUse {
+    bool is_input = false;
+    const Arc* first_use = nullptr;
+  };
+  std::map<std::string, DirUse> direction;
+  std::set<std::string> reported_bidi;
+  const auto use_signal = [&](const ch::Transition& t, bool as_input,
+                              const Arc& a) {
+    const auto [it, inserted] =
+        direction.emplace(t.signal, DirUse{as_input, &a});
+    if (!inserted && it->second.is_input != as_input &&
+        reported_bidi.insert(t.signal).second) {
+      const Arc& other = *it->second.first_use;
+      report.add("BM001", "signal '" + t.signal + "'",
+                 std::string("used as an ") + (as_input ? "input" : "output") +
+                     " in " + arc_name(a) + " but as an " +
+                     (as_input ? "output" : "input") + " in " +
+                     arc_name(other) +
+                     "; a Burst-Mode wire must have a single direction");
+    }
+  };
   for (const Arc& a : spec.arcs) {
     for (const ch::Transition& t : a.in_burst.transitions) {
-      const auto [it, inserted] = direction.emplace(t.signal, true);
-      if (!inserted && !it->second) {
-        result.fail("signal '" + t.signal + "' used as both input and output");
-      }
+      use_signal(t, /*as_input=*/true, a);
     }
     for (const ch::Transition& t : a.out_burst.transitions) {
-      const auto [it, inserted] = direction.emplace(t.signal, false);
-      if (!inserted && it->second) {
-        result.fail("signal '" + t.signal + "' used as both input and output");
-      }
+      use_signal(t, /*as_input=*/false, a);
     }
   }
 
-  // 2. Non-empty input bursts.
+  // 2. Non-empty input bursts (BM002).
   for (const Arc& a : spec.arcs) {
     if (a.in_burst.empty()) {
-      result.fail("arc " + std::to_string(a.from) + "->" +
-                  std::to_string(a.to) + " has an empty input burst");
+      report.add("BM002", arc_name(a),
+                 "input burst is empty; every arc must be triggered by at "
+                 "least one input edge (machines are input-driven), with "
+                 "output burst {" + a.out_burst.to_string() + "}");
     }
   }
 
-  // 3. Maximal set property per state.
+  // 3. Determinism and the maximal set property per state (BM003/BM004).
   for (int s = 0; s < spec.num_states; ++s) {
     const auto arcs = spec.arcs_from(s);
     for (std::size_t i = 0; i < arcs.size(); ++i) {
       for (std::size_t j = 0; j < arcs.size(); ++j) {
         if (i == j) continue;
-        if (arcs[j]->in_burst.contains(arcs[i]->in_burst)) {
-          result.fail("state " + std::to_string(s) +
-                      ": input burst {" + arcs[i]->in_burst.to_string() +
-                      "} is contained in sibling burst {" +
-                      arcs[j]->in_burst.to_string() +
-                      "} (maximal set property violated)");
+        const Burst& bi = arcs[i]->in_burst;
+        const Burst& bj = arcs[j]->in_burst;
+        if (bi == bj) {
+          // Report each unordered pair once.
+          if (i < j) {
+            report.add("BM003", "state " + std::to_string(s),
+                       arc_name(*arcs[i]) + " and " + arc_name(*arcs[j]) +
+                           " have the identical input burst {" +
+                           bi.to_string() +
+                           "}; the machine cannot choose between them");
+          }
+          continue;
+        }
+        if (bj.contains(bi)) {
+          report.add("BM004", "state " + std::to_string(s),
+                     "input burst {" + bi.to_string() + "} of " +
+                         arc_name(*arcs[i]) +
+                         " is contained in sibling burst {" + bj.to_string() +
+                         "} of " + arc_name(*arcs[j]) + "; " +
+                         arc_name(*arcs[i]) +
+                         " would fire spuriously while the larger burst is "
+                         "still arriving (maximal set property, Section 3.5)");
         }
       }
     }
   }
 
-  // 4. Polarity / unique-entry-valuation consistency via BFS.
+  // 4. Polarity / unique-entry-valuation consistency via BFS over the
+  // reachable part of the machine (BM005/BM006), then reachability
+  // itself (BM007).
   std::map<int, Valuation> state_vals;
   std::deque<int> queue;
   Valuation all_low;
@@ -85,27 +146,44 @@ ValidationResult validate(const Spec& spec) {
     queue.pop_front();
     for (const Arc* a : spec.arcs_from(s)) {
       Valuation vals = state_vals[s];
-      const std::string where = "arc " + std::to_string(a->from) + "->" +
-                                std::to_string(a->to);
-      if (const auto err = apply_burst(a->in_burst, vals, where)) {
-        result.fail(*err);
-        continue;
-      }
-      if (const auto err = apply_burst(a->out_burst, vals, where)) {
-        result.fail(*err);
-        continue;
-      }
+      if (!apply_burst(a->in_burst, vals, *a, "input", report)) continue;
+      if (!apply_burst(a->out_burst, vals, *a, "output", report)) continue;
       const auto it = state_vals.find(a->to);
       if (it == state_vals.end()) {
         state_vals[a->to] = std::move(vals);
         queue.push_back(a->to);
       } else if (it->second != vals) {
-        result.fail("state " + std::to_string(a->to) +
-                    " entered with inconsistent wire valuations");
+        std::string differing;
+        for (const auto& [signal, value] : vals) {
+          const auto prev = it->second.find(signal);
+          if (prev == it->second.end() || prev->second != value) {
+            if (!differing.empty()) differing += ", ";
+            differing += signal;
+          }
+        }
+        report.add("BM006", "state " + std::to_string(a->to),
+                   "entered with valuation " + valuation_string(vals) +
+                       " via " + arc_name(*a) + " but with " +
+                       valuation_string(it->second) +
+                       " via an earlier path; signals differing: " +
+                       (differing.empty() ? "(none)" : differing));
       }
     }
   }
+  for (int s = 0; s < spec.num_states; ++s) {
+    if (!state_vals.count(s)) {
+      report.add("BM007", "state " + std::to_string(s),
+                 "unreachable from initial state " +
+                     std::to_string(spec.initial_state) +
+                     "; it can never be entered and its arcs are dead");
+    }
+  }
 
+  result.ok = !report.has_errors();
+  for (const lint::Diagnostic* d :
+       report.by_severity(lint::Severity::kError)) {
+    result.errors.push_back(d->object + ": " + d->message);
+  }
   return result;
 }
 

@@ -10,23 +10,36 @@
 //      entered with a unique wire valuation.
 // These are the conditions the paper's "Burst-Mode aware" restrictions
 // guarantee by construction (Section 3.5).
+//
+// Each violation is reported through the shared diagnostics framework
+// (src/lint/diag.hpp) with a stable rule id naming the exact signal, arc,
+// or state at fault:
+//   BM001  signal used as both input and output
+//   BM002  arc with an empty input burst
+//   BM003  nondeterministic choice (identical sibling input bursts)
+//   BM004  maximal-set violation (burst contained in a sibling's)
+//   BM005  polarity violation (non-alternating edge)
+//   BM006  state entered with inconsistent wire valuations
+//   BM007  state unreachable from the initial state (warning)
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "src/bm/spec.hpp"
+#include "src/lint/diag.hpp"
 
 namespace bb::bm {
 
 struct ValidationResult {
+  /// True when no Error-severity diagnostic was reported (warnings such
+  /// as unreachable states do not invalidate a machine).
   bool ok = true;
+  /// Error diagnostics flattened to "object: message" strings, in report
+  /// order (kept for callers that only need a headline).
   std::vector<std::string> errors;
-
-  void fail(std::string message) {
-    ok = false;
-    errors.push_back(std::move(message));
-  }
+  /// The full structured findings, including warnings.
+  lint::Report report;
 };
 
 ValidationResult validate(const Spec& spec);

@@ -25,10 +25,31 @@ FlowOptions FlowOptions::unoptimized() {
   return o;
 }
 
+LintError::LintError(std::string stage, lint::Report findings)
+    : std::runtime_error("flow: lint found " +
+                         std::to_string(findings.count(
+                             lint::Severity::kError)) +
+                         " error(s) in " + stage + "\n" + findings.to_text()),
+      stage_(std::move(stage)),
+      report_(std::move(findings)) {}
+
 ControlResult synthesize_control(const hsnet::Netlist& netlist,
                                  const FlowOptions& options) {
   ControlResult result;
   const auto& lib = techmap::CellLibrary::ams035();
+
+  // The static-analysis stage: every IR is linted as it is produced;
+  // Error-severity findings abort, warnings accumulate in the result.
+  const auto absorb = [&](std::string stage, lint::Report findings) {
+    if (findings.has_errors()) {
+      throw LintError(std::move(stage), std::move(findings));
+    }
+    result.lint_report.merge(findings);
+  };
+  if (options.lint) {
+    absorb("handshake netlist '" + netlist.name() + "'",
+           lint::lint_handshake(netlist, options.lint_options));
+  }
 
   // Balsa-to-CH for every control component; in the template baseline,
   // components with a hand-optimized circuit skip the synthesis path.
@@ -68,12 +89,21 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
   for (std::size_t i = 0; i < clustered.size(); ++i) {
     const auto& program = clustered[i].program;
     const bm::Spec spec = bm::compile(*program.body, program.name);
-    const auto check = bm::validate(spec);
-    if (!check.ok) {
-      throw std::runtime_error("flow: controller '" + program.name +
-                               "' failed BM validation: " + check.errors[0]);
+    if (options.lint) {
+      absorb("BM spec of controller '" + program.name + "'",
+             lint::lint_bm(spec, options.lint_options));
+    } else {
+      const auto check = bm::validate(spec);
+      if (!check.ok) {
+        throw std::runtime_error("flow: controller '" + program.name +
+                                 "' failed BM validation: " + check.errors[0]);
+      }
     }
     auto ctrl = minimalist::synthesize(spec, options.mode);
+    if (options.lint) {
+      absorb("two-level logic of controller '" + program.name + "'",
+             lint::lint_two_level(ctrl, spec, options.lint_options));
+    }
     const std::string prefix = "ctl" + std::to_string(i);
     const netlist::GateNetlist gates =
         techmap::map_controller(ctrl, lib, mopts, prefix);
@@ -90,6 +120,10 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     result.gates.merge(gates);
     result.controllers.push_back(std::move(ctrl));
     result.prefixes.push_back(prefix);
+  }
+  if (options.lint) {
+    absorb("merged control netlist",
+           lint::lint_gates(result.gates, options.lint_options));
   }
   result.area = result.gates.total_area();
   return result;

@@ -3,10 +3,12 @@
 // synthesis, and technology mapping into one merged control netlist.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/hsnet/netlist.hpp"
+#include "src/lint/lint.hpp"
 #include "src/minimalist/synth.hpp"
 #include "src/netlist/gates.hpp"
 #include "src/opt/cluster.hpp"
@@ -29,6 +31,12 @@ struct FlowOptions {
   /// Balsa library baseline); components without a template are
   /// synthesized per `mode`.  Only meaningful when cluster == false.
   bool templates = false;
+  /// Run the static-analysis passes (src/lint) over every intermediate
+  /// representation.  Error-severity findings abort the flow with a
+  /// LintError; warnings are collected in ControlResult::lint_report.
+  bool lint = true;
+  /// Suppression list and thresholds forwarded to the lint passes.
+  lint::LintOptions lint_options;
 
   /// The paper's optimized back-end configuration.
   static FlowOptions optimized();
@@ -53,7 +61,24 @@ struct ControlResult {
   std::vector<std::string> prefixes;  ///< gate-net prefix per controller
   std::vector<ControllerInfo> info;
   opt::ClusterStats cluster_stats;
+  /// Findings from every lint stage that ran (empty when options.lint is
+  /// off).  Error-severity findings abort synthesize_control instead of
+  /// landing here.
+  lint::Report lint_report;
   double area = 0.0;
+};
+
+/// Thrown when a lint stage reports Error-severity findings.  `report`
+/// holds the findings of the failing stage; what() is its text rendering.
+class LintError : public std::runtime_error {
+ public:
+  LintError(std::string stage, lint::Report findings);
+  const std::string& stage() const { return stage_; }
+  const lint::Report& report() const { return report_; }
+
+ private:
+  std::string stage_;
+  lint::Report report_;
 };
 
 /// Synthesizes the control partition of a handshake netlist.

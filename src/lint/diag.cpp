@@ -1,0 +1,177 @@
+#include "src/lint/diag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bb::lint {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> rules = {
+      // --- handshake-component netlists (src/hsnet) ---
+      {"HS001", Severity::kError,
+       "dangling channel: a non-external channel with a single endpoint"},
+      {"HS002", Severity::kWarning,
+       "declared channel connected to no component"},
+      {"HS003", Severity::kError,
+       "channel connected to more than two component ports"},
+      {"HS004", Severity::kError,
+       "port-direction mismatch: a channel needs one active and one "
+       "passive end"},
+      {"HS005", Severity::kWarning,
+       "component unreachable from any external channel"},
+      // --- Burst-Mode machines (src/bm) ---
+      {"BM001", Severity::kError,
+       "signal used as both an input and an output"},
+      {"BM002", Severity::kError,
+       "arc with an empty input burst (machines are input-driven)"},
+      {"BM003", Severity::kError,
+       "nondeterministic choice: sibling arcs with identical input bursts"},
+      {"BM004", Severity::kError,
+       "maximal-set violation: an input burst contained in a sibling's"},
+      {"BM005", Severity::kError,
+       "polarity violation: a wire edge repeats instead of alternating"},
+      {"BM006", Severity::kError,
+       "state entered with inconsistent wire valuations"},
+      {"BM007", Severity::kWarning,
+       "state unreachable from the initial state"},
+      // --- synthesized two-level logic (src/minimalist) ---
+      {"MN001", Severity::kError,
+       "product term is not a dynamic-hazard-free implicant"},
+      {"MN002", Severity::kError,
+       "required cube not contained in any single product (static hazard)"},
+      {"MN003", Severity::kError,
+       "controller logic does not match its specification's shape"},
+      // --- gate-level netlists (src/netlist) ---
+      {"NL001", Severity::kError, "net driven by more than one gate output"},
+      {"NL002", Severity::kError,
+       "floating gate input: fanin net with no driver that is not a "
+       "primary input"},
+      {"NL003", Severity::kError,
+       "combinational cycle not broken by a DEL or state-holding cell"},
+      {"NL004", Severity::kWarning, "net fanout exceeds the configured limit"},
+  };
+  return rules;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : all_rules()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+void Report::suppress(std::string rule_id) {
+  if (!is_suppressed(rule_id)) suppressed_.push_back(std::move(rule_id));
+}
+
+bool Report::is_suppressed(std::string_view rule_id) const {
+  return std::find(suppressed_.begin(), suppressed_.end(), rule_id) !=
+         suppressed_.end();
+}
+
+void Report::add(std::string_view rule_id, std::string object,
+                 std::string message) {
+  const RuleInfo* info = find_rule(rule_id);
+  if (info == nullptr) {
+    throw std::invalid_argument("lint: unregistered rule id '" +
+                                std::string(rule_id) + "'");
+  }
+  add(rule_id, info->severity, std::move(object), std::move(message));
+}
+
+void Report::add(std::string_view rule_id, Severity severity,
+                 std::string object, std::string message) {
+  if (find_rule(rule_id) == nullptr) {
+    throw std::invalid_argument("lint: unregistered rule id '" +
+                                std::string(rule_id) + "'");
+  }
+  if (is_suppressed(rule_id)) return;
+  diags_.push_back(Diagnostic{std::string(rule_id), severity,
+                              std::move(object), std::move(message)});
+}
+
+void Report::merge(const Report& other) {
+  for (const Diagnostic& d : other.diags_) {
+    if (is_suppressed(d.rule)) continue;
+    diags_.push_back(d);
+  }
+}
+
+std::size_t Report::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::vector<const Diagnostic*> Report::by_severity(Severity severity) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) out.push_back(&d);
+  }
+  return out;
+}
+
+std::string Report::to_text() const {
+  std::string s;
+  for (const Diagnostic& d : diags_) {
+    s += std::string(severity_name(d.severity)) + "[" + d.rule + "] " +
+         d.object + ": " + d.message + "\n";
+  }
+  s += std::to_string(count(Severity::kError)) + " error(s), " +
+       std::to_string(count(Severity::kWarning)) + " warning(s), " +
+       std::to_string(count(Severity::kNote)) + " note(s)\n";
+  return s;
+}
+
+std::string Report::to_json() const {
+  std::string s = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) s += ",";
+    s += "{\"rule\":\"" + json_escape(d.rule) + "\",\"severity\":\"" +
+         std::string(severity_name(d.severity)) + "\",\"object\":\"" +
+         json_escape(d.object) + "\",\"message\":\"" + json_escape(d.message) +
+         "\"}";
+  }
+  s += "],\"errors\":" + std::to_string(count(Severity::kError)) +
+       ",\"warnings\":" + std::to_string(count(Severity::kWarning)) +
+       ",\"notes\":" + std::to_string(count(Severity::kNote)) + "}";
+  return s;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace bb::lint

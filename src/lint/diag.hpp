@@ -1,0 +1,100 @@
+// Shared structured-diagnostics framework for the static-analysis
+// subsystem.
+//
+// Every finding carries a stable rule id (e.g. "NL001"), a severity, the
+// object it refers to (a channel, arc, state, net, ...) and an explanatory
+// message.  Rules are registered centrally (see diag.cpp) so reporters and
+// suppression work uniformly across all four intermediate representations
+// of the flow: handshake netlists (HS...), Burst-Mode machines (BM...),
+// two-level logic (MN...), and gate netlists (NL...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::lint {
+
+enum class Severity {
+  kNote,     ///< informational; never affects exit status
+  kWarning,  ///< suspicious but not fatal; the flow reports and continues
+  kError,    ///< invariant violation; the flow aborts
+};
+
+/// "note" / "warning" / "error".
+std::string_view severity_name(Severity severity);
+
+/// Registry entry for one lint rule.
+struct RuleInfo {
+  std::string_view id;     ///< stable identifier, e.g. "BM003"
+  Severity severity;       ///< default severity
+  std::string_view title;  ///< one-line summary of what the rule checks
+};
+
+/// All registered rules, in id order.
+const std::vector<RuleInfo>& all_rules();
+
+/// Looks up a rule by id (nullptr for unknown ids).
+const RuleInfo* find_rule(std::string_view id);
+
+/// One finding.
+struct Diagnostic {
+  std::string rule;     ///< registered rule id
+  Severity severity = Severity::kWarning;
+  std::string object;   ///< what the finding is about, e.g. "arc 0->1"
+  std::string message;  ///< human-oriented explanation
+};
+
+/// An ordered collection of diagnostics with per-rule suppression.
+///
+/// Suppressed rules are dropped at add() time, so a Report constructed
+/// with suppressions never contains findings for those rules (merge()
+/// re-applies the receiver's suppressions to incoming diagnostics).
+class Report {
+ public:
+  /// Suppresses a rule id.  Unknown ids are accepted (and simply never
+  /// match), so suppression lists survive rule renames.
+  void suppress(std::string rule_id);
+  bool is_suppressed(std::string_view rule_id) const;
+
+  /// Adds a finding with the rule's registered default severity.
+  /// Throws std::invalid_argument for unregistered rule ids.
+  void add(std::string_view rule_id, std::string object, std::string message);
+
+  /// Adds a finding with an explicit severity override.
+  void add(std::string_view rule_id, Severity severity, std::string object,
+           std::string message);
+
+  /// Appends another report's diagnostics (subject to this report's
+  /// suppressions).
+  void merge(const Report& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+
+  /// Diagnostics of a given severity, in report order.
+  std::vector<const Diagnostic*> by_severity(Severity severity) const;
+
+  /// One line per finding:
+  ///   error[BM002] arc 0->1: input burst is empty ...
+  /// followed by a "N error(s), M warning(s)" summary line.
+  std::string to_text() const;
+
+  /// Stable machine-readable rendering:
+  ///   {"diagnostics":[{"rule":...,"severity":...,"object":...,
+  ///    "message":...},...],"errors":N,"warnings":N,"notes":N}
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::vector<std::string> suppressed_;
+};
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view text);
+
+}  // namespace bb::lint

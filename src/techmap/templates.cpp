@@ -199,6 +199,15 @@ std::optional<GateNetlist> template_circuit(const Component& comp,
     default:
       return std::nullopt;
   }
+  // Wires the template reads but never drives (peer requests and
+  // acknowledges) are its primary inputs: the peer component, datapath
+  // model or testbench drives them after the merge.
+  const auto drivers = net.driver_table();
+  for (const netlist::Gate& g : net.gates()) {
+    for (const int fanin : g.fanins) {
+      if (drivers[fanin] < 0) net.mark_input(fanin);
+    }
+  }
   return net;
 }
 

@@ -1,0 +1,169 @@
+// bb-lint — standalone static analysis for any design in the flow.
+//
+// Compiles a mini-Balsa source (or a built-in evaluation design) and runs
+// every lint pass over every intermediate representation it produces:
+//
+//   handshake netlist      HS001-HS005  (dangling channels, direction
+//                                        mismatches, unreachable parts)
+//   Burst-Mode machines    BM001-BM007  (well-formedness, determinism,
+//                                        polarity alternation)
+//   two-level logic        MN001-MN003  (function-hazard screen)
+//   mapped gate netlist    NL001-NL004  (drivers, floating inputs,
+//                                        combinational cycles, fanout)
+//
+// Usage:
+//   bb-lint <file.balsa|design|all> [--json] [--unoptimized]
+//           [--max-states N] [--fanout-limit N] [--suppress ID[,ID...]]
+//
+// Exit status: 0 no errors, 1 Error-severity findings (or a stage
+// crashed), 2 usage.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/balsa/compile.hpp"
+#include "src/bm/compile.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/flow.hpp"
+#include "src/hsnet/to_ch.hpp"
+#include "src/lint/lint.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/opt/cluster.hpp"
+#include "src/techmap/cells.hpp"
+#include "src/techmap/map.hpp"
+#include "src/techmap/templates.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: bb-lint <file.balsa|design|all> [--json] "
+               "[--unoptimized] [--max-states N] [--fanout-limit N] "
+               "[--suppress ID[,ID...]]\n"
+               "built-in designs: systolic wagging stack ssem (or 'all')\n";
+  std::exit(2);
+}
+
+std::string load_source(const std::string& arg) {
+  for (const auto* d : bb::designs::all_designs()) {
+    if (d->name == arg) return d->source;
+  }
+  std::ifstream file(arg);
+  if (!file) {
+    std::cerr << "bb-lint: cannot open '" << arg
+              << "' (and it is not a built-in design)\n";
+    std::exit(1);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+/// Runs every lint stage over one design, mirroring the flow's IR
+/// sequence but never aborting: all findings end up in one report.
+bb::lint::Report lint_design(const std::string& source,
+                             const bb::flow::FlowOptions& options) {
+  const auto& lopts = options.lint_options;
+  bb::lint::Report report = bb::lint::make_report(lopts);
+  const auto net = bb::balsa::compile_source(source);
+  report.merge(bb::lint::lint_handshake(net, lopts));
+
+  const auto& lib = bb::techmap::CellLibrary::ams035();
+  bb::netlist::GateNetlist gates("control");
+
+  std::vector<bb::ch::Program> programs;
+  for (const int id : net.control_ids()) {
+    const auto& component = net.component(id);
+    if (!options.cluster && options.templates &&
+        bb::techmap::has_template(component.kind)) {
+      gates.merge(*bb::techmap::template_circuit(component, lib));
+      continue;
+    }
+    programs.push_back(bb::hsnet::to_ch(component));
+  }
+  bb::opt::ClusterOptions copts;
+  copts.max_states = options.max_states;
+  const auto clustered =
+      options.cluster
+          ? bb::opt::optimize(std::move(programs), copts, nullptr)
+          : bb::opt::wrap(std::move(programs));
+
+  bb::techmap::MapOptions mopts;
+  mopts.level_separated = options.level_separated;
+  for (std::size_t i = 0; i < clustered.size(); ++i) {
+    const auto& program = clustered[i].program;
+    const auto spec = bb::bm::compile(*program.body, program.name);
+    report.merge(bb::lint::lint_bm(spec, lopts));
+    try {
+      const auto ctrl = bb::minimalist::synthesize(spec, options.mode);
+      report.merge(bb::lint::lint_two_level(ctrl, spec, lopts));
+      gates.merge(bb::techmap::map_controller(
+          ctrl, lib, mopts, "ctl" + std::to_string(i)));
+    } catch (const std::exception& e) {
+      // An invalid machine was already reported above; note the
+      // downstream consequence and keep linting the other controllers.
+      std::cerr << "bb-lint: controller '" << program.name
+                << "' could not be synthesized: " << e.what() << "\n";
+    }
+  }
+  report.merge(bb::lint::lint_gates(gates, lopts));
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string target = argv[1];
+
+  bool json = false;
+  bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      json = true;
+    } else if (flag == "--unoptimized") {
+      const bool keep_json = json;
+      options = bb::flow::FlowOptions::unoptimized();
+      json = keep_json;
+    } else if (flag == "--max-states" && i + 1 < argc) {
+      options.max_states = std::stoi(argv[++i]);
+    } else if (flag == "--fanout-limit" && i + 1 < argc) {
+      options.lint_options.fanout_limit = std::stoi(argv[++i]);
+    } else if (flag == "--suppress" && i + 1 < argc) {
+      std::stringstream rules(argv[++i]);
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        if (!rule.empty()) options.lint_options.suppress.push_back(rule);
+      }
+    } else {
+      usage();
+    }
+  }
+
+  std::vector<std::string> names;
+  if (target == "all") {
+    for (const auto* d : bb::designs::all_designs()) names.push_back(d->name);
+  } else {
+    names.push_back(target);
+  }
+
+  bool errors = false;
+  try {
+    for (const std::string& name : names) {
+      const bb::lint::Report report = lint_design(load_source(name), options);
+      if (json) {
+        std::cout << report.to_json() << "\n";
+      } else {
+        if (names.size() > 1) std::cout << "== " << name << " ==\n";
+        std::cout << report.to_text();
+      }
+      errors = errors || report.has_errors();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bb-lint: " << e.what() << "\n";
+    return 1;
+  }
+  return errors ? 1 : 0;
+}
