@@ -1,0 +1,130 @@
+// Flow-performance benchmark: serial vs parallel controller synthesis
+// and cold vs warm synthesis cache, over the four evaluation designs.
+//
+// For every design the control partition is synthesized four ways:
+//   serial    jobs=1, cache off      (the pre-parallel baseline)
+//   parallel  jobs=auto, cache off   (thread-pool speedup only)
+//   cold      jobs=auto, fresh cache (first run, all misses)
+//   warm      jobs=auto, same cache  (memoized re-run, as the Table 3
+//                                     comparison re-synthesizes designs)
+// and the run cross-checks that all four produce byte-identical reports
+// and gate netlists (the parallel flow's determinism contract).
+//
+// Results are printed as a table and dumped as JSON (stage timings
+// included) to the path given as argv[1], default bench_flowperf.json —
+// CI uploads that file as an artifact.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/balsa/compile.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/flow.hpp"
+#include "src/lint/diag.hpp"
+#include "src/minimalist/cache.hpp"
+#include "src/netlist/verilog.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string fmt(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+struct Run {
+  double ms = 0.0;
+  std::string fingerprint;  ///< report + verilog, for identity checks
+  bb::flow::StageTimings timings;
+};
+
+Run run_flow(const bb::hsnet::Netlist& net, int jobs, bool cache,
+             bb::minimalist::SynthCache* cache_instance) {
+  bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+  options.jobs = jobs;
+  options.cache = cache;
+  options.cache_instance = cache_instance;
+  const auto start = Clock::now();
+  const auto result = bb::flow::synthesize_control(net, options);
+  Run run;
+  run.ms = ms_since(start);
+  run.fingerprint =
+      bb::flow::report(result) + bb::netlist::to_verilog(result.gates);
+  run.timings = result.timings;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "bench_flowperf.json";
+  const int auto_jobs = bb::flow::effective_jobs(bb::flow::FlowOptions{});
+  bool all_identical = true;
+
+  std::string json = "{\"jobs\":" + std::to_string(auto_jobs) +
+                     ",\"designs\":[";
+  bool first = true;
+  for (const auto* design : bb::designs::all_designs()) {
+    const auto net = bb::balsa::compile_source(design->source);
+
+    const Run serial = run_flow(net, 1, false, nullptr);
+    const Run parallel = run_flow(net, 0, false, nullptr);
+    bb::minimalist::SynthCache cache;
+    const Run cold = run_flow(net, 0, true, &cache);
+    const Run warm = run_flow(net, 0, true, &cache);
+
+    const bool identical = serial.fingerprint == parallel.fingerprint &&
+                           serial.fingerprint == cold.fingerprint &&
+                           serial.fingerprint == warm.fingerprint;
+    all_identical = all_identical && identical;
+
+    std::printf(
+        "%-10s serial %9s ms | parallel(%d) %9s ms | cold %9s ms | "
+        "warm %9s ms | cache %llu hit %llu miss | %s\n",
+        design->name.c_str(), fmt(serial.ms).c_str(), auto_jobs,
+        fmt(parallel.ms).c_str(), fmt(cold.ms).c_str(), fmt(warm.ms).c_str(),
+        static_cast<unsigned long long>(warm.timings.cache_hits),
+        static_cast<unsigned long long>(warm.timings.cache_misses),
+        identical ? "outputs identical" : "OUTPUT MISMATCH");
+
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + bb::lint::json_escape(design->name) + "\"";
+    json += ",\"serial_ms\":" + fmt(serial.ms);
+    json += ",\"parallel_ms\":" + fmt(parallel.ms);
+    json += ",\"cold_ms\":" + fmt(cold.ms);
+    json += ",\"warm_ms\":" + fmt(warm.ms);
+    json += ",\"warm_cache_hits\":" +
+            std::to_string(warm.timings.cache_hits);
+    json += ",\"warm_cache_misses\":" +
+            std::to_string(warm.timings.cache_misses);
+    json += ",\"identical\":";
+    json += identical ? "true" : "false";
+    json += ",\"serial_timings\":" + serial.timings.to_json();
+    json += ",\"parallel_timings\":" + parallel.timings.to_json();
+    json += ",\"warm_timings\":" + warm.timings.to_json();
+    json += "}";
+  }
+  json += "]}\n";
+
+  std::ofstream out(json_path);
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::cerr << "bench_flowperf: parallel/cached output diverged from the "
+                 "serial flow\n";
+    return 1;
+  }
+  return 0;
+}

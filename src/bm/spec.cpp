@@ -72,6 +72,55 @@ std::string Spec::to_bms() const {
   return s;
 }
 
+std::string Spec::to_canonical() const {
+  std::map<std::string, std::string> rename;
+  const auto positional = [&rename](const std::vector<std::string>& names,
+                                    char tag) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::string label(1, tag);
+      label += std::to_string(i);
+      rename[names[i]] = std::move(label);
+    }
+  };
+  const std::vector<std::string> ins = input_names();
+  positional(ins, 'i');
+  const std::vector<std::string> outs = output_names();
+  positional(outs, 'o');
+
+  const auto burst_canon = [&](const Burst& burst) {
+    std::vector<std::string> tokens;
+    tokens.reserve(burst.transitions.size());
+    for (const ch::Transition& t : burst.transitions) {
+      tokens.push_back(rename.at(t.signal) + (t.rising ? "+" : "-"));
+    }
+    std::sort(tokens.begin(), tokens.end());
+    std::string s;
+    for (const std::string& token : tokens) s += token + " ";
+    return s;
+  };
+
+  std::string s = "states ";
+  s += std::to_string(num_states);
+  s += " init ";
+  s += std::to_string(initial_state);
+  s += " inputs ";
+  s += std::to_string(ins.size());
+  s += " outputs ";
+  s += std::to_string(outs.size());
+  s += "\n";
+  for (const Arc& a : arcs) {
+    s += std::to_string(a.from);
+    s += ">";
+    s += std::to_string(a.to);
+    s += " ";
+    s += burst_canon(a.in_burst);
+    s += "| ";
+    s += burst_canon(a.out_burst);
+    s += "\n";
+  }
+  return s;
+}
+
 std::string Spec::to_dot() const {
   std::string s = "digraph \"" + name + "\" {\n  rankdir=TB;\n";
   s += "  init [shape=point];\n  init -> s" +

@@ -61,6 +61,15 @@ struct Spec {
   ///   <from> <to> <in burst> | <out burst>
   std::string to_bms() const;
 
+  /// Stable, name-free serialization used as a content-address for the
+  /// synthesis cache: signals are renamed to their positional index in
+  /// the machine's variable order ("i<k>" for the k-th input, "o<k>" for
+  /// the k-th output), burst transitions are sorted, and arcs keep their
+  /// stored order (arc order influences minimization, burst order does
+  /// not).  Two specs with equal canonical forms synthesize to the same
+  /// controller up to signal names.
+  std::string to_canonical() const;
+
   /// Graphviz rendering for inspection.
   std::string to_dot() const;
 };

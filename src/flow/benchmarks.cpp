@@ -1,6 +1,7 @@
 #include "src/flow/benchmarks.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "src/balsa/compile.hpp"
 #include "src/designs/designs.hpp"
@@ -13,6 +14,13 @@ namespace {
 
 constexpr double kMaxSimNs = 1e7;
 constexpr std::uint64_t kMaxEvents = 20'000'000;
+
+/// Failure-detail suffix naming why the simulation stopped, e.g.
+/// " [run: event budget exhausted]"; empty on quiescence.
+std::string why(sim::RunStatus status) {
+  if (status == sim::RunStatus::kQuiescent) return "";
+  return " [run: " + std::string(sim::run_status_name(status)) + "]";
+}
 
 void fill_common(BenchmarkResult& r, const System& system,
                  const hsnet::Netlist& net) {
@@ -41,11 +49,11 @@ BenchmarkResult bench_systolic(const FlowOptions& options) {
     if (k == 3) t3 = t;
   };
 
-  system.start().run(kMaxSimNs, kMaxEvents);
+  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
   fill_common(r, system, net);
   if (carry.completed() < 3 || count.completed() < 24) {
     r.detail = "cycle did not complete (carry=" +
-               std::to_string(carry.completed()) + ")";
+               std::to_string(carry.completed()) + ")" + why(status);
     return r;
   }
   r.ok = true;
@@ -66,16 +74,19 @@ BenchmarkResult bench_wagging(const FlowOptions& options) {
   PushServer out(system, "out");
   PullServer in(system, "in", [&] { return ++next; });
   in.enabled = [&] { return out.consumed() < 2; };
+  bool seen_first = false;
   double first_out = 0.0;
   out.on_data = [&](std::uint64_t, double t) {
-    if (first_out == 0.0) first_out = t;
+    if (!seen_first) {
+      seen_first = true;
+      first_out = t;
+    }
   };
 
-  const double start_ns = 0.1;
-  system.start().run(kMaxSimNs, kMaxEvents);
+  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
   fill_common(r, system, net);
-  if (out.consumed() < 1) {
-    r.detail = "no output word produced";
+  if (out.consumed() < 1 || !seen_first) {
+    r.detail = "no output word produced" + why(status);
     return r;
   }
   if (out.values()[0] != 0x11) {
@@ -84,7 +95,7 @@ BenchmarkResult bench_wagging(const FlowOptions& options) {
   }
   r.ok = true;
   // Forward latency: activation to the first word emerging.
-  r.time_ns = first_out - start_ns;
+  r.time_ns = first_out - kActivateStartNs;
   r.detail = "forward latency of the first word";
   return r;
 }
@@ -109,10 +120,11 @@ BenchmarkResult bench_stack(const FlowOptions& options) {
   });
   PushServer pop(system, "pop");
 
-  system.start().run(kMaxSimNs, kMaxEvents);
+  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
   fill_common(r, system, net);
   if (pop.consumed() < 3) {
-    r.detail = "pops incomplete: " + std::to_string(pop.consumed());
+    r.detail = "pops incomplete: " + std::to_string(pop.consumed()) +
+               why(status);
     return r;
   }
   if (pop.values() != std::vector<std::uint64_t>({0x33, 0x22, 0x11})) {
@@ -120,7 +132,7 @@ BenchmarkResult bench_stack(const FlowOptions& options) {
     return r;
   }
   r.ok = true;
-  r.time_ns = pop.last_time() - 0.1;
+  r.time_ns = pop.last_time() - kActivateStartNs;
   r.detail = "3 pushes + 3 pops, LIFO order checked";
   return r;
 }
@@ -134,10 +146,10 @@ BenchmarkResult bench_ssem(const FlowOptions& options) {
   ActivateDriver activate(system, "activate");
   SsemMemory memory(system, designs::ssem_benchmark_program());
 
-  system.start().run(kMaxSimNs, kMaxEvents);
+  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
   fill_common(r, system, net);
   if (!activate.done()) {
-    r.detail = "program did not reach STP";
+    r.detail = "program did not reach STP" + why(status);
     return r;
   }
   for (const auto& expect : designs::ssem_expected_results()) {
@@ -149,7 +161,7 @@ BenchmarkResult bench_ssem(const FlowOptions& options) {
     }
   }
   r.ok = true;
-  r.time_ns = activate.done_time() - 0.1;
+  r.time_ns = activate.done_time() - kActivateStartNs;
   r.detail = "stores 0..4 at 20..24; " + std::to_string(memory.reads()) +
              " reads, " + std::to_string(memory.writes()) + " writes";
   return r;

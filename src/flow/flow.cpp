@@ -1,12 +1,50 @@
 #include "src/flow/flow.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <optional>
 #include <stdexcept>
 
 #include "src/bm/compile.hpp"
 #include "src/bm/validate.hpp"
 #include "src/hsnet/to_ch.hpp"
+#include "src/lint/diag.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace bb::flow {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+/// Everything one controller's compile -> lint -> synthesize -> map chain
+/// produces.  Workers fill their own Unit; nothing is shared until the
+/// deterministic in-order merge, which makes lint absorption and netlist
+/// merging thread-safe by construction.
+struct Unit {
+  ControllerInfo info;
+  std::optional<netlist::GateNetlist> gates;
+  std::optional<minimalist::SynthesizedController> ctrl;
+  std::string prefix;
+  lint::Report lint_findings;  ///< non-error findings of this controller
+  StageTimings::Controller timing;
+  std::exception_ptr error;
+};
+
+}  // namespace
 
 FlowOptions FlowOptions::optimized() {
   FlowOptions o;
@@ -33,10 +71,21 @@ LintError::LintError(std::string stage, lint::Report findings)
       stage_(std::move(stage)),
       report_(std::move(findings)) {}
 
+int effective_jobs(const FlowOptions& options) {
+  if (options.jobs > 0) return options.jobs;
+  return static_cast<int>(util::ThreadPool::recommended_jobs());
+}
+
 ControlResult synthesize_control(const hsnet::Netlist& netlist,
                                  const FlowOptions& options) {
+  const auto t_total = Clock::now();
   ControlResult result;
   const auto& lib = techmap::CellLibrary::ams035();
+  minimalist::SynthCache* cache =
+      options.cache ? (options.cache_instance != nullptr
+                           ? options.cache_instance
+                           : &minimalist::SynthCache::global())
+                    : nullptr;
 
   // The static-analysis stage: every IR is linted as it is produced;
   // Error-severity findings abort, warnings accumulate in the result.
@@ -47,12 +96,15 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     result.lint_report.merge(findings);
   };
   if (options.lint) {
+    const auto t = Clock::now();
     absorb("handshake netlist '" + netlist.name() + "'",
            lint::lint_handshake(netlist, options.lint_options));
+    result.timings.lint_ms += ms_since(t);
   }
 
   // Balsa-to-CH for every control component; in the template baseline,
   // components with a hand-optimized circuit skip the synthesis path.
+  const auto t_to_ch = Clock::now();
   std::vector<ch::Program> programs;
   for (const int id : netlist.control_ids()) {
     const auto& component = netlist.component(id);
@@ -69,8 +121,10 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     }
     programs.push_back(hsnet::to_ch(component));
   }
+  result.timings.to_ch_ms = ms_since(t_to_ch);
 
   // Clustering (Section 4): T2 (which runs T1) over the CH programs.
+  const auto t_cluster = Clock::now();
   std::vector<opt::ClusteredProgram> clustered;
   if (options.cluster) {
     opt::ClusterOptions copts;
@@ -80,56 +134,178 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
   } else {
     clustered = opt::wrap(std::move(programs));
   }
+  result.timings.cluster_ms = ms_since(t_cluster);
 
-  // CH-to-BMS, Minimalist, tech mapping; merge everything into one
-  // control netlist (controllers interconnect through channel wire names).
+  // CH-to-BMS, Minimalist, tech mapping, one controller per work unit.
+  // Units are independent: each worker compiles, lints, synthesizes and
+  // maps into its own Unit, then the main thread merges in index order,
+  // so the output is byte-identical to the serial flow (the "ctl<i>"
+  // prefixes are assigned from the index, not from completion order).
   techmap::MapOptions mopts;
   mopts.level_separated = options.level_separated;
 
-  for (std::size_t i = 0; i < clustered.size(); ++i) {
-    const auto& program = clustered[i].program;
-    const bm::Spec spec = bm::compile(*program.body, program.name);
-    if (options.lint) {
-      absorb("BM spec of controller '" + program.name + "'",
-             lint::lint_bm(spec, options.lint_options));
-    } else {
-      const auto check = bm::validate(spec);
-      if (!check.ok) {
-        throw std::runtime_error("flow: controller '" + program.name +
-                                 "' failed BM validation: " + check.errors[0]);
+  std::vector<Unit> units(clustered.size());
+
+  const auto run_unit = [&](std::size_t i) {
+    Unit& unit = units[i];
+    try {
+      const auto& program = clustered[i].program;
+      const auto local_absorb = [&](std::string stage,
+                                    lint::Report findings) {
+        if (findings.has_errors()) {
+          throw LintError(std::move(stage), std::move(findings));
+        }
+        unit.lint_findings.merge(findings);
+      };
+
+      auto t = Clock::now();
+      const bm::Spec spec = bm::compile(*program.body, program.name);
+      if (!options.lint) {
+        const auto check = bm::validate(spec);
+        if (!check.ok) {
+          throw std::runtime_error("flow: controller '" + program.name +
+                                   "' failed BM validation: " +
+                                   check.errors[0]);
+        }
+      }
+      unit.timing.bm_compile_ms = ms_since(t);
+      if (options.lint) {
+        t = Clock::now();
+        local_absorb("BM spec of controller '" + program.name + "'",
+                     lint::lint_bm(spec, options.lint_options));
+        unit.timing.lint_ms += ms_since(t);
+      }
+
+      t = Clock::now();
+      minimalist::SynthesizedController ctrl =
+          cache != nullptr
+              ? minimalist::synthesize_cached(spec, options.mode, *cache,
+                                              &unit.timing.cache_hit)
+              : minimalist::synthesize(spec, options.mode);
+      unit.timing.minimalist_ms = ms_since(t);
+
+      if (options.lint) {
+        t = Clock::now();
+        local_absorb("two-level logic of controller '" + program.name + "'",
+                     lint::lint_two_level(ctrl, spec, options.lint_options));
+        unit.timing.lint_ms += ms_since(t);
+      }
+
+      unit.prefix = "ctl" + std::to_string(i);
+      t = Clock::now();
+      unit.gates = techmap::map_controller(ctrl, lib, mopts, unit.prefix);
+      unit.timing.techmap_ms = ms_since(t);
+
+      unit.info.name = program.name;
+      unit.info.members = clustered[i].members;
+      unit.info.states = spec.num_states;
+      unit.info.products = ctrl.num_products();
+      unit.info.literals = ctrl.num_literals();
+      unit.info.area = unit.gates->total_area();
+      unit.timing.name = program.name;
+      unit.ctrl = std::move(ctrl);
+    } catch (...) {
+      unit.error = std::current_exception();
+    }
+  };
+
+  const int max_useful = units.empty() ? 1 : static_cast<int>(units.size());
+  const int jobs = std::max(1, std::min(effective_jobs(options), max_useful));
+  result.timings.jobs = jobs;
+  const auto t_units = Clock::now();
+  if (jobs <= 1 || units.size() <= 1) {
+    for (std::size_t i = 0; i < units.size(); ++i) run_unit(i);
+  } else {
+    util::ThreadPool pool(jobs);
+    util::parallel_for_index(pool, units.size(), run_unit);
+  }
+  result.timings.controllers_wall_ms = ms_since(t_units);
+
+  // Deterministic in-order merge.  Errors surface exactly as in the
+  // serial flow: the lowest-index failing controller wins.
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    Unit& unit = units[i];
+    if (unit.error) std::rethrow_exception(unit.error);
+    result.lint_report.merge(unit.lint_findings);
+    result.timings.bm_compile_ms += unit.timing.bm_compile_ms;
+    result.timings.minimalist_ms += unit.timing.minimalist_ms;
+    result.timings.techmap_ms += unit.timing.techmap_ms;
+    result.timings.lint_ms += unit.timing.lint_ms;
+    if (cache != nullptr) {
+      if (unit.timing.cache_hit) {
+        ++result.timings.cache_hits;
+      } else {
+        ++result.timings.cache_misses;
       }
     }
-    auto ctrl = minimalist::synthesize(spec, options.mode);
-    if (options.lint) {
-      absorb("two-level logic of controller '" + program.name + "'",
-             lint::lint_two_level(ctrl, spec, options.lint_options));
-    }
-    const std::string prefix = "ctl" + std::to_string(i);
-    const netlist::GateNetlist gates =
-        techmap::map_controller(ctrl, lib, mopts, prefix);
-
-    ControllerInfo info;
-    info.name = program.name;
-    info.members = clustered[i].members;
-    info.states = spec.num_states;
-    info.products = ctrl.num_products();
-    info.literals = ctrl.num_literals();
-    info.area = gates.total_area();
-    result.info.push_back(std::move(info));
-
-    result.gates.merge(gates);
-    result.controllers.push_back(std::move(ctrl));
-    result.prefixes.push_back(prefix);
+    result.timings.controllers.push_back(std::move(unit.timing));
+    result.info.push_back(std::move(unit.info));
+    result.gates.merge(*unit.gates);
+    result.controllers.push_back(std::move(*unit.ctrl));
+    result.prefixes.push_back(std::move(unit.prefix));
   }
+
   if (options.lint) {
+    const auto t = Clock::now();
     absorb("merged control netlist",
            lint::lint_gates(result.gates, options.lint_options));
+    result.timings.lint_ms += ms_since(t);
   }
   result.area = result.gates.total_area();
+  result.timings.total_ms = ms_since(t_total);
   return result;
 }
 
-std::string report(const ControlResult& result) {
+std::string StageTimings::to_text() const {
+  std::string s = "stage timings (ms): to_ch " + fmt_ms(to_ch_ms) +
+                  ", cluster " + fmt_ms(cluster_ms) + ", bm_compile " +
+                  fmt_ms(bm_compile_ms) + ", minimalist " +
+                  fmt_ms(minimalist_ms) + ", techmap " + fmt_ms(techmap_ms) +
+                  ", lint " + fmt_ms(lint_ms) + "\n";
+  s += "controllers wall " + fmt_ms(controllers_wall_ms) + " ms on " +
+       std::to_string(jobs) + " job(s), total " + fmt_ms(total_ms) +
+       " ms; cache " + std::to_string(cache_hits) + " hit(s), " +
+       std::to_string(cache_misses) + " miss(es)\n";
+  for (const Controller& c : controllers) {
+    s += "  " + c.name + ": bm " + fmt_ms(c.bm_compile_ms) + ", synth " +
+         fmt_ms(c.minimalist_ms) + ", map " + fmt_ms(c.techmap_ms) +
+         ", lint " + fmt_ms(c.lint_ms) +
+         (c.cache_hit ? " (cache hit)" : "") + "\n";
+  }
+  return s;
+}
+
+std::string StageTimings::to_json() const {
+  std::string s = "{";
+  s += "\"to_ch_ms\":" + fmt_ms(to_ch_ms);
+  s += ",\"cluster_ms\":" + fmt_ms(cluster_ms);
+  s += ",\"bm_compile_ms\":" + fmt_ms(bm_compile_ms);
+  s += ",\"minimalist_ms\":" + fmt_ms(minimalist_ms);
+  s += ",\"techmap_ms\":" + fmt_ms(techmap_ms);
+  s += ",\"lint_ms\":" + fmt_ms(lint_ms);
+  s += ",\"controllers_wall_ms\":" + fmt_ms(controllers_wall_ms);
+  s += ",\"total_ms\":" + fmt_ms(total_ms);
+  s += ",\"jobs\":" + std::to_string(jobs);
+  s += ",\"cache_hits\":" + std::to_string(cache_hits);
+  s += ",\"cache_misses\":" + std::to_string(cache_misses);
+  s += ",\"controllers\":[";
+  for (std::size_t i = 0; i < controllers.size(); ++i) {
+    const Controller& c = controllers[i];
+    if (i > 0) s += ",";
+    s += "{\"name\":\"" + lint::json_escape(c.name) + "\"";
+    s += ",\"bm_compile_ms\":" + fmt_ms(c.bm_compile_ms);
+    s += ",\"minimalist_ms\":" + fmt_ms(c.minimalist_ms);
+    s += ",\"techmap_ms\":" + fmt_ms(c.techmap_ms);
+    s += ",\"lint_ms\":" + fmt_ms(c.lint_ms);
+    s += ",\"cache_hit\":";
+    s += c.cache_hit ? "true" : "false";
+    s += "}";
+  }
+  s += "]}";
+  return s;
+}
+
+std::string report(const ControlResult& result, bool with_timings) {
   std::string s;
   for (const ControllerInfo& info : result.info) {
     s += info.name + ": " + std::to_string(info.states) + " states, " +
@@ -138,6 +314,7 @@ std::string report(const ControlResult& result) {
          std::to_string(info.area) + "\n";
   }
   s += "total control area: " + std::to_string(result.area) + "\n";
+  if (with_timings) s += result.timings.to_text();
   return s;
 }
 

@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+
 #include "src/hsnet/netlist.hpp"
 #include "src/lint/lint.hpp"
+#include "src/minimalist/cache.hpp"
 #include "src/minimalist/synth.hpp"
 #include "src/netlist/gates.hpp"
 #include "src/opt/cluster.hpp"
@@ -37,6 +40,20 @@ struct FlowOptions {
   bool lint = true;
   /// Suppression list and thresholds forwarded to the lint passes.
   lint::LintOptions lint_options;
+  /// Worker threads for the per-controller synthesis loop.  0 = auto
+  /// (the BB_JOBS environment variable when set, otherwise the hardware
+  /// concurrency); 1 forces the serial path.  Parallel output is merged
+  /// in controller-index order and is byte-identical to the serial flow.
+  int jobs = 0;
+  /// Memoize Burst-Mode synthesis through a content-addressed cache
+  /// (keyed on bm::Spec::to_canonical() + mode, so structurally
+  /// identical controllers from different instances share one entry).
+  /// The cache is exact — cached and uncached flows produce identical
+  /// results — so it is on by default; set false as an escape hatch.
+  bool cache = true;
+  /// Cache instance to use; nullptr = the process-wide
+  /// minimalist::SynthCache::global().  Tests inject a local instance.
+  minimalist::SynthCache* cache_instance = nullptr;
 
   /// The paper's optimized back-end configuration.
   static FlowOptions optimized();
@@ -44,6 +61,38 @@ struct FlowOptions {
   /// as compact, area-efficient implementations (the hand-optimized
   /// template library stand-in).
   static FlowOptions unoptimized();
+};
+
+/// Wall-clock observability of one synthesize_control call.  Per-stage
+/// times are summed across controllers (CPU-style totals); the wall time
+/// of the parallel region is reported separately so speedup is visible.
+struct StageTimings {
+  double to_ch_ms = 0.0;      ///< Balsa-to-CH translation (+ templates)
+  double cluster_ms = 0.0;    ///< T1/T2 clustering
+  double bm_compile_ms = 0.0; ///< CH-to-BMS, summed across controllers
+  double minimalist_ms = 0.0; ///< two-level synthesis (or cache lookup)
+  double techmap_ms = 0.0;    ///< technology mapping
+  double lint_ms = 0.0;       ///< all lint stages, including handshake/gates
+  double controllers_wall_ms = 0.0;  ///< wall time of the parallel region
+  double total_ms = 0.0;             ///< whole synthesize_control call
+  int jobs = 1;                      ///< worker threads actually used
+  std::uint64_t cache_hits = 0;      ///< this call's hits (not global)
+  std::uint64_t cache_misses = 0;
+
+  struct Controller {
+    std::string name;
+    double bm_compile_ms = 0.0;
+    double minimalist_ms = 0.0;
+    double techmap_ms = 0.0;
+    double lint_ms = 0.0;
+    bool cache_hit = false;
+  };
+  std::vector<Controller> controllers;
+
+  /// Human-readable block, one line per stage then per controller.
+  std::string to_text() const;
+  /// Stable machine-readable rendering for bench_flowperf artifacts.
+  std::string to_json() const;
 };
 
 struct ControllerInfo {
@@ -65,6 +114,8 @@ struct ControlResult {
   /// off).  Error-severity findings abort synthesize_control instead of
   /// landing here.
   lint::Report lint_report;
+  /// Per-stage wall times of the call that produced this result.
+  StageTimings timings;
   double area = 0.0;
 };
 
@@ -85,7 +136,13 @@ class LintError : public std::runtime_error {
 ControlResult synthesize_control(const hsnet::Netlist& netlist,
                                  const FlowOptions& options);
 
-/// One-line-per-controller report.
-std::string report(const ControlResult& result);
+/// One-line-per-controller report.  The default rendering is a pure
+/// function of the synthesis result (no wall-clock numbers), so serial,
+/// parallel, cached and uncached flows produce byte-identical text;
+/// `with_timings` appends the StageTimings block for human inspection.
+std::string report(const ControlResult& result, bool with_timings = false);
+
+/// The worker count a given options.jobs value resolves to.
+int effective_jobs(const FlowOptions& options);
 
 }  // namespace bb::flow

@@ -10,12 +10,16 @@
 
 namespace bb::flow {
 
+/// When the activation request rises in every benchmark testbench;
+/// latency measurements are taken relative to this instant.
+inline constexpr double kActivateStartNs = 0.1;
+
 /// Raises the request of a sync channel and keeps it high (procedure
 /// activation; loop-based procedures never acknowledge).
 class ActivateDriver : public sim::Process {
  public:
   ActivateDriver(System& system, const std::string& channel,
-                 double at_ns = 0.1);
+                 double at_ns = kActivateStartNs);
   void start(sim::Simulator& sim) override;
   void on_change(sim::Simulator& sim, int net) override;
 

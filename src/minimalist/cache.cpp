@@ -1,0 +1,77 @@
+#include "src/minimalist/cache.hpp"
+
+namespace bb::minimalist {
+
+namespace {
+
+/// Rebinds a stored controller to the requesting spec's signal names.
+/// Everything else in a SynthesizedController is positional (covers,
+/// state codes, state-bit names "y<s>"), so only the display names of
+/// the machine and its input/output wires change.
+SynthesizedController rebind(SynthesizedController ctrl, const bm::Spec& spec) {
+  ctrl.name = spec.name;
+  ctrl.inputs = spec.input_names();
+  ctrl.outputs = spec.output_names();
+  for (std::size_t z = 0; z < ctrl.outputs.size(); ++z) {
+    ctrl.functions[z].name = ctrl.outputs[z];
+  }
+  return ctrl;
+}
+
+}  // namespace
+
+std::string cache_key(const bm::Spec& spec, SynthMode mode) {
+  return (mode == SynthMode::kSpeed ? "speed\n" : "area\n") +
+         spec.to_canonical();
+}
+
+std::optional<SynthesizedController> SynthCache::lookup(const bm::Spec& spec,
+                                                        SynthMode mode) {
+  const std::string key = cache_key(spec, mode);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return rebind(it->second, spec);
+}
+
+void SynthCache::store(const bm::Spec& spec, SynthMode mode,
+                       const SynthesizedController& ctrl) {
+  std::string key = cache_key(spec, mode);
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.emplace(std::move(key), ctrl);
+}
+
+SynthCache::Stats SynthCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, map_.size()};
+}
+
+void SynthCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+SynthCache& SynthCache::global() {
+  static SynthCache cache;
+  return cache;
+}
+
+SynthesizedController synthesize_cached(const bm::Spec& spec, SynthMode mode,
+                                        SynthCache& cache, bool* hit) {
+  if (auto cached = cache.lookup(spec, mode)) {
+    if (hit) *hit = true;
+    return std::move(*cached);
+  }
+  SynthesizedController ctrl = synthesize(spec, mode);
+  cache.store(spec, mode, ctrl);
+  if (hit) *hit = false;
+  return ctrl;
+}
+
+}  // namespace bb::minimalist

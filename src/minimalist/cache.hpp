@@ -1,0 +1,70 @@
+// Content-addressed memoization of Burst-Mode synthesis.
+//
+// Controllers are keyed by bm::Spec::to_canonical() plus the synthesis
+// mode: a stable serialization with every signal renamed to its
+// positional index, so structurally identical controllers synthesized
+// for different component instances (different wire names, same machine)
+// share one cache entry.  A hit returns the stored controller with the
+// requesting spec's signal names rebound; because synthesis is a pure
+// function of the canonical form, the rebound result is byte-identical
+// to what a fresh synthesis run would produce, which keeps cached and
+// uncached flows deterministic relative to each other.
+//
+// The cache is thread-safe (one mutex around the map and counters) and
+// is shared by all workers of the parallel flow.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/bm/spec.hpp"
+#include "src/minimalist/synth.hpp"
+
+namespace bb::minimalist {
+
+/// The cache key of a (spec, mode) pair.
+std::string cache_key(const bm::Spec& spec, SynthMode mode);
+
+class SynthCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Returns the cached controller rebound to `spec`'s signal names, or
+  /// nullopt on a miss.  Counts a hit or miss.
+  std::optional<SynthesizedController> lookup(const bm::Spec& spec,
+                                              SynthMode mode);
+
+  /// Stores a freshly synthesized controller (first writer wins; a
+  /// concurrent duplicate insert is a no-op since both results are
+  /// identical up to names).
+  void store(const bm::Spec& spec, SynthMode mode,
+             const SynthesizedController& ctrl);
+
+  Stats stats() const;
+  void clear();
+
+  /// The process-wide cache used by the flow when no explicit instance
+  /// is configured.
+  static SynthCache& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SynthesizedController> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// synthesize() through `cache`: looks up first, synthesizes and stores
+/// on a miss.  `hit` (when non-null) reports which path was taken.
+SynthesizedController synthesize_cached(const bm::Spec& spec, SynthMode mode,
+                                        SynthCache& cache,
+                                        bool* hit = nullptr);
+
+}  // namespace bb::minimalist

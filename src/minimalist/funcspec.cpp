@@ -122,8 +122,10 @@ MachineSpec extract(const bm::Spec& spec) {
   const CubeFactory cubes(machine.inputs, spec.num_states);
   machine.num_vars = cubes.num_vars();
 
-  machine.initial_state_code.assign(spec.num_states, false);
-  machine.initial_state_code[spec.initial_state] = true;
+  machine.state_codes.assign(
+      spec.num_states, std::vector<bool>(machine.state_bits.size(), false));
+  for (int s = 0; s < spec.num_states; ++s) machine.state_codes[s][s] = true;
+  machine.initial_state_code = machine.state_codes[spec.initial_state];
   machine.initial_outputs.assign(outputs.size(), false);
 
   // Function table: outputs first, then state bits.

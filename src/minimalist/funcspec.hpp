@@ -61,7 +61,11 @@ struct MachineSpec {
   std::vector<std::string> state_bits;  ///< then one bit per state
   std::size_t num_vars = 0;
   std::vector<FuncSpec> functions;      ///< outputs then state bits
-  /// Initial values of the state bits (one-hot code of the initial state).
+  /// State-bit assignment: the code of every specification state over
+  /// `state_bits` (one-hot today, but consumers must not assume that —
+  /// the validator derives bit patterns from here, not from state ids).
+  std::vector<std::vector<bool>> state_codes;
+  /// Initial values of the state bits (state_codes[initial state]).
   std::vector<bool> initial_state_code;
   /// Initial values of the outputs (all low).
   std::vector<bool> initial_outputs;

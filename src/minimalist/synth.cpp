@@ -47,6 +47,15 @@ bool settle(const SynthesizedController& ctrl, MachineState& m) {
 
 }  // namespace
 
+std::vector<bool> SynthesizedController::state_code(int s) const {
+  if (static_cast<std::size_t>(s) < state_codes.size()) {
+    return state_codes[s];
+  }
+  std::vector<bool> code(state_bits.size(), false);
+  if (s >= 0 && static_cast<std::size_t>(s) < code.size()) code[s] = true;
+  return code;
+}
+
 std::size_t SynthesizedController::num_products() const {
   std::size_t n = 0;
   for (const SolvedFunction& f : functions) n += f.products.size();
@@ -82,6 +91,7 @@ SynthesizedController synthesize(const bm::Spec& spec, SynthMode mode) {
   out.outputs = spec.output_names();
   out.state_bits = machine.state_bits;
   out.num_vars = machine.num_vars;
+  out.state_codes = machine.state_codes;
   out.initial_state_code = machine.initial_state_code;
   out.functions.reserve(machine.functions.size());
   for (const FuncSpec& f : machine.functions) {
@@ -152,8 +162,9 @@ ValidationReport validate_against_spec(const SynthesizedController& ctrl,
         const auto it = input_index.find(signal);
         if (it != input_index.end()) m.vars[it->second] = value;
       }
+      const std::vector<bool> from_code = ctrl.state_code(arc.from);
       for (std::size_t s = 0; s < ctrl.state_bits.size(); ++s) {
-        m.vars[m_inputs + s] = static_cast<std::size_t>(arc.from) == s;
+        m.vars[m_inputs + s] = from_code[s];
       }
       m.outputs.assign(ctrl.outputs.size(), false);
       for (const auto& [signal, value] : val_s) {
@@ -211,8 +222,9 @@ ValidationReport validate_against_spec(const SynthesizedController& ctrl,
               " ended at " + (m.outputs[z] ? "1" : "0"));
         }
       }
+      const std::vector<bool> to_code = ctrl.state_code(arc.to);
       for (std::size_t s = 0; s < ctrl.state_bits.size(); ++s) {
-        const bool want = static_cast<std::size_t>(arc.to) == s;
+        const bool want = to_code[s];
         if (m.vars[m_inputs + s] != want) {
           report.ok = false;
           report.errors.push_back("arc " + std::to_string(arc.from) + "->" +

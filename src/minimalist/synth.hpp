@@ -21,7 +21,16 @@ struct SynthesizedController {
   std::size_t num_vars = 0;
   /// Output functions first (aligned with `outputs`), then state bits.
   std::vector<SolvedFunction> functions;
+  /// State-bit code per specification state (the machine's actual state
+  /// assignment; one-hot today).  Positional — no signal names inside —
+  /// so it survives the synthesis cache's name rebinding unchanged.
+  std::vector<std::vector<bool>> state_codes;
   std::vector<bool> initial_state_code;
+
+  /// The state-bit pattern of specification state `s`.  Falls back to a
+  /// one-hot code for hand-built controllers that never filled
+  /// `state_codes`.
+  std::vector<bool> state_code(int s) const;
 
   std::size_t num_products() const;
   std::size_t num_literals() const;

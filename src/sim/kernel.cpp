@@ -49,20 +49,23 @@ void Simulator::apply(int net, bool value) {
   for (Process* p : subscribers_[net]) p->on_change(*this, net);
 }
 
-bool Simulator::run(double max_time_ns, std::uint64_t max_events) {
+RunStatus Simulator::run_status(double max_time_ns, std::uint64_t max_events) {
   if (!started_) {
     started_ = true;
     for (Process* p : processes_) p->start(*this);
   }
+  events_ = 0;
   while (!queue_.empty() || !callbacks_.empty()) {
-    if (++events_ > max_events) return false;
+    if (events_ + 1 > max_events) return RunStatus::kEventBudget;
+    ++events_;
+    ++total_events_;
 
     const double net_time =
         queue_.empty() ? 1e300 : queue_.top().time;
     const double cb_time =
         callbacks_.empty() ? 1e300 : callbacks_.top().time;
     const double t = std::min(net_time, cb_time);
-    if (t > max_time_ns) return false;
+    if (t > max_time_ns) return RunStatus::kTimeout;
 
     if (cb_time <= net_time) {
       Callback cb = callbacks_.top();
@@ -80,7 +83,16 @@ bool Simulator::run(double max_time_ns, std::uint64_t max_events) {
     has_pending_[ev.net] = false;
     apply(ev.net, ev.value);
   }
-  return true;
+  return RunStatus::kQuiescent;
+}
+
+std::string_view run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kQuiescent: return "quiescent";
+    case RunStatus::kTimeout: return "timeout";
+    case RunStatus::kEventBudget: return "event budget exhausted";
+  }
+  return "unknown";
 }
 
 }  // namespace bb::sim

@@ -12,9 +12,21 @@
 #include <queue>
 #include <vector>
 
+#include <string_view>
+
 namespace bb::sim {
 
 class Simulator;
+
+/// Why a run() call returned.
+enum class RunStatus {
+  kQuiescent,    ///< no events left: the model settled
+  kTimeout,      ///< the next event lies beyond max_time_ns
+  kEventBudget,  ///< max_events exceeded (livelock or oscillation)
+};
+
+/// "quiescent" / "timeout" / "event budget exhausted".
+std::string_view run_status_name(RunStatus status);
 
 /// A behavioural participant: testbench or datapath model.
 class Process {
@@ -48,15 +60,24 @@ class Simulator {
   /// Schedules a one-shot callback at now()+delay.
   void call_at(double delay_ns, std::function<void()> fn);
 
-  /// Runs until quiescence or the limits hit.  Returns true on
-  /// quiescence; false means the event/time budget was exhausted (a
-  /// livelock or oscillation in the model).
-  bool run(double max_time_ns = 1e9, std::uint64_t max_events = 50'000'000);
+  /// Runs until quiescence or the limits hit.  The event budget is
+  /// per-call: each invocation starts counting from zero, so a simulator
+  /// can be re-run any number of times.
+  RunStatus run_status(double max_time_ns = 1e9,
+                       std::uint64_t max_events = 50'000'000);
+
+  /// Bool-compatible wrapper around run_status(): true on quiescence.
+  bool run(double max_time_ns = 1e9, std::uint64_t max_events = 50'000'000) {
+    return run_status(max_time_ns, max_events) == RunStatus::kQuiescent;
+  }
 
   /// Starts all registered processes (called by run on first use).
   void add_process(Process* process);
 
+  /// Events handled by the most recent run()/run_status() call.
   std::uint64_t events_processed() const { return events_; }
+  /// Events handled across all calls on this simulator.
+  std::uint64_t total_events() const { return total_events_; }
 
  private:
   struct NetEvent {
@@ -92,7 +113,8 @@ class Simulator {
       callbacks_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
-  std::uint64_t events_ = 0;
+  std::uint64_t events_ = 0;        // per-call counter, reset by run_status
+  std::uint64_t total_events_ = 0;  // lifetime counter
 };
 
 }  // namespace bb::sim

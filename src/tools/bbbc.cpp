@@ -12,7 +12,8 @@
 //   bbbc bench    <design>        run the design's Table 3 benchmark row
 //
 // Options: --unoptimized (template baseline instead of the clustered
-// back-end), --max-states N.
+// back-end), --max-states N, --jobs N (controller-synthesis worker
+// threads; 0 = auto), --no-cache (disable the synthesis cache).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,7 +35,8 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr
       << "usage: bbbc <netlist|ch|bms|sol|verilog|report|bench> "
-         "<file.balsa|design> [--unoptimized] [--max-states N]\n"
+         "<file.balsa|design> [--unoptimized] [--max-states N] "
+         "[--jobs N] [--no-cache]\n"
          "built-in designs: systolic wagging stack ssem\n";
   std::exit(2);
 }
@@ -68,6 +70,10 @@ int main(int argc, char** argv) {
       options = bb::flow::FlowOptions::unoptimized();
     } else if (flag == "--max-states" && i + 1 < argc) {
       options.max_states = std::stoi(argv[++i]);
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      options.jobs = std::stoi(argv[++i]);
+    } else if (flag == "--no-cache") {
+      options.cache = false;
     } else {
       usage();
     }
@@ -137,7 +143,7 @@ int main(int argc, char** argv) {
       if (command == "verilog") {
         std::cout << bb::netlist::to_verilog(result.gates);
       } else {
-        std::cout << bb::flow::report(result);
+        std::cout << bb::flow::report(result, /*with_timings=*/true);
         for (const auto& line : result.cluster_stats.log) {
           std::cout << "  " << line << "\n";
         }

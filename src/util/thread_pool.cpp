@@ -1,0 +1,116 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace bb::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::recommended_jobs() {
+  if (const char* env = std::getenv("BB_JOBS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::vector<std::exception_ptr> errors(count);
+
+  if (pool.size() <= 1 || count == 1) {
+    // Inline path, same semantics: attempt every index, then rethrow the
+    // lowest failure.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    struct Shared {
+      std::atomic<std::size_t> next{0};
+      std::size_t exited = 0;  // guarded by mu
+      std::mutex mu;
+      std::condition_variable cv;
+    } shared;
+
+    const std::size_t workers = std::min(pool.size(), count);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([&shared, &errors, &fn, count] {
+        for (;;) {
+          const std::size_t i =
+              shared.next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) break;
+          try {
+            fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+        // Completion is signalled per *worker*, not per index: `shared`,
+        // `errors` and `fn` live on the caller's stack and may be
+        // destroyed as soon as the caller observes the last exit, so the
+        // notify below must be this worker's final touch of any of them.
+        std::lock_guard<std::mutex> lock(shared.mu);
+        ++shared.exited;
+        shared.cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.cv.wait(lock,
+                   [&shared, workers] { return shared.exited == workers; });
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+}  // namespace bb::util

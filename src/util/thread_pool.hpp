@@ -1,0 +1,62 @@
+// A small fixed-size worker pool for the synthesis flow's per-controller
+// parallelism.
+//
+// The pool owns its worker threads for its whole lifetime; work items are
+// plain std::function<void()> drained FIFO from one shared queue.  The
+// companion `parallel_for_index` helper runs a body over [0, count) with
+// deterministic error semantics: every index is attempted, and the
+// exception of the *lowest* failing index is rethrown, so a parallel run
+// fails with exactly the error a serial in-order run would report first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bb::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+  /// Joins all workers; tasks already queued are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw (wrap the body if it can);
+  /// an escaping exception terminates the process.
+  void submit(std::function<void()> task);
+
+  /// The default worker count: the BB_JOBS environment variable when set
+  /// to a positive integer, otherwise std::thread::hardware_concurrency()
+  /// (at least 1).
+  static std::size_t recommended_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(0), ..., fn(count-1) across the pool's workers and blocks until
+/// all indices finished.  With a single-worker pool (or count <= 1) the
+/// body runs inline on the calling thread.  Exceptions thrown by the body
+/// are collected per index; after all indices ran, the exception of the
+/// lowest failing index is rethrown.  Must not be called from inside a
+/// pool task (the caller blocks on the same pool).
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace bb::util

@@ -1,0 +1,214 @@
+// Determinism and memoization contracts of the parallel synthesis flow:
+// the parallel per-controller pipeline must produce byte-identical
+// results to the serial one, the synthesis cache must be exact (warm
+// results identical to cold), and stage timings must be collected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/balsa/compile.hpp"
+#include "src/bm/compile.hpp"
+#include "src/ch/parser.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/flow.hpp"
+#include "src/minimalist/cache.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace bb::flow {
+namespace {
+
+FlowOptions with(int jobs, bool cache,
+                 minimalist::SynthCache* instance = nullptr) {
+  FlowOptions options = FlowOptions::optimized();
+  options.jobs = jobs;
+  options.cache = cache;
+  options.cache_instance = instance;
+  return options;
+}
+
+/// Everything the determinism contract covers, in one comparable string.
+std::string fingerprint(const ControlResult& result) {
+  std::string s = report(result);
+  s += netlist::to_verilog(result.gates);
+  s += result.lint_report.to_text();
+  for (const auto& prefix : result.prefixes) s += prefix + "\n";
+  return s;
+}
+
+class ParallelFlow : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelFlow, MatchesSerialByteForByte) {
+  const auto net = balsa::compile_source(
+      designs::design(GetParam()).source);
+  const auto serial = synthesize_control(net, with(1, false));
+  const auto parallel = synthesize_control(net, with(4, false));
+  EXPECT_EQ(report(serial), report(parallel));
+  EXPECT_EQ(fingerprint(serial), fingerprint(parallel));
+  ASSERT_EQ(serial.info.size(), parallel.info.size());
+  for (std::size_t i = 0; i < serial.info.size(); ++i) {
+    EXPECT_EQ(serial.info[i].name, parallel.info[i].name);
+    EXPECT_EQ(serial.info[i].members, parallel.info[i].members);
+  }
+}
+
+TEST_P(ParallelFlow, CachedMatchesUncachedAndWarmMatchesCold) {
+  const auto net = balsa::compile_source(
+      designs::design(GetParam()).source);
+  const auto uncached = synthesize_control(net, with(0, false));
+
+  minimalist::SynthCache cache;
+  const auto cold = synthesize_control(net, with(0, true, &cache));
+  const auto warm = synthesize_control(net, with(0, true, &cache));
+
+  EXPECT_EQ(fingerprint(uncached), fingerprint(cold));
+  EXPECT_EQ(fingerprint(cold), fingerprint(warm));
+
+  // Cold run: every controller missed (modulo intra-design duplicates);
+  // warm run: every controller hits.
+  EXPECT_GT(cold.timings.cache_misses, 0u);
+  EXPECT_EQ(warm.timings.cache_misses, 0u);
+  EXPECT_EQ(warm.timings.cache_hits,
+            static_cast<std::uint64_t>(warm.controllers.size()));
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, ParallelFlow,
+                         ::testing::Values("systolic", "wagging", "stack",
+                                           "ssem"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ParallelFlowSuite, UnoptimizedFlowIsDeterministicToo) {
+  for (const auto* design : designs::all_designs()) {
+    const auto net = balsa::compile_source(design->source);
+    FlowOptions serial_opts = FlowOptions::unoptimized();
+    serial_opts.jobs = 1;
+    FlowOptions parallel_opts = FlowOptions::unoptimized();
+    parallel_opts.jobs = 4;
+    const auto serial = synthesize_control(net, serial_opts);
+    const auto parallel = synthesize_control(net, parallel_opts);
+    EXPECT_EQ(fingerprint(serial), fingerprint(parallel)) << design->name;
+  }
+}
+
+TEST(ParallelFlowSuite, StageTimingsAreCollected) {
+  const auto net = balsa::compile_source(designs::ssem().source);
+  const auto result = synthesize_control(net, with(0, false));
+  const auto& t = result.timings;
+  EXPECT_GT(t.total_ms, 0.0);
+  EXPECT_GT(t.controllers_wall_ms, 0.0);
+  EXPECT_GT(t.minimalist_ms, 0.0);
+  EXPECT_GE(t.jobs, 1);
+  EXPECT_EQ(t.controllers.size(), result.controllers.size());
+  // Rendering round-trips without throwing and mentions every stage.
+  const std::string text = t.to_text();
+  for (const char* stage :
+       {"to_ch", "cluster", "bm_compile", "minimalist", "techmap", "lint"}) {
+    EXPECT_NE(text.find(stage), std::string::npos) << stage;
+  }
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"controllers_wall_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\""), std::string::npos);
+}
+
+TEST(ParallelFlowSuite, ReportOmitsTimingsUnlessAsked) {
+  const auto net = balsa::compile_source(designs::wagging_register().source);
+  const auto result = synthesize_control(net, with(0, true));
+  EXPECT_EQ(report(result).find("stage timings"), std::string::npos);
+  EXPECT_NE(report(result, true).find("stage timings"), std::string::npos);
+}
+
+TEST(SynthCache, RebindsNamesPositionally) {
+  // Two structurally identical controllers with different signal names
+  // must share one cache entry, and the rebound hit must match a fresh
+  // synthesis of the second spec exactly.
+  const char* kShapeA =
+      "(rep (enc-early (p-to-p passive pa)"
+      " (seq (p-to-p active qa) (p-to-p active ra))))";
+  const char* kShapeB =
+      "(rep (enc-early (p-to-p passive pb)"
+      " (seq (p-to-p active qb) (p-to-p active rb))))";
+  const bm::Spec spec_a = bm::compile(*ch::parse(kShapeA), "a");
+  const bm::Spec spec_b = bm::compile(*ch::parse(kShapeB), "b");
+  ASSERT_EQ(spec_a.to_canonical(), spec_b.to_canonical());
+
+  minimalist::SynthCache cache;
+  bool hit = true;
+  const auto first = minimalist::synthesize_cached(
+      spec_a, minimalist::SynthMode::kSpeed, cache, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = minimalist::synthesize_cached(
+      spec_b, minimalist::SynthMode::kSpeed, cache, &hit);
+  EXPECT_TRUE(hit);
+
+  const auto fresh = minimalist::synthesize(spec_b,
+                                            minimalist::SynthMode::kSpeed);
+  EXPECT_EQ(second.to_sol(), fresh.to_sol());
+  EXPECT_EQ(second.name, "b");
+  EXPECT_EQ(second.inputs, fresh.inputs);
+  EXPECT_EQ(second.outputs, fresh.outputs);
+  EXPECT_EQ(second.initial_state_code, fresh.initial_state_code);
+  EXPECT_EQ(second.state_codes, fresh.state_codes);
+  EXPECT_NE(first.to_sol(), second.to_sol());  // names differ, logic equal
+}
+
+TEST(SynthCache, ModeIsPartOfTheKey) {
+  const bm::Spec spec = bm::compile(
+      *ch::parse("(rep (enc-early (p-to-p passive a) (p-to-p active b)))"),
+      "m");
+  minimalist::SynthCache cache;
+  bool hit = true;
+  minimalist::synthesize_cached(spec, minimalist::SynthMode::kSpeed, cache,
+                                &hit);
+  EXPECT_FALSE(hit);
+  minimalist::synthesize_cached(spec, minimalist::SynthMode::kArea, cache,
+                                &hit);
+  EXPECT_FALSE(hit) << "area-mode synthesis must not reuse a speed entry";
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ThreadPoolFlow, ErrorsSurfaceAtTheLowestFailingIndex) {
+  util::ThreadPool pool(4);
+  std::atomic<int> attempted{0};
+  try {
+    util::parallel_for_index(pool, 16, [&](std::size_t i) {
+      ++attempted;
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 3");
+  }
+  EXPECT_EQ(attempted.load(), 16) << "every index must still be attempted";
+}
+
+TEST(ThreadPoolFlow, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(1000);
+  util::parallel_for_index(pool, counts.size(),
+                           [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolFlow, SingleWorkerPoolRunsInline) {
+  util::ThreadPool pool(1);
+  std::set<std::size_t> seen;
+  util::parallel_for_index(pool, 10,
+                           [&](std::size_t i) { seen.insert(i); });
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace bb::flow

@@ -49,6 +49,37 @@ TEST(Extract, SequencerShape) {
   for (std::size_t s = 1; s < 6; ++s) EXPECT_FALSE(m.initial_state_code[s]);
 }
 
+TEST(Extract, StateCodesCoverEveryState) {
+  // The validator derives per-state bit patterns from the machine's
+  // actual assignment instead of assuming bit index == state id.
+  const bm::Spec spec = spec_of(kSequencer, "sequencer");
+  const MachineSpec m = extract(spec);
+  ASSERT_EQ(m.state_codes.size(), static_cast<std::size_t>(spec.num_states));
+  for (int s = 0; s < spec.num_states; ++s) {
+    ASSERT_EQ(m.state_codes[s].size(), m.state_bits.size());
+    for (std::size_t bit = 0; bit < m.state_bits.size(); ++bit) {
+      EXPECT_EQ(m.state_codes[s][bit], static_cast<int>(bit) == s);
+    }
+  }
+  EXPECT_EQ(m.initial_state_code, m.state_codes[spec.initial_state]);
+
+  const SynthesizedController ctrl = synthesize(spec);
+  EXPECT_EQ(ctrl.state_codes, m.state_codes);
+  EXPECT_EQ(ctrl.state_code(1), m.state_codes[1]);
+}
+
+TEST(Validate, UsesStateAssignmentNotStateIds) {
+  // A controller whose state_codes disagree with the one-hot-by-id
+  // assumption must be validated against its recorded codes: permuting
+  // the codes (without permuting the logic) must now fail validation
+  // loudly instead of silently checking the wrong configuration.
+  const bm::Spec spec = spec_of(kSequencer, "sequencer");
+  SynthesizedController ctrl = synthesize(spec);
+  ASSERT_TRUE(validate_against_spec(ctrl, spec).ok);
+  std::swap(ctrl.state_codes[0], ctrl.state_codes[1]);
+  EXPECT_FALSE(validate_against_spec(ctrl, spec).ok);
+}
+
 TEST(Extract, FunctionsHaveConsistentSpecs) {
   const MachineSpec m = extract(spec_of(kCall, "call"));
   for (const FuncSpec& f : m.functions) {

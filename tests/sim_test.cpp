@@ -59,6 +59,56 @@ TEST(Kernel, SubscriberNotified) {
   EXPECT_EQ(w.count, 2);
 }
 
+TEST(Kernel, EventBudgetIsPerCall) {
+  // Each run() call must start its event count from zero: with the old
+  // accumulating counter, a second run inherited the first call's count
+  // and could spuriously report budget exhaustion.
+  Simulator sim(1);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 1; i <= 10; ++i) {
+      sim.call_at(static_cast<double>(i), [] {});
+    }
+    EXPECT_EQ(sim.run_status(1e9, 15), RunStatus::kQuiescent) << round;
+    EXPECT_EQ(sim.events_processed(), 10u) << round;
+  }
+  EXPECT_EQ(sim.total_events(), 50u);
+}
+
+TEST(Kernel, RunStatusEventBudget) {
+  // A self-sustaining toggler exceeds any finite event budget.
+  struct Toggler : Process {
+    void start(Simulator& sim) override { sim.schedule(0, true, 1.0); }
+    void on_change(Simulator& sim, int net) override {
+      sim.schedule(net, !sim.value(net), 1.0);
+    }
+  };
+  Simulator sim(1);
+  Toggler t;
+  sim.subscribe(0, &t);
+  sim.add_process(&t);
+  EXPECT_EQ(sim.run_status(1e9, 100), RunStatus::kEventBudget);
+  // The budget is per-call: the next call gets a fresh 100 events.
+  EXPECT_EQ(sim.run_status(1e9, 100), RunStatus::kEventBudget);
+  EXPECT_EQ(sim.events_processed(), 100u);
+}
+
+TEST(Kernel, RunStatusTimeoutThenResume) {
+  Simulator sim(1);
+  sim.schedule(0, true, 10.0);
+  EXPECT_EQ(sim.run_status(5.0), RunStatus::kTimeout);
+  EXPECT_FALSE(sim.value(0)) << "event beyond the horizon must not fire";
+  // Extending the horizon lets the same event complete.
+  EXPECT_EQ(sim.run_status(20.0), RunStatus::kQuiescent);
+  EXPECT_TRUE(sim.value(0));
+}
+
+TEST(Kernel, RunStatusNames) {
+  EXPECT_EQ(run_status_name(RunStatus::kQuiescent), "quiescent");
+  EXPECT_EQ(run_status_name(RunStatus::kTimeout), "timeout");
+  EXPECT_EQ(run_status_name(RunStatus::kEventBudget),
+            "event budget exhausted");
+}
+
 TEST(GateSim, InverterChain) {
   netlist::GateNetlist net("chain");
   const int a = net.add_net("a");
