@@ -15,7 +15,6 @@
 // CI uploads that file as an artifact.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "src/lint/diag.hpp"
 #include "src/minimalist/cache.hpp"
 #include "src/netlist/verilog.hpp"
+#include "src/util/io.hpp"
 
 namespace {
 
@@ -117,8 +117,7 @@ int main(int argc, char** argv) {
   }
   json += "]}\n";
 
-  std::ofstream out(json_path);
-  out << json;
+  bb::util::write_file_atomic(json_path, json);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!all_identical) {

@@ -22,6 +22,19 @@ std::string why(sim::RunStatus status) {
   return " [run: " + std::string(sim::run_status_name(status)) + "]";
 }
 
+/// Applies the hooks and runs the simulation with the hook-overridden (or
+/// default) limits.
+sim::RunStatus launch(System& system, const BenchmarkHooks* hooks) {
+  if (hooks != nullptr && hooks->before_start) hooks->before_start(system);
+  const double max_ns =
+      hooks != nullptr && hooks->max_sim_ns > 0 ? hooks->max_sim_ns
+                                                : kMaxSimNs;
+  const std::uint64_t max_events =
+      hooks != nullptr && hooks->max_events > 0 ? hooks->max_events
+                                                : kMaxEvents;
+  return system.start().run_status(max_ns, max_events);
+}
+
 void fill_common(BenchmarkResult& r, const System& system,
                  const hsnet::Netlist& net) {
   r.control_area = system.control_area();
@@ -31,7 +44,8 @@ void fill_common(BenchmarkResult& r, const System& system,
   r.components = static_cast<int>(net.components().size());
 }
 
-BenchmarkResult bench_systolic(const FlowOptions& options) {
+BenchmarkResult bench_systolic(const FlowOptions& options,
+                               const BenchmarkHooks* hooks) {
   BenchmarkResult r;
   r.design = "systolic";
   const auto net =
@@ -49,9 +63,11 @@ BenchmarkResult bench_systolic(const FlowOptions& options) {
     if (k == 3) t3 = t;
   };
 
-  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
+  const auto status = launch(system, hooks);
+  r.status = status;
   fill_common(r, system, net);
-  if (carry.completed() < 3 || count.completed() < 24) {
+  r.completed = carry.completed() >= 3 && count.completed() >= 24;
+  if (!r.completed) {
     r.detail = "cycle did not complete (carry=" +
                std::to_string(carry.completed()) + ")" + why(status);
     return r;
@@ -62,7 +78,8 @@ BenchmarkResult bench_systolic(const FlowOptions& options) {
   return r;
 }
 
-BenchmarkResult bench_wagging(const FlowOptions& options) {
+BenchmarkResult bench_wagging(const FlowOptions& options,
+                              const BenchmarkHooks* hooks) {
   BenchmarkResult r;
   r.design = "wagging";
   const auto net =
@@ -83,9 +100,11 @@ BenchmarkResult bench_wagging(const FlowOptions& options) {
     }
   };
 
-  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
+  const auto status = launch(system, hooks);
+  r.status = status;
   fill_common(r, system, net);
-  if (out.consumed() < 1 || !seen_first) {
+  r.completed = out.consumed() >= 1 && seen_first;
+  if (!r.completed) {
     r.detail = "no output word produced" + why(status);
     return r;
   }
@@ -100,7 +119,8 @@ BenchmarkResult bench_wagging(const FlowOptions& options) {
   return r;
 }
 
-BenchmarkResult bench_stack(const FlowOptions& options) {
+BenchmarkResult bench_stack(const FlowOptions& options,
+                            const BenchmarkHooks* hooks) {
   BenchmarkResult r;
   r.design = "stack";
   const auto net = balsa::compile_source(designs::stack().source);
@@ -120,9 +140,11 @@ BenchmarkResult bench_stack(const FlowOptions& options) {
   });
   PushServer pop(system, "pop");
 
-  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
+  const auto status = launch(system, hooks);
+  r.status = status;
   fill_common(r, system, net);
-  if (pop.consumed() < 3) {
+  r.completed = pop.consumed() >= 3;
+  if (!r.completed) {
     r.detail = "pops incomplete: " + std::to_string(pop.consumed()) +
                why(status);
     return r;
@@ -137,7 +159,8 @@ BenchmarkResult bench_stack(const FlowOptions& options) {
   return r;
 }
 
-BenchmarkResult bench_ssem(const FlowOptions& options) {
+BenchmarkResult bench_ssem(const FlowOptions& options,
+                           const BenchmarkHooks* hooks) {
   BenchmarkResult r;
   r.design = "ssem";
   const auto net = balsa::compile_source(designs::ssem().source);
@@ -146,9 +169,11 @@ BenchmarkResult bench_ssem(const FlowOptions& options) {
   ActivateDriver activate(system, "activate");
   SsemMemory memory(system, designs::ssem_benchmark_program());
 
-  const auto status = system.start().run_status(kMaxSimNs, kMaxEvents);
+  const auto status = launch(system, hooks);
+  r.status = status;
   fill_common(r, system, net);
-  if (!activate.done()) {
+  r.completed = activate.done();
+  if (!r.completed) {
     r.detail = "program did not reach STP" + why(status);
     return r;
   }
@@ -170,11 +195,12 @@ BenchmarkResult bench_ssem(const FlowOptions& options) {
 }  // namespace
 
 BenchmarkResult run_benchmark(const std::string& design,
-                              const FlowOptions& options) {
-  if (design == "systolic") return bench_systolic(options);
-  if (design == "wagging") return bench_wagging(options);
-  if (design == "stack") return bench_stack(options);
-  if (design == "ssem") return bench_ssem(options);
+                              const FlowOptions& options,
+                              const BenchmarkHooks* hooks) {
+  if (design == "systolic") return bench_systolic(options, hooks);
+  if (design == "wagging") return bench_wagging(options, hooks);
+  if (design == "stack") return bench_stack(options, hooks);
+  if (design == "ssem") return bench_ssem(options, hooks);
   throw std::invalid_argument("unknown design '" + design + "'");
 }
 

@@ -3,15 +3,36 @@
 // speed (ns) and area.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/flow/flow.hpp"
+#include "src/sim/kernel.hpp"
 
 namespace bb::flow {
+
+class System;
+
+/// Instrumentation points for run_benchmark, used by the fault-injection
+/// campaign (flow/faultsim.hpp).  `before_start` runs after the System is
+/// built (synthesis done, all nets known) and before System::start(), so
+/// callers can attach fault plans and extra monitor processes; anything
+/// those closures reference must outlive the run_benchmark call.  Limits
+/// of 0 keep the benchmark defaults.
+struct BenchmarkHooks {
+  std::function<void(System&)> before_start;
+  double max_sim_ns = 0.0;
+  std::uint64_t max_events = 0;
+};
 
 struct BenchmarkResult {
   std::string design;
   bool ok = false;         ///< protocol completed and results were correct
+  bool completed = false;  ///< protocol completed (ok additionally checks
+                           ///< result values; completed && !ok is silent
+                           ///< data corruption under fault injection)
+  sim::RunStatus status = sim::RunStatus::kQuiescent;  ///< why the run ended
   std::string detail;      ///< failure reason or correctness notes
   double time_ns = 0.0;    ///< the paper's per-design speed metric
   double control_area = 0.0;
@@ -23,7 +44,8 @@ struct BenchmarkResult {
 
 /// Runs one design ("systolic", "wagging", "stack", "ssem").
 BenchmarkResult run_benchmark(const std::string& design,
-                              const FlowOptions& options);
+                              const FlowOptions& options,
+                              const BenchmarkHooks* hooks = nullptr);
 
 /// A Table 3 row: both flows plus the derived improvement/overhead.
 struct Table3Row {

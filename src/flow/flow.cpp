@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <map>
 #include <optional>
 #include <stdexcept>
 
@@ -12,6 +14,7 @@
 #include "src/hsnet/to_ch.hpp"
 #include "src/lint/diag.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/workbudget.hpp"
 
 namespace bb::flow {
 
@@ -30,6 +33,16 @@ std::string fmt_ms(double ms) {
   return buf;
 }
 
+/// One per-component replacement produced by the degradation path: a
+/// hand template circuit, or a standalone area-mode synthesis of one
+/// member of a failed clustered controller.
+struct FallbackPiece {
+  ControllerInfo info;
+  std::optional<netlist::GateNetlist> gates;
+  std::optional<minimalist::SynthesizedController> ctrl;
+  std::string prefix;
+};
+
 /// Everything one controller's compile -> lint -> synthesize -> map chain
 /// produces.  Workers fill their own Unit; nothing is shared until the
 /// deterministic in-order merge, which makes lint absorption and netlist
@@ -42,9 +55,45 @@ struct Unit {
   lint::Report lint_findings;  ///< non-error findings of this controller
   StageTimings::Controller timing;
   std::exception_ptr error;
+  /// Set when the non-strict flow degraded this controller; the merge
+  /// then takes `fallback` instead of gates/ctrl.
+  std::optional<ControllerFailure> failure;
+  std::vector<FallbackPiece> fallback;
 };
 
 }  // namespace
+
+std::string_view flow_stage_name(FlowStage stage) {
+  switch (stage) {
+    case FlowStage::kTranslate:
+      return "translate";
+    case FlowStage::kCluster:
+      return "cluster";
+    case FlowStage::kBmCompile:
+      return "bm-compile";
+    case FlowStage::kLint:
+      return "lint";
+    case FlowStage::kSynthesis:
+      return "synthesis";
+    case FlowStage::kTechmap:
+      return "techmap";
+    case FlowStage::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
+FlowError::FlowError(FlowStage stage, std::string rule, std::string object,
+                     std::string message)
+    : std::runtime_error("flow[" + rule + "] " +
+                         std::string(flow_stage_name(stage)) + ": " + object +
+                         ": " + message),
+      stage_(stage) {
+  diag_.rule = std::move(rule);
+  diag_.severity = lint::Severity::kError;
+  diag_.object = std::move(object);
+  diag_.message = std::move(message);
+}
 
 FlowOptions FlowOptions::optimized() {
   FlowOptions o;
@@ -74,6 +123,18 @@ LintError::LintError(std::string stage, lint::Report findings)
 int effective_jobs(const FlowOptions& options) {
   if (options.jobs > 0) return options.jobs;
   return static_cast<int>(util::ThreadPool::recommended_jobs());
+}
+
+std::uint64_t effective_work_budget(const FlowOptions& options) {
+  if (options.work_budget > 0) {
+    return static_cast<std::uint64_t>(options.work_budget);
+  }
+  if (options.work_budget < 0) return 0;
+  if (const char* env = std::getenv("BB_WORK_BUDGET")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return 0;
 }
 
 ControlResult synthesize_control(const hsnet::Netlist& netlist,
@@ -146,51 +207,170 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
 
   std::vector<Unit> units(clustered.size());
 
+  // Members of a degraded controller are re-implemented standalone; the
+  // lookup is read-only and shared by all workers.
+  std::map<std::string, const hsnet::Component*> component_by_name;
+  for (const int id : netlist.control_ids()) {
+    const auto& component = netlist.component(id);
+    component_by_name.emplace(component.display_name(), &component);
+  }
+  const std::uint64_t budget_ops = effective_work_budget(options);
+
+  // The unclustered per-component baseline for one failed controller:
+  // hand templates where the library has them, standalone area-mode
+  // synthesis otherwise.  Fallback synthesis runs without a work budget
+  // — per-component machines are small by construction, and a fallback
+  // that can itself fail would leave nothing to degrade to.
+  const auto run_fallback = [&](Unit& unit, std::size_t i, FlowStage stage,
+                                const std::string& rule,
+                                const std::string& reason) {
+    const auto& program = clustered[i].program;
+    unit.gates.reset();
+    unit.ctrl.reset();
+    unit.prefix.clear();
+    unit.fallback.clear();
+
+    int templated = 0;
+    int synthesized = 0;
+    for (std::size_t k = 0; k < clustered[i].members.size(); ++k) {
+      const std::string& member = clustered[i].members[k];
+      const auto it = component_by_name.find(member);
+      if (it == component_by_name.end()) {
+        throw FlowError(stage, "FL004", program.name,
+                        "fallback member '" + member +
+                            "' is not a control component; original "
+                            "failure: " + reason);
+      }
+      const hsnet::Component& component = *it->second;
+      FallbackPiece piece;
+      if (techmap::has_template(component.kind)) {
+        auto circuit = techmap::template_circuit(component, lib);
+        piece.info.name = member + " (fallback template)";
+        piece.info.members = {member};
+        piece.info.area = circuit->total_area();
+        piece.gates = std::move(*circuit);
+        ++templated;
+      } else {
+        ch::Program fallback_program = hsnet::to_ch(component);
+        const bm::Spec spec =
+            bm::compile(*fallback_program.body, fallback_program.name);
+        const auto check = bm::validate(spec);
+        if (!check.ok) {
+          throw FlowError(stage, "FL004", fallback_program.name,
+                          "fallback member failed BM validation: " +
+                              check.errors[0] + "; original failure: " +
+                              reason);
+        }
+        minimalist::SynthesizedController ctrl =
+            cache != nullptr
+                ? minimalist::synthesize_cached(
+                      spec, minimalist::SynthMode::kArea, *cache)
+                : minimalist::synthesize(spec, minimalist::SynthMode::kArea);
+        techmap::MapOptions fallback_mopts;
+        fallback_mopts.level_separated = false;
+        piece.prefix = "ctl" + std::to_string(i) + "f" + std::to_string(k);
+        piece.gates =
+            techmap::map_controller(ctrl, lib, fallback_mopts, piece.prefix);
+        piece.info.name = fallback_program.name + " (fallback)";
+        piece.info.members = {member};
+        piece.info.states = spec.num_states;
+        piece.info.products = ctrl.num_products();
+        piece.info.literals = ctrl.num_literals();
+        piece.info.area = piece.gates->total_area();
+        piece.ctrl = std::move(ctrl);
+        ++synthesized;
+      }
+      unit.fallback.push_back(std::move(piece));
+    }
+
+    ControllerFailure failure;
+    failure.controller = program.name;
+    failure.stage = stage;
+    failure.rule = rule;
+    failure.reason = reason;
+    failure.members = clustered[i].members;
+    failure.fallback = "per-component baseline (" +
+                       std::to_string(templated) + " template(s), " +
+                       std::to_string(synthesized) + " synthesized)";
+    unit.failure = std::move(failure);
+  };
+
   const auto run_unit = [&](std::size_t i) {
     Unit& unit = units[i];
+    const auto& program = clustered[i].program;
+    unit.timing.name = program.name;
+    // Tracks how far the chain got, for FlowError/ControllerFailure
+    // attribution when an unstructured exception escapes a stage.
+    FlowStage stage = FlowStage::kBmCompile;
     try {
-      const auto& program = clustered[i].program;
-      const auto local_absorb = [&](std::string stage,
+      const auto local_absorb = [&](std::string lint_stage,
                                     lint::Report findings) {
         if (findings.has_errors()) {
-          throw LintError(std::move(stage), std::move(findings));
+          throw LintError(std::move(lint_stage), std::move(findings));
         }
         unit.lint_findings.merge(findings);
       };
+
+      std::optional<util::WorkBudget> budget_storage;
+      util::WorkBudget* budget = nullptr;
+      if (budget_ops > 0) {
+        budget_storage.emplace(budget_ops);
+        budget = &*budget_storage;
+      }
 
       auto t = Clock::now();
       const bm::Spec spec = bm::compile(*program.body, program.name);
       if (!options.lint) {
         const auto check = bm::validate(spec);
         if (!check.ok) {
-          throw std::runtime_error("flow: controller '" + program.name +
-                                   "' failed BM validation: " +
-                                   check.errors[0]);
+          throw FlowError(FlowStage::kBmCompile, "FL001", program.name,
+                          "failed BM validation: " + check.errors[0]);
         }
+      }
+      // Clustering never merges past the cap, but a degraded flow also
+      // guards single components that arrive oversized on their own.
+      if (!options.strict && options.max_states > 0 &&
+          spec.num_states > options.max_states) {
+        throw FlowError(FlowStage::kBmCompile, "FL003", program.name,
+                        std::to_string(spec.num_states) +
+                            " states exceed the max_states cap of " +
+                            std::to_string(options.max_states));
       }
       unit.timing.bm_compile_ms = ms_since(t);
       if (options.lint) {
+        stage = FlowStage::kLint;
         t = Clock::now();
         local_absorb("BM spec of controller '" + program.name + "'",
                      lint::lint_bm(spec, options.lint_options));
         unit.timing.lint_ms += ms_since(t);
       }
 
+      stage = FlowStage::kSynthesis;
       t = Clock::now();
-      minimalist::SynthesizedController ctrl =
-          cache != nullptr
-              ? minimalist::synthesize_cached(spec, options.mode, *cache,
-                                              &unit.timing.cache_hit)
-              : minimalist::synthesize(spec, options.mode);
+      minimalist::SynthesizedController ctrl = [&] {
+        try {
+          return cache != nullptr
+                     ? minimalist::synthesize_cached(spec, options.mode,
+                                                     *cache,
+                                                     &unit.timing.cache_hit,
+                                                     budget)
+                     : minimalist::synthesize(spec, options.mode, budget);
+        } catch (const util::WorkBudgetExceeded& e) {
+          throw FlowError(FlowStage::kSynthesis, "FL002", program.name,
+                          e.what());
+        }
+      }();
       unit.timing.minimalist_ms = ms_since(t);
 
       if (options.lint) {
+        stage = FlowStage::kLint;
         t = Clock::now();
         local_absorb("two-level logic of controller '" + program.name + "'",
                      lint::lint_two_level(ctrl, spec, options.lint_options));
         unit.timing.lint_ms += ms_since(t);
       }
 
+      stage = FlowStage::kTechmap;
       unit.prefix = "ctl" + std::to_string(i);
       t = Clock::now();
       unit.gates = techmap::map_controller(ctrl, lib, mopts, unit.prefix);
@@ -202,10 +382,25 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
       unit.info.products = ctrl.num_products();
       unit.info.literals = ctrl.num_literals();
       unit.info.area = unit.gates->total_area();
-      unit.timing.name = program.name;
       unit.ctrl = std::move(ctrl);
     } catch (...) {
-      unit.error = std::current_exception();
+      if (options.strict) {
+        unit.error = std::current_exception();
+        return;
+      }
+      // Degrade: replace this controller with its per-component
+      // baseline.  Only the fallback's own failure aborts the flow.
+      try {
+        try {
+          throw;
+        } catch (const FlowError& e) {
+          run_fallback(unit, i, e.stage(), e.diagnostic().rule, e.what());
+        } catch (const std::exception& e) {
+          run_fallback(unit, i, stage, "FL005", e.what());
+        }
+      } catch (...) {
+        unit.error = std::current_exception();
+      }
     }
   };
 
@@ -239,6 +434,28 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
       }
     }
     result.timings.controllers.push_back(std::move(unit.timing));
+    if (unit.failure) {
+      // Degraded controller: merge its per-component fallback pieces and
+      // surface the failure as a warning diagnostic plus a structured
+      // ControllerFailure record.
+      result.lint_report.add("FL005", unit.failure->controller,
+                             "[" +
+                                 std::string(flow_stage_name(
+                                     unit.failure->stage)) +
+                                 "/" + unit.failure->rule + "] " +
+                                 unit.failure->reason + "; replaced by " +
+                                 unit.failure->fallback);
+      for (FallbackPiece& piece : unit.fallback) {
+        result.info.push_back(std::move(piece.info));
+        if (piece.gates) result.gates.merge(*piece.gates);
+        if (piece.ctrl) {
+          result.controllers.push_back(std::move(*piece.ctrl));
+          result.prefixes.push_back(std::move(piece.prefix));
+        }
+      }
+      result.failures.push_back(std::move(*unit.failure));
+      continue;
+    }
     result.info.push_back(std::move(unit.info));
     result.gates.merge(*unit.gates);
     result.controllers.push_back(std::move(*unit.ctrl));
@@ -314,6 +531,11 @@ std::string report(const ControlResult& result, bool with_timings) {
          std::to_string(info.area) + "\n";
   }
   s += "total control area: " + std::to_string(result.area) + "\n";
+  for (const ControllerFailure& f : result.failures) {
+    s += "degraded " + f.controller + " [" +
+         std::string(flow_stage_name(f.stage)) + "/" + f.rule +
+         "]: " + f.reason + " -> " + f.fallback + "\n";
+  }
   if (with_timings) s += result.timings.to_text();
   return s;
 }

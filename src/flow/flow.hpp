@@ -5,6 +5,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <cstdint>
@@ -54,6 +55,22 @@ struct FlowOptions {
   /// Cache instance to use; nullptr = the process-wide
   /// minimalist::SynthCache::global().  Tests inject a local instance.
   minimalist::SynthCache* cache_instance = nullptr;
+  /// Fail-fast behaviour (the default): any controller failure aborts
+  /// synthesize_control with the original exception.  When false, a
+  /// controller that exceeds max_states, blows its work budget, or
+  /// throws during compile/synthesis/mapping is *degraded*: it falls
+  /// back to the unclustered per-component baseline (hand templates
+  /// where available, area-mode synthesis otherwise) and the failure is
+  /// recorded in ControlResult::failures; all other controllers'
+  /// output is byte-identical to a fully healthy run.
+  bool strict = true;
+  /// Per-controller synthesis work budget, in abstract operations
+  /// charged by the exponential steps (unate-covering branch nodes, DHF
+  /// candidate expansions, state-minimization passes).  0 = auto (the
+  /// BB_WORK_BUDGET environment variable when set, unlimited
+  /// otherwise); < 0 forces unlimited; > 0 is an explicit cap.  A cache
+  /// hit costs no budgeted work.
+  long long work_budget = 0;
 
   /// The paper's optimized back-end configuration.
   static FlowOptions optimized();
@@ -104,16 +121,62 @@ struct ControllerInfo {
   double area = 0.0;
 };
 
+/// Where in the flow a structured failure (FlowError) was raised.
+enum class FlowStage {
+  kTranslate,  ///< Balsa-to-CH translation
+  kCluster,    ///< T1/T2 clustering
+  kBmCompile,  ///< CH-to-BMS compilation / BM validation / state cap
+  kLint,       ///< a static-analysis stage
+  kSynthesis,  ///< Minimalist two-level synthesis (incl. work budget)
+  kTechmap,    ///< technology mapping
+  kVerify,     ///< trace verification
+};
+
+/// "translate" / "cluster" / "bm-compile" / "lint" / "synthesis" /
+/// "techmap" / "verify".
+std::string_view flow_stage_name(FlowStage stage);
+
+/// A structured flow failure: the stage it happened in plus a
+/// lint-style diagnostic (rule ids FL001..FL005, registered in
+/// lint::all_rules), so callers can tell a BM-validation failure from a
+/// budget blow-out from a fallback failure without parsing what().
+class FlowError : public std::runtime_error {
+ public:
+  FlowError(FlowStage stage, std::string rule, std::string object,
+            std::string message);
+  FlowStage stage() const { return stage_; }
+  const lint::Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  FlowStage stage_;
+  lint::Diagnostic diag_;
+};
+
+/// One controller the non-strict flow degraded instead of aborting on.
+struct ControllerFailure {
+  std::string controller;            ///< clustered controller name
+  FlowStage stage = FlowStage::kSynthesis;  ///< where it failed
+  std::string rule;                  ///< diagnostic rule id (FL00x)
+  std::string reason;                ///< original failure text
+  std::string fallback;              ///< what replaced it
+  std::vector<std::string> members;  ///< components re-implemented
+};
+
 struct ControlResult {
   netlist::GateNetlist gates{"control"};
   std::vector<minimalist::SynthesizedController> controllers;
   std::vector<std::string> prefixes;  ///< gate-net prefix per controller
   std::vector<ControllerInfo> info;
   opt::ClusterStats cluster_stats;
-  /// Findings from every lint stage that ran (empty when options.lint is
-  /// off).  Error-severity findings abort synthesize_control instead of
-  /// landing here.
+  /// Findings from every lint stage that ran, plus one FL005 warning per
+  /// degraded controller (empty when options.lint is off and no
+  /// controller degraded).  Error-severity findings abort
+  /// synthesize_control instead of landing here.
   lint::Report lint_report;
+  /// Controllers the non-strict flow degraded (empty in strict mode and
+  /// on fully healthy runs).  Each entry names the failing stage, the
+  /// reason, and the fallback that replaced the controller.
+  std::vector<ControllerFailure> failures;
   /// Per-stage wall times of the call that produced this result.
   StageTimings timings;
   double area = 0.0;
@@ -144,5 +207,10 @@ std::string report(const ControlResult& result, bool with_timings = false);
 
 /// The worker count a given options.jobs value resolves to.
 int effective_jobs(const FlowOptions& options);
+
+/// The per-controller work budget a given options.work_budget value
+/// resolves to (0 = unlimited): explicit caps win, otherwise the
+/// BB_WORK_BUDGET environment variable is consulted.
+std::uint64_t effective_work_budget(const FlowOptions& options);
 
 }  // namespace bb::flow

@@ -28,6 +28,14 @@ void System::add_process(sim::Process* process,
   pending_.emplace_back(process, watched_nets);
 }
 
+void System::set_fault_plan(const sim::FaultPlan* plan) {
+  if (sim_ != nullptr) {
+    throw std::logic_error(
+        "System::set_fault_plan: simulator already started");
+  }
+  faults_ = plan;
+}
+
 sim::Simulator& System::start() {
   if (sim_ != nullptr) {
     throw std::logic_error("System::start called twice");
@@ -35,6 +43,7 @@ sim::Simulator& System::start() {
   sim_ = std::make_unique<sim::Simulator>(gates_.num_nets());
 
   binding_ = std::make_unique<sim::GateBinding>(gates_);
+  binding_->set_fault_plan(faults_);
   binding_->bind(*sim_);
 
   // Seed each controller's one-hot state code, then settle with the

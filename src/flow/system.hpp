@@ -24,6 +24,12 @@ class System {
   void add_process(sim::Process* process,
                    const std::vector<int>& watched_nets);
 
+  /// Applies a fault plan (sim/fault.hpp) to the gate binding built by
+  /// start().  The plan must be built against gates() and must outlive
+  /// the simulation; call before start(); nullptr clears.  The initial
+  /// settle stays fault-free (see GateBinding::set_fault_plan).
+  void set_fault_plan(const sim::FaultPlan* plan);
+
   /// Builds the simulator, binds gates and datapath, seeds state codes,
   /// settles the initial assignment.  Call exactly once.
   sim::Simulator& start();
@@ -43,6 +49,7 @@ class System {
   sim::DatapathContext data_;
   std::unique_ptr<sim::DatapathBuilder> datapath_;
   double datapath_area_ = 0.0;
+  const sim::FaultPlan* faults_ = nullptr;
   std::unique_ptr<sim::GateBinding> binding_;
   std::unique_ptr<sim::Simulator> sim_;
   std::vector<std::pair<sim::Process*, std::vector<int>>> pending_;

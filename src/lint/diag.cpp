@@ -58,6 +58,18 @@ const std::vector<RuleInfo>& all_rules() {
       {"NL003", Severity::kError,
        "combinational cycle not broken by a DEL or state-holding cell"},
       {"NL004", Severity::kWarning, "net fanout exceeds the configured limit"},
+      // --- synthesis-flow failures (src/flow, reported via FlowError) ---
+      {"FL001", Severity::kError,
+       "controller failed Burst-Mode validation during the flow"},
+      {"FL002", Severity::kError,
+       "controller exceeded its synthesis work budget"},
+      {"FL003", Severity::kError,
+       "controller exceeded the Burst-Mode state cap (max_states)"},
+      {"FL004", Severity::kError,
+       "per-controller fallback failed: a member component could not be "
+       "synthesized standalone"},
+      {"FL005", Severity::kWarning,
+       "controller degraded to the per-component fallback path"},
   };
   return rules;
 }

@@ -55,8 +55,10 @@ void choose_column(const Matrix& m, State& s, std::size_t c) {
 
 /// Greedy completion: repeatedly pick the column covering the most
 /// uncovered rows per unit cost.
-bool greedy_complete(const Matrix& m, State s, UcpSolution& best) {
+bool greedy_complete(const Matrix& m, State s, UcpSolution& best,
+                     util::WorkBudget* budget) {
   while (s.rows_left > 0) {
+    if (budget != nullptr) budget->charge();
     std::size_t best_col = m.cost.size();
     double best_ratio = -1.0;
     for (std::size_t c = 0; c < m.cost.size(); ++c) {
@@ -84,12 +86,14 @@ bool greedy_complete(const Matrix& m, State s, UcpSolution& best) {
   return true;
 }
 
-void branch(const Matrix& m, State s, UcpSolution& best, std::size_t& budget) {
-  if (budget == 0) {
-    greedy_complete(m, std::move(s), best);
+void branch(const Matrix& m, State s, UcpSolution& best, std::size_t& nodes,
+            util::WorkBudget* budget) {
+  if (nodes == 0) {
+    greedy_complete(m, std::move(s), best, budget);
     return;
   }
-  --budget;
+  --nodes;
+  if (budget != nullptr) budget->charge();
 
   // Reduction: essential columns (rows covered by exactly one live column).
   bool reduced = true;
@@ -142,13 +146,13 @@ void branch(const Matrix& m, State s, UcpSolution& best, std::size_t& budget) {
     if (s.col_removed[c]) continue;
     State next = s;
     choose_column(m, next, c);
-    branch(m, std::move(next), best, budget);
+    branch(m, std::move(next), best, nodes, budget);
   }
 }
 
 }  // namespace
 
-UcpSolution solve_ucp(const UcpProblem& problem) {
+UcpSolution solve_ucp(const UcpProblem& problem, util::WorkBudget* budget) {
   const Matrix m = build_matrix(problem);
   State init;
   init.row_covered.assign(m.rows.size(), false);
@@ -156,9 +160,9 @@ UcpSolution solve_ucp(const UcpProblem& problem) {
   init.rows_left = m.rows.size();
 
   UcpSolution best;
-  greedy_complete(m, init, best);  // establishes an upper bound
-  std::size_t budget = 200000;
-  branch(m, init, best, budget);
+  greedy_complete(m, init, best, budget);  // establishes an upper bound
+  std::size_t nodes = 200000;
+  branch(m, init, best, nodes, budget);
   std::sort(best.columns.begin(), best.columns.end());
   return best;
 }

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/workbudget.hpp"
+
 namespace bb::logic {
 
 struct UcpProblem {
@@ -25,6 +27,10 @@ struct UcpSolution {
 
 /// Solves the covering problem exactly for small instances, falling back to
 /// a greedy solution when the branch-and-bound node budget is exhausted.
-UcpSolution solve_ucp(const UcpProblem& problem);
+/// When `budget` is given, every branch node and greedy scan charges it;
+/// util::WorkBudgetExceeded propagates to the caller (the flow's
+/// per-controller degradation path catches it).
+UcpSolution solve_ucp(const UcpProblem& problem,
+                      util::WorkBudget* budget = nullptr);
 
 }  // namespace bb::logic

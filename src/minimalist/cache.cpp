@@ -63,12 +63,13 @@ SynthCache& SynthCache::global() {
 }
 
 SynthesizedController synthesize_cached(const bm::Spec& spec, SynthMode mode,
-                                        SynthCache& cache, bool* hit) {
+                                        SynthCache& cache, bool* hit,
+                                        util::WorkBudget* budget) {
   if (auto cached = cache.lookup(spec, mode)) {
     if (hit) *hit = true;
     return std::move(*cached);
   }
-  SynthesizedController ctrl = synthesize(spec, mode);
+  SynthesizedController ctrl = synthesize(spec, mode, budget);
   cache.store(spec, mode, ctrl);
   if (hit) *hit = false;
   return ctrl;

@@ -63,8 +63,11 @@ class SynthCache {
 
 /// synthesize() through `cache`: looks up first, synthesizes and stores
 /// on a miss.  `hit` (when non-null) reports which path was taken.
+/// `budget` is only consulted on the miss path — a cache hit costs no
+/// budgeted work, so a controller that would blow its budget uncached
+/// can still succeed when a structurally identical twin seeded the cache.
 SynthesizedController synthesize_cached(const bm::Spec& spec, SynthMode mode,
-                                        SynthCache& cache,
-                                        bool* hit = nullptr);
+                                        SynthCache& cache, bool* hit = nullptr,
+                                        util::WorkBudget* budget = nullptr);
 
 }  // namespace bb::minimalist

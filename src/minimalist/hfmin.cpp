@@ -56,7 +56,8 @@ bool is_dhf_implicant(const Cube& cube, const FuncSpec& spec) {
 }
 
 SolvedFunction minimize_function(const FuncSpec& spec, std::size_t num_vars,
-                                 std::size_t state_base, SynthMode mode) {
+                                 std::size_t state_base, SynthMode mode,
+                                 util::WorkBudget* budget) {
   // Rows: every required cube and every anchor point must sit inside a
   // single product of the final cover.
   std::vector<Cube> rows = spec.on_required;
@@ -87,12 +88,15 @@ SolvedFunction minimize_function(const FuncSpec& spec, std::size_t num_vars,
   for (std::size_t v = 0; v < num_vars; ++v) order[v] = v;
 
   for (const Cube& r : rows) {
-    // Natural, reversed, and a handful of rotated orders.
+    // Natural, reversed, and a handful of rotated orders.  Each expansion
+    // is one unit of DHF-candidate work against the budget.
+    if (budget != nullptr) budget->charge();
     add_candidate(expand_in_order(r, spec, state_base, order));
     std::vector<std::size_t> rev(order.rbegin(), order.rend());
     add_candidate(expand_in_order(r, spec, state_base, rev));
     const std::size_t rotations = std::min<std::size_t>(6, num_vars);
     for (std::size_t k = 1; k <= rotations; ++k) {
+      if (budget != nullptr) budget->charge();
       std::vector<std::size_t> rot = order;
       std::rotate(rot.begin(), rot.begin() + (k * num_vars) / (rotations + 1),
                   rot.end());
@@ -120,7 +124,7 @@ SolvedFunction minimize_function(const FuncSpec& spec, std::size_t num_vars,
     }
   }
 
-  const logic::UcpSolution solution = logic::solve_ucp(problem);
+  const logic::UcpSolution solution = logic::solve_ucp(problem, budget);
   if (!solution.feasible) {
     throw std::runtime_error("hfmin: covering infeasible for '" + spec.name +
                              "'");

@@ -43,7 +43,8 @@ std::vector<std::string> entry_signatures(const bm::Spec& spec) {
 
 }  // namespace
 
-StateMinResult minimize_states(const bm::Spec& spec) {
+StateMinResult minimize_states(const bm::Spec& spec,
+                               util::WorkBudget* budget) {
   // Initial partition: entry valuation + the initial-state marker (the
   // initial state must stay in its own mergeable group only with states
   // that are truly equivalent to it, which refinement decides).
@@ -64,6 +65,9 @@ StateMinResult minimize_states(const bm::Spec& spec) {
   bool changed = true;
   while (changed) {
     changed = false;
+    if (budget != nullptr) {
+      budget->charge(static_cast<std::uint64_t>(spec.num_states));
+    }
     std::map<std::pair<int, std::string>, int> index;
     std::vector<int> next(spec.num_states);
     for (int s = 0; s < spec.num_states; ++s) {

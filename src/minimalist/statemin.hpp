@@ -10,6 +10,7 @@
 #pragma once
 
 #include "src/bm/spec.hpp"
+#include "src/util/workbudget.hpp"
 
 namespace bb::minimalist {
 
@@ -19,6 +20,9 @@ struct StateMinResult {
 };
 
 /// Returns the quotient machine (validated-spec in, validated-spec out).
-StateMinResult minimize_states(const bm::Spec& spec);
+/// When `budget` is given, every refinement pass charges one unit per
+/// state; util::WorkBudgetExceeded propagates to the caller.
+StateMinResult minimize_states(const bm::Spec& spec,
+                               util::WorkBudget* budget = nullptr);
 
 }  // namespace bb::minimalist

@@ -82,7 +82,8 @@ std::string SynthesizedController::to_sol() const {
   return s;
 }
 
-SynthesizedController synthesize(const bm::Spec& spec, SynthMode mode) {
+SynthesizedController synthesize(const bm::Spec& spec, SynthMode mode,
+                                 util::WorkBudget* budget) {
   const MachineSpec machine = extract(spec);
 
   SynthesizedController out;
@@ -95,8 +96,8 @@ SynthesizedController synthesize(const bm::Spec& spec, SynthMode mode) {
   out.initial_state_code = machine.initial_state_code;
   out.functions.reserve(machine.functions.size());
   for (const FuncSpec& f : machine.functions) {
-    out.functions.push_back(
-        minimize_function(f, machine.num_vars, machine.inputs.size(), mode));
+    out.functions.push_back(minimize_function(
+        f, machine.num_vars, machine.inputs.size(), mode, budget));
   }
   return out;
 }

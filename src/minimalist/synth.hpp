@@ -41,8 +41,12 @@ struct SynthesizedController {
 
 /// Synthesizes a validated Burst-Mode specification.
 /// Throws std::runtime_error on inconsistent or non-implementable specs.
+/// When `budget` is given it is polled by the exponential inner steps
+/// (DHF candidate expansion, unate covering); util::WorkBudgetExceeded
+/// propagates so the flow can degrade the affected controller.
 SynthesizedController synthesize(const bm::Spec& spec,
-                                 SynthMode mode = SynthMode::kSpeed);
+                                 SynthMode mode = SynthMode::kSpeed,
+                                 util::WorkBudget* budget = nullptr);
 
 struct ValidationReport {
   bool ok = true;

@@ -1,0 +1,105 @@
+#include "src/sim/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/prng.hpp"
+
+namespace bb::sim {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAt0:
+      return "stuck-at-0";
+    case FaultKind::kStuckAt1:
+      return "stuck-at-1";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+std::string Fault::describe(const netlist::GateNetlist& netlist) const {
+  std::string s{fault_kind_name(kind)};
+  if (gate >= 0) {
+    s += " gate " + std::to_string(gate) + " (" +
+         netlist.gates()[gate].cell + ")";
+  }
+  if (net >= 0) {
+    const std::string& name = netlist.net_name(net);
+    s += " net " + (name.empty() ? std::to_string(net) : name);
+  }
+  if (kind == FaultKind::kBitFlip) {
+    s += " at " + std::to_string(at_ns) + " ns";
+  }
+  if (kind == FaultKind::kDelay) {
+    s += " x" + std::to_string(delay_scale) + " +" +
+         std::to_string(delay_add_ns) + " ns";
+  }
+  return s;
+}
+
+FaultPlan::FaultPlan(const netlist::GateNetlist& netlist)
+    : netlist_(netlist),
+      forced_mask_(netlist.gates().size(), false),
+      forced_value_(netlist.gates().size(), false) {
+  delay_.reserve(netlist.gates().size());
+  for (const netlist::Gate& gate : netlist.gates()) {
+    delay_.push_back(gate.delay_ns);
+  }
+}
+
+void FaultPlan::stuck_at(int gate, bool value) {
+  if (gate < 0 || static_cast<std::size_t>(gate) >= forced_mask_.size()) {
+    throw std::out_of_range("FaultPlan::stuck_at: gate index out of range");
+  }
+  Fault f;
+  f.kind = value ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0;
+  f.gate = gate;
+  f.net = netlist_.gates()[gate].output;
+  faults_.push_back(f);
+  forced_mask_[gate] = true;
+  forced_value_[gate] = value;
+}
+
+void FaultPlan::bit_flip(int net, double at_ns) {
+  if (net < 0 || net >= netlist_.num_nets()) {
+    throw std::out_of_range("FaultPlan::bit_flip: net id out of range");
+  }
+  Fault f;
+  f.kind = FaultKind::kBitFlip;
+  f.net = net;
+  f.at_ns = at_ns;
+  faults_.push_back(f);
+}
+
+void FaultPlan::perturb_delays(std::uint64_t seed, double scale,
+                               double jitter_ns) {
+  util::SplitMix64 prng(seed);
+  for (std::size_t g = 0; g < delay_.size(); ++g) {
+    const double jitter = jitter_ns * (2.0 * prng.uniform() - 1.0);
+    const double perturbed =
+        std::max(0.0, netlist_.gates()[g].delay_ns * scale + jitter);
+    if (perturbed == delay_[g]) continue;
+    delay_[g] = perturbed;
+    Fault f;
+    f.kind = FaultKind::kDelay;
+    f.gate = static_cast<int>(g);
+    f.net = netlist_.gates()[g].output;
+    f.delay_scale = scale;
+    f.delay_add_ns = jitter;
+    faults_.push_back(f);
+  }
+}
+
+std::vector<const Fault*> FaultPlan::bit_flips() const {
+  std::vector<const Fault*> out;
+  for (const Fault& f : faults_) {
+    if (f.kind == FaultKind::kBitFlip) out.push_back(&f);
+  }
+  return out;
+}
+
+}  // namespace bb::sim

@@ -1,0 +1,103 @@
+// Gate-level fault injection for the event kernel.
+//
+// A FaultPlan describes a set of faults applied to one GateNetlist during
+// simulation:
+//   - stuck-at-0 / stuck-at-1 on a gate's output: the gate evaluates to
+//     the forced value for the whole run (the classic manufacturing-test
+//     fault model), with the forced value scheduled once at time ~0 so a
+//     wire whose fault value differs from its settled initial state makes
+//     a real transition the rest of the circuit reacts to;
+//   - transient bit flips (single-event upsets) on state-holding nets: at
+//     a chosen instant the net is driven to the opposite of its current
+//     value for one transition, after which the surrounding feedback logic
+//     either restores or latches the upset;
+//   - per-gate delay perturbation: every gate delay is scaled and jittered
+//     (seeded PRNG, see FaultPlan::perturb_delays) to stress the
+//     hazard-freedom claim beyond the single nominal delay model.
+//
+// Faults apply only to event-driven evaluation.  GateBinding's initial
+// fixpoint (settle_initial) stays fault-free, which models a circuit that
+// powers up healthy and then misbehaves — and keeps the campaign's
+// "detected vs tolerated" classification about dynamic behaviour rather
+// than unreachable initial states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/gates.hpp"
+
+namespace bb::sim {
+
+enum class FaultKind {
+  kStuckAt0,  ///< gate output forced to 0 for the whole run
+  kStuckAt1,  ///< gate output forced to 1 for the whole run
+  kBitFlip,   ///< one-shot inversion of a net at `at_ns` (SEU)
+  kDelay,     ///< gate delay multiplied by `delay_scale` + `delay_add_ns`
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kStuckAt0;
+  /// Target gate index (stuck-at / delay faults); -1 for bit flips.
+  int gate = -1;
+  /// Target net id (bit flips); for stuck-at faults this is filled with
+  /// the gate's output net for reporting convenience.
+  int net = -1;
+  /// Injection instant for bit flips.
+  double at_ns = 0.0;
+  /// Delay model perturbation (kDelay only).
+  double delay_scale = 1.0;
+  double delay_add_ns = 0.0;
+
+  /// "stuck-at-1 gate 12 (net ctl0/y0)" — stable across runs, used in the
+  /// campaign's deterministic JSON.
+  std::string describe(const netlist::GateNetlist& netlist) const;
+};
+
+/// An immutable set of faults for one netlist.  Build it once, hand it to
+/// GateBinding::set_fault_plan, and keep it alive for the whole run.
+class FaultPlan {
+ public:
+  explicit FaultPlan(const netlist::GateNetlist& netlist);
+
+  /// Adds a stuck-at fault on `gate`'s output.
+  void stuck_at(int gate, bool value);
+
+  /// Adds a transient bit flip on `net` at `at_ns`.
+  void bit_flip(int net, double at_ns);
+
+  /// Applies `scale` to every gate delay plus a per-gate additive jitter
+  /// drawn uniformly from [-jitter_ns, +jitter_ns] with SplitMix64(seed).
+  /// Deterministic: the same (netlist, seed, scale, jitter) always yields
+  /// the same perturbation.  Recorded as one kDelay fault per gate whose
+  /// effective delay actually changed.
+  void perturb_delays(std::uint64_t seed, double scale, double jitter_ns);
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  const netlist::GateNetlist& netlist() const { return netlist_; }
+  bool empty() const { return faults_.empty(); }
+
+  // ---- resolved per-gate views consumed by GateBinding ----
+
+  /// Does `gate` have a stuck-at fault, and at which value?
+  bool is_forced(int gate) const { return forced_mask_[gate]; }
+  bool forced_value(int gate) const { return forced_value_[gate]; }
+
+  /// The effective inertial delay of `gate` under the plan.
+  double effective_delay_ns(int gate) const { return delay_[gate]; }
+
+  /// All bit-flip faults, in insertion order.
+  std::vector<const Fault*> bit_flips() const;
+
+ private:
+  const netlist::GateNetlist& netlist_;
+  std::vector<Fault> faults_;
+  std::vector<bool> forced_mask_;   // per gate
+  std::vector<bool> forced_value_;  // per gate
+  std::vector<double> delay_;       // per gate, effective delay
+};
+
+}  // namespace bb::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/sim/fault.hpp"
+
 namespace bb::sim {
 
 namespace {
@@ -26,7 +28,44 @@ void GateBinding::bind(Simulator& sim) {
   sim.add_process(this);
 }
 
-bool GateBinding::eval(const Simulator& sim, const Gate& gate) const {
+void GateBinding::set_fault_plan(const FaultPlan* plan) {
+  if (plan != nullptr && &plan->netlist() != &netlist_ &&
+      plan->netlist().num_nets() != netlist_.num_nets()) {
+    throw std::invalid_argument(
+        "GateBinding::set_fault_plan: plan targets a different netlist");
+  }
+  faults_ = plan;
+}
+
+void GateBinding::start(Simulator& sim) {
+  if (faults_ == nullptr) return;
+  // Stuck-at outputs: schedule the forced value as an ordinary zero-delay
+  // transition.  If the settled value already matches, the inertial model
+  // swallows the event and the fault simply holds from then on via eval.
+  const auto& gates = netlist_.gates();
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    if (faults_->is_forced(static_cast<int>(g))) {
+      sim.schedule(gates[g].output, faults_->forced_value(static_cast<int>(g)),
+                   0.0);
+    }
+  }
+  // Single-event upsets: at the chosen instant, invert whatever value the
+  // net holds at that moment.
+  for (const Fault* flip : faults_->bit_flips()) {
+    const int net = flip->net;
+    sim.call_at(flip->at_ns, [&sim, net] {
+      sim.schedule(net, !sim.value(net), 0.0);
+    });
+  }
+}
+
+bool GateBinding::eval(const Simulator& sim, std::size_t g,
+                       bool faulted) const {
+  if (faulted && faults_ != nullptr &&
+      faults_->is_forced(static_cast<int>(g))) {
+    return faults_->forced_value(static_cast<int>(g));
+  }
+  const Gate& gate = netlist_.gates()[g];
   const auto in = [&](std::size_t i) { return sim.value(gate.fanins[i]); };
   switch (gate.fn) {
     case CellFn::kInv:
@@ -68,7 +107,10 @@ bool GateBinding::eval(const Simulator& sim, const Gate& gate) const {
 void GateBinding::on_change(Simulator& sim, int net) {
   for (const int g : fanout_[net]) {
     const Gate& gate = netlist_.gates()[g];
-    sim.schedule(gate.output, eval(sim, gate), gate.delay_ns);
+    const double delay =
+        faults_ != nullptr ? faults_->effective_delay_ns(g) : gate.delay_ns;
+    sim.schedule(gate.output, eval(sim, static_cast<std::size_t>(g), true),
+                 delay);
   }
 }
 
@@ -77,14 +119,15 @@ void GateBinding::settle_initial(Simulator& sim,
   std::vector<bool> is_clamped(netlist_.num_nets(), false);
   for (const int net : clamped) is_clamped.at(net) = true;
 
+  const auto& gates = netlist_.gates();
   bool settled = false;
   for (int pass = 0; pass < 1000 && !settled; ++pass) {
     settled = true;
-    for (const Gate& gate : netlist_.gates()) {
-      if (is_clamped[gate.output]) continue;
-      const bool v = eval(sim, gate);
-      if (sim.value(gate.output) != v) {
-        sim.set_initial(gate.output, v);
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      if (is_clamped[gates[g].output]) continue;
+      const bool v = eval(sim, g, /*faulted=*/false);
+      if (sim.value(gates[g].output) != v) {
+        sim.set_initial(gates[g].output, v);
         settled = false;
       }
     }
@@ -95,12 +138,12 @@ void GateBinding::settle_initial(Simulator& sim,
   }
   // The clamped nets must be reproduced by their drivers: the seeded
   // state is a stable point of the feedback logic.
-  for (const Gate& gate : netlist_.gates()) {
-    if (!is_clamped[gate.output]) continue;
-    if (eval(sim, gate) != sim.value(gate.output)) {
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    if (!is_clamped[gates[g].output]) continue;
+    if (eval(sim, g, /*faulted=*/false) != sim.value(gates[g].output)) {
       throw std::runtime_error(
           "GateBinding: seeded value on net '" +
-          netlist_.net_name(gate.output) +
+          netlist_.net_name(gates[g].output) +
           "' is not stable under the feedback logic");
     }
   }

@@ -6,6 +6,8 @@
 
 namespace bb::sim {
 
+class FaultPlan;
+
 class GateBinding : public Process {
  public:
   /// The netlist must outlive the binding.
@@ -13,6 +15,16 @@ class GateBinding : public Process {
 
   /// Subscribes every gate to its fanin nets.
   void bind(Simulator& sim);
+
+  /// Applies a fault plan (see sim/fault.hpp) to event-driven evaluation.
+  /// The plan must target the same netlist and must outlive the binding;
+  /// pass nullptr to clear.  Stuck-at values and bit flips are scheduled
+  /// when the simulator starts processes (first run call), so
+  /// settle_initial stays fault-free.
+  void set_fault_plan(const FaultPlan* plan);
+
+  /// Schedules stuck-at forcing and bit-flip injections.
+  void start(Simulator& sim) override;
 
   /// Computes a consistent initial assignment by iterating gate
   /// evaluation to a fixpoint.  Call after seeding primary inputs and
@@ -26,10 +38,14 @@ class GateBinding : public Process {
   void on_change(Simulator& sim, int net) override;
 
  private:
-  bool eval(const Simulator& sim, const netlist::Gate& gate) const;
+  /// Evaluates gate `g`; `faulted` applies the fault plan's stuck-at
+  /// forcing (event-driven path), false evaluates the healthy function
+  /// (initial settling).
+  bool eval(const Simulator& sim, std::size_t g, bool faulted) const;
 
   const netlist::GateNetlist& netlist_;
   std::vector<std::vector<int>> fanout_;  // net id -> gate indices
+  const FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace bb::sim

@@ -97,6 +97,19 @@ std::vector<std::string> containment_counterexample(const Dfa& a,
   return {};
 }
 
+std::vector<std::string> reject_prefix(const Dfa& dfa,
+                                       const std::vector<std::string>& trace) {
+  int state = dfa.initial;
+  std::vector<std::string> prefix;
+  for (const std::string& label : trace) {
+    prefix.push_back(label);
+    const auto it = dfa.delta.find({state, label});
+    if (it == dfa.delta.end()) return prefix;
+    state = it->second;
+  }
+  return {};
+}
+
 bool language_contains(const Dfa& a, const Dfa& b) {
   return containment_counterexample(a, b).empty();
 }

@@ -41,4 +41,12 @@ bool language_equivalent(const Dfa& a, const Dfa& b);
 std::vector<std::string> containment_counterexample(const Dfa& a,
                                                     const Dfa& b);
 
+/// Membership check for one observed trace: returns the shortest prefix
+/// of `trace` that `dfa` rejects (a minimal counterexample against the
+/// specification language), or empty when the whole trace is accepted.
+/// This is how the fault-injection campaign turns a recorded gate-level
+/// signal-edge sequence into a trace-verifier verdict.
+std::vector<std::string> reject_prefix(const Dfa& dfa,
+                                       const std::vector<std::string>& trace);
+
 }  // namespace bb::trace

@@ -1,0 +1,94 @@
+#include "src/trace/spec_lts.hpp"
+
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace bb::trace {
+
+namespace {
+
+std::string edge_label(const ch::Transition& t) {
+  return t.signal + (t.rising ? "+" : "-");
+}
+
+}  // namespace
+
+petri::Lts bm_spec_lts(const bm::Spec& spec) {
+  petri::Lts lts;
+  // An LTS state is either "resting in BM state s" (arc = -1) or "arc a
+  // in progress with these burst edges already consumed" (bitmasks over
+  // in_burst/out_burst).  Completed arcs normalize to the resting state
+  // of the arc's target, so equivalent nodes merge.
+  using Key = std::tuple<int, int, std::uint32_t, std::uint32_t>;
+  std::map<Key, int> index;
+  std::deque<Key> queue;
+
+  const auto intern = [&](Key key) {
+    const auto [it, inserted] = index.emplace(key, lts.num_states);
+    if (inserted) {
+      ++lts.num_states;
+      queue.push_back(key);
+    }
+    return it->second;
+  };
+
+  const auto resting = [](int state) {
+    return Key{state, -1, 0, 0};
+  };
+
+  lts.initial = intern(resting(spec.initial_state));
+
+  while (!queue.empty()) {
+    const Key key = queue.front();
+    queue.pop_front();
+    const int from = index.at(key);
+    const auto [state, arc_index, in_mask, out_mask] = key;
+
+    const auto advance = [&](const bm::Arc& arc, int a, std::uint32_t in,
+                             std::uint32_t out, const std::string& label) {
+      const std::uint32_t in_full =
+          (1u << arc.in_burst.size()) - 1u;
+      const std::uint32_t out_full =
+          (1u << arc.out_burst.size()) - 1u;
+      const Key next = (in == in_full && out == out_full)
+                           ? resting(arc.to)
+                           : Key{state, a, in, out};
+      lts.edges.push_back(
+          petri::Lts::Edge{from, intern(next), label});
+    };
+
+    if (arc_index < 0) {
+      // Resting: the first edge of any leaving arc's input burst starts
+      // that arc.
+      for (std::size_t a = 0; a < spec.arcs.size(); ++a) {
+        const bm::Arc& arc = spec.arcs[a];
+        if (arc.from != state) continue;
+        for (std::size_t e = 0; e < arc.in_burst.size(); ++e) {
+          advance(arc, static_cast<int>(a), 1u << e, 0,
+                  edge_label(arc.in_burst.transitions[e]));
+        }
+      }
+      continue;
+    }
+
+    const bm::Arc& arc = spec.arcs[arc_index];
+    const std::uint32_t in_full = (1u << arc.in_burst.size()) - 1u;
+    if (in_mask != in_full) {
+      for (std::size_t e = 0; e < arc.in_burst.size(); ++e) {
+        if (in_mask & (1u << e)) continue;
+        advance(arc, arc_index, in_mask | (1u << e), out_mask,
+                edge_label(arc.in_burst.transitions[e]));
+      }
+    } else {
+      for (std::size_t e = 0; e < arc.out_burst.size(); ++e) {
+        if (out_mask & (1u << e)) continue;
+        advance(arc, arc_index, in_mask, out_mask | (1u << e),
+                edge_label(arc.out_burst.transitions[e]));
+      }
+    }
+  }
+  return lts;
+}
+
+}  // namespace bb::trace

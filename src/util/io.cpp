@@ -1,0 +1,34 @@
+#include "src/util/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace bb::util {
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // The temporary must live in the same directory as the target so the
+  // rename is a same-filesystem metadata operation.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_file_atomic: cannot open '" + tmp +
+                               "' for writing");
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write_file_atomic: short write to '" + tmp +
+                               "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: cannot rename '" + tmp +
+                             "' to '" + path + "'");
+  }
+}
+
+}  // namespace bb::util

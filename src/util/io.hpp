@@ -1,0 +1,16 @@
+// Small file-system helpers shared by the benchmark and tool binaries.
+#pragma once
+
+#include <string>
+
+namespace bb::util {
+
+/// Writes `content` to `path` atomically: the data goes to a sibling
+/// temporary file first and is renamed over the target only after a
+/// successful write+close, so an interrupted run can never leave a
+/// truncated artifact behind (CI uploads these files directly).
+/// Throws std::runtime_error when the temporary cannot be written or the
+/// rename fails.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace bb::util

@@ -1,0 +1,68 @@
+// Cooperative work budgets for the exponential synthesis steps.
+//
+// A WorkBudget is a shared operation counter that long-running loops
+// (unate covering branch-and-bound, DHF candidate expansion, state-
+// minimization refinement) poll via charge().  When the budget runs out,
+// charge() throws WorkBudgetExceeded, which the flow's per-controller
+// recovery path catches to degrade that one controller instead of
+// aborting the whole run (see flow::FlowOptions::strict).
+//
+// The counter is atomic so one budget can be shared by helper threads,
+// but the usual pattern is one budget per controller work unit.  A
+// default-constructed budget is unlimited and never throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace bb::util {
+
+/// Thrown by WorkBudget::charge when the operation budget is exhausted.
+class WorkBudgetExceeded : public std::runtime_error {
+ public:
+  WorkBudgetExceeded(std::uint64_t limit, std::uint64_t used)
+      : std::runtime_error("work budget exceeded: " + std::to_string(used) +
+                           " of " + std::to_string(limit) + " ops"),
+        limit_(limit),
+        used_(used) {}
+
+  std::uint64_t limit() const { return limit_; }
+  std::uint64_t used() const { return used_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t used_;
+};
+
+class WorkBudget {
+ public:
+  /// Unlimited budget: charge() only counts, never throws.
+  WorkBudget() = default;
+
+  /// Budget of `max_ops` abstract operations (0 = unlimited).
+  explicit WorkBudget(std::uint64_t max_ops) : limit_(max_ops) {}
+
+  bool unlimited() const { return limit_ == 0; }
+  std::uint64_t limit() const { return limit_; }
+  std::uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  bool exhausted() const { return limit_ != 0 && used() >= limit_; }
+
+  /// Records `ops` units of work; throws WorkBudgetExceeded once the
+  /// total crosses the limit.  Polling loops call this with the number
+  /// of elementary steps (branch nodes, cube expansions, refinement
+  /// passes) they just performed.
+  void charge(std::uint64_t ops = 1) {
+    const std::uint64_t total =
+        used_.fetch_add(ops, std::memory_order_relaxed) + ops;
+    if (limit_ != 0 && total > limit_) {
+      throw WorkBudgetExceeded(limit_, total);
+    }
+  }
+
+ private:
+  std::uint64_t limit_ = 0;  ///< 0 = unlimited
+  std::atomic<std::uint64_t> used_{0};
+};
+
+}  // namespace bb::util

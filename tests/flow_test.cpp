@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <set>
+
 #include "src/balsa/compile.hpp"
 #include "src/designs/designs.hpp"
 #include "src/flow/system.hpp"
 #include "src/flow/testbench.hpp"
+#include "src/util/strings.hpp"
 
 namespace bb::flow {
 namespace {
@@ -133,6 +137,117 @@ TEST(System, StartTwiceThrows) {
   System system(net, FlowOptions::optimized());
   system.start();
   EXPECT_THROW(system.start(), std::logic_error);
+}
+
+// ---- graceful degradation (FlowOptions::strict) ----
+
+hsnet::Netlist stack_netlist() {
+  return balsa::compile_source(designs::design("stack").source);
+}
+
+FlowOptions budgeted(long long budget, bool strict) {
+  FlowOptions options = FlowOptions::optimized();
+  options.cache = false;  // a cache hit costs no budgeted work
+  options.work_budget = budget;
+  options.strict = strict;
+  return options;
+}
+
+TEST(Degradation, StrictBudgetBlowoutFailsFast) {
+  const auto net = stack_netlist();
+  try {
+    synthesize_control(net, budgeted(1, /*strict=*/true));
+    FAIL() << "a 1-op budget must abort the strict flow";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kSynthesis);
+    EXPECT_EQ(e.diagnostic().rule, "FL002");
+  }
+}
+
+TEST(Degradation, NonStrictDegradesOnlyOverBudgetControllers) {
+  const auto net = stack_netlist();
+  const auto healthy = synthesize_control(net, budgeted(-1, /*strict=*/true));
+  ASSERT_GE(healthy.info.size(), 2u);
+
+  // Controllers differ widely in synthesis cost, so some budget in this
+  // sweep separates them: the expensive ones degrade, the cheap ones
+  // survive untouched.  (The sweep keeps the test independent of the
+  // exact op counts, which shift as the synthesis passes evolve.)
+  ControlResult degraded;
+  bool split = false;
+  for (const long long budget :
+       {1000LL, 5000LL, 20000LL, 100000LL, 500000LL, 2000000LL}) {
+    degraded = synthesize_control(net, budgeted(budget, /*strict=*/false));
+    if (!degraded.failures.empty() &&
+        degraded.failures.size() < healthy.info.size()) {
+      split = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(split) << "no budget separated the controllers";
+
+  std::set<std::string> failed;
+  for (const ControllerFailure& f : degraded.failures) {
+    failed.insert(f.controller);
+    EXPECT_EQ(f.stage, FlowStage::kSynthesis);
+    EXPECT_EQ(f.rule, "FL002");
+    EXPECT_FALSE(f.reason.empty());
+    EXPECT_FALSE(f.fallback.empty());
+    EXPECT_FALSE(f.members.empty());
+  }
+
+  // Every surviving controller's report line is byte-identical to the
+  // unlimited-budget run's.
+  std::set<std::string> degraded_lines;
+  for (const std::string& line : util::split(report(degraded), "\n")) {
+    degraded_lines.insert(line);
+  }
+  for (const ControllerInfo& info : healthy.info) {
+    if (failed.count(info.name)) continue;
+    const std::string line =
+        info.name + ": " + std::to_string(info.states) + " states, " +
+        std::to_string(info.products) + " products, " +
+        std::to_string(info.literals) + " literals, area " +
+        std::to_string(info.area);
+    EXPECT_TRUE(degraded_lines.count(line)) << "missing: " << line;
+  }
+
+  // Each degradation is also surfaced as an FL005 lint warning.
+  int fl005 = 0;
+  for (const auto& diag : degraded.lint_report.diagnostics()) {
+    if (diag.rule == "FL005") ++fl005;
+  }
+  EXPECT_EQ(fl005, static_cast<int>(degraded.failures.size()));
+
+  // report() names every degraded controller.
+  const std::string text = report(degraded);
+  for (const std::string& name : failed) {
+    EXPECT_NE(text.find("degraded " + name), std::string::npos);
+  }
+}
+
+TEST(Degradation, NonStrictFullyDegradedRunStillSimulates) {
+  // A 1-op budget degrades every synthesized controller to the
+  // per-component baseline; the design must still pass its benchmark.
+  FlowOptions options = budgeted(1, /*strict=*/false);
+  const auto result = synthesize_control(stack_netlist(), options);
+  EXPECT_FALSE(result.failures.empty());
+  const auto r = run_benchmark("stack", options);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Degradation, EffectiveWorkBudgetResolution) {
+  FlowOptions options;
+  options.work_budget = 1234;
+  EXPECT_EQ(effective_work_budget(options), 1234u);
+  options.work_budget = -1;
+  EXPECT_EQ(effective_work_budget(options), 0u);
+
+  options.work_budget = 0;
+  setenv("BB_WORK_BUDGET", "777", 1);
+  EXPECT_EQ(effective_work_budget(options), 777u);
+  unsetenv("BB_WORK_BUDGET");
+  EXPECT_EQ(effective_work_budget(options), 0u);
 }
 
 }  // namespace

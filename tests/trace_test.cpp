@@ -9,6 +9,7 @@
 #include "src/opt/ch_util.hpp"
 #include "src/petri/from_ch.hpp"
 #include "src/trace/automaton.hpp"
+#include "src/trace/spec_lts.hpp"
 #include "src/trace/verify.hpp"
 
 namespace bb::trace {
@@ -167,6 +168,91 @@ TEST(Verify, DetectsBrokenClustering) {
 
 TEST(Verify, HidePrefix) {
   EXPECT_EQ(hide_prefix("O2"), "o2_");
+}
+
+// ---- reject_prefix (the fault campaign's counterexample engine) ----
+
+TEST(RejectPrefix, AcceptedTraceYieldsEmpty) {
+  petri::Lts lts;
+  lts.num_states = 3;
+  lts.edges = {{0, 1, "a+"}, {1, 2, "b+"}};
+  const Dfa dfa = determinize(lts);
+  EXPECT_TRUE(reject_prefix(dfa, {}).empty());
+  EXPECT_TRUE(reject_prefix(dfa, {"a+"}).empty());
+  EXPECT_TRUE(reject_prefix(dfa, {"a+", "b+"}).empty());
+}
+
+TEST(RejectPrefix, ReturnsShortestRejectedPrefix) {
+  petri::Lts lts;
+  lts.num_states = 3;
+  lts.edges = {{0, 1, "a+"}, {1, 2, "b+"}};
+  const Dfa dfa = determinize(lts);
+  // The first illegal label closes the counterexample; later labels are
+  // irrelevant.
+  EXPECT_EQ(reject_prefix(dfa, {"b+", "a+"}),
+            (std::vector<std::string>{"b+"}));
+  EXPECT_EQ(reject_prefix(dfa, {"a+", "a+", "b+"}),
+            (std::vector<std::string>{"a+", "a+"}));
+}
+
+// ---- bm_spec_lts: BM machine -> trace language ----
+
+ch::Transition edge(bool is_input, const std::string& signal, bool rising) {
+  ch::Transition t;
+  t.is_input = is_input;
+  t.signal = signal;
+  t.rising = rising;
+  return t;
+}
+
+TEST(BmSpecLts, HandshakeCycleLanguage) {
+  // Two-state machine: s0 --a+/b+--> s1 --a-/b---> s0.
+  bm::Spec spec;
+  spec.name = "cycle";
+  spec.num_states = 2;
+  spec.initial_state = 0;
+  bm::Arc up;
+  up.from = 0;
+  up.to = 1;
+  up.in_burst.transitions = {edge(true, "a", true)};
+  up.out_burst.transitions = {edge(false, "b", true)};
+  bm::Arc down;
+  down.from = 1;
+  down.to = 0;
+  down.in_burst.transitions = {edge(true, "a", false)};
+  down.out_burst.transitions = {edge(false, "b", false)};
+  spec.arcs = {up, down};
+  spec.is_input = {{"a", true}, {"b", false}};
+
+  const Dfa dfa = determinize(bm_spec_lts(spec));
+  EXPECT_TRUE(reject_prefix(dfa, {"a+", "b+", "a-", "b-", "a+"}).empty());
+  // The output burst cannot fire before its input burst...
+  EXPECT_EQ(reject_prefix(dfa, {"b+"}), (std::vector<std::string>{"b+"}));
+  // ...and the machine cannot skip an output burst.
+  EXPECT_EQ(reject_prefix(dfa, {"a+", "a-"}),
+            (std::vector<std::string>{"a+", "a-"}));
+}
+
+TEST(BmSpecLts, InputBurstIsUnordered) {
+  // One arc with a two-edge input burst: both arrival orders are legal,
+  // and the output fires only after the whole burst.
+  bm::Spec spec;
+  spec.name = "burst2";
+  spec.num_states = 2;
+  spec.initial_state = 0;
+  bm::Arc arc;
+  arc.from = 0;
+  arc.to = 1;
+  arc.in_burst.transitions = {edge(true, "x", true), edge(true, "y", true)};
+  arc.out_burst.transitions = {edge(false, "z", true)};
+  spec.arcs = {arc};
+  spec.is_input = {{"x", true}, {"y", true}, {"z", false}};
+
+  const Dfa dfa = determinize(bm_spec_lts(spec));
+  EXPECT_TRUE(reject_prefix(dfa, {"x+", "y+", "z+"}).empty());
+  EXPECT_TRUE(reject_prefix(dfa, {"y+", "x+", "z+"}).empty());
+  EXPECT_EQ(reject_prefix(dfa, {"x+", "z+"}),
+            (std::vector<std::string>{"x+", "z+"}));
 }
 
 }  // namespace

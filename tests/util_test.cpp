@@ -2,6 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/io.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/workbudget.hpp"
+
 namespace bb::util {
 namespace {
 
@@ -49,6 +58,80 @@ TEST(Strings, ReplaceAll) {
   EXPECT_EQ(replace_all("mux_ack_x", "_", "-"), "mux-ack-x");
   EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
   EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(WorkBudget, DefaultIsUnlimited) {
+  WorkBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_FALSE(budget.exhausted());
+  for (int i = 0; i < 1000; ++i) budget.charge(1000);
+  EXPECT_EQ(budget.used(), 1000000u);
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(WorkBudget, ThrowsPastLimit) {
+  WorkBudget budget(10);
+  budget.charge(10);
+  EXPECT_EQ(budget.used(), 10u);
+  EXPECT_TRUE(budget.exhausted());
+  try {
+    budget.charge(5);
+    FAIL() << "charge past the limit must throw";
+  } catch (const WorkBudgetExceeded& e) {
+    EXPECT_EQ(e.limit(), 10u);
+    EXPECT_EQ(e.used(), 15u);
+  }
+}
+
+TEST(SplitMix64, DeterministicAndSeedSensitive) {
+  SplitMix64 a(42), b(42), c(43);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SplitMix64, BoundedDraws) {
+  SplitMix64 prng(7);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_LT(prng.below(13), 13u);
+    const double u = prng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(AtomicWrite, WritesAndOverwrites) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "bb_util_test_atomic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "artifact.json").string();
+
+  write_file_atomic(path, "{\"v\":1}\n");
+  write_file_atomic(path, "{\"v\":2}\n");
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"v\":2}\n");
+
+  // No temporary files left behind next to the target.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicWrite, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir/sub/x.json", "data"),
+               std::runtime_error);
 }
 
 }  // namespace
