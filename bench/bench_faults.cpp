@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/flow/faultsim.hpp"
+#include "src/obs/session.hpp"
 #include "src/util/io.hpp"
 
 int main(int argc, char** argv) {
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
       json_path = arg;
     }
   }
+  bb::obs::Session session(bb::obs::env_or("", "BB_TRACE"),
+                           bb::obs::env_or("", "BB_METRICS"));
 
   const std::vector<std::string> designs{"systolic", "wagging", "stack",
                                          "ssem"};

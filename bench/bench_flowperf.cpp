@@ -22,10 +22,12 @@
 #include "src/balsa/compile.hpp"
 #include "src/designs/designs.hpp"
 #include "src/flow/flow.hpp"
-#include "src/lint/diag.hpp"
 #include "src/minimalist/cache.hpp"
 #include "src/netlist/verilog.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/session.hpp"
 #include "src/util/io.hpp"
+#include "src/util/json.hpp"
 
 namespace {
 
@@ -68,12 +70,18 @@ Run run_flow(const bb::hsnet::Netlist& net, int jobs, bool cache,
 
 int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "bench_flowperf.json";
+  // Tracing/metrics are opt-in via environment (CI sets BB_TRACE so the
+  // bench doubles as the trace-artifact producer).
+  bb::obs::Session session(bb::obs::env_or("", "BB_TRACE"),
+                           bb::obs::env_or("", "BB_METRICS"));
   const int auto_jobs = bb::flow::effective_jobs(bb::flow::FlowOptions{});
   bool all_identical = true;
 
-  std::string json = "{\"jobs\":" + std::to_string(auto_jobs) +
-                     ",\"designs\":[";
-  bool first = true;
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", bb::obs::kSchemaVersion);
+  w.member("jobs", auto_jobs);
+  w.key("designs").begin_array();
   for (const auto* design : bb::designs::all_designs()) {
     const auto net = bb::balsa::compile_source(design->source);
 
@@ -97,27 +105,24 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(warm.timings.cache_misses),
         identical ? "outputs identical" : "OUTPUT MISMATCH");
 
-    if (!first) json += ",";
-    first = false;
-    json += "{\"name\":\"" + bb::lint::json_escape(design->name) + "\"";
-    json += ",\"serial_ms\":" + fmt(serial.ms);
-    json += ",\"parallel_ms\":" + fmt(parallel.ms);
-    json += ",\"cold_ms\":" + fmt(cold.ms);
-    json += ",\"warm_ms\":" + fmt(warm.ms);
-    json += ",\"warm_cache_hits\":" +
-            std::to_string(warm.timings.cache_hits);
-    json += ",\"warm_cache_misses\":" +
-            std::to_string(warm.timings.cache_misses);
-    json += ",\"identical\":";
-    json += identical ? "true" : "false";
-    json += ",\"serial_timings\":" + serial.timings.to_json();
-    json += ",\"parallel_timings\":" + parallel.timings.to_json();
-    json += ",\"warm_timings\":" + warm.timings.to_json();
-    json += "}";
+    w.begin_object();
+    w.member("name", design->name);
+    w.member("serial_ms", serial.ms);
+    w.member("parallel_ms", parallel.ms);
+    w.member("cold_ms", cold.ms);
+    w.member("warm_ms", warm.ms);
+    w.member("warm_cache_hits", warm.timings.cache_hits);
+    w.member("warm_cache_misses", warm.timings.cache_misses);
+    w.member("identical", identical);
+    w.key("serial_timings").raw(serial.timings.to_json());
+    w.key("parallel_timings").raw(parallel.timings.to_json());
+    w.key("warm_timings").raw(warm.timings.to_json());
+    w.end_object();
   }
-  json += "]}\n";
+  w.end_array();
+  w.end_object();
 
-  bb::util::write_file_atomic(json_path, json);
+  bb::util::write_file_atomic(json_path, w.str() + "\n");
   std::printf("wrote %s\n", json_path.c_str());
 
   if (!all_identical) {

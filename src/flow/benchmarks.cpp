@@ -7,6 +7,7 @@
 #include "src/designs/designs.hpp"
 #include "src/flow/system.hpp"
 #include "src/flow/testbench.hpp"
+#include "src/obs/trace.hpp"
 
 namespace bb::flow {
 
@@ -197,6 +198,8 @@ BenchmarkResult bench_ssem(const FlowOptions& options,
 BenchmarkResult run_benchmark(const std::string& design,
                               const FlowOptions& options,
                               const BenchmarkHooks* hooks) {
+  obs::Span span("flow.benchmark", obs::kCatFlow);
+  span.arg("design", design);
   if (design == "systolic") return bench_systolic(options, hooks);
   if (design == "wagging") return bench_wagging(options, hooks);
   if (design == "stack") return bench_stack(options, hooks);

@@ -16,7 +16,10 @@
 #include "src/flow/system.hpp"
 #include "src/hsnet/to_ch.hpp"
 #include "src/lint/diag.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/opt/cluster.hpp"
+#include "src/util/json.hpp"
 #include "src/sim/fault.hpp"
 #include "src/trace/automaton.hpp"
 #include "src/trace/spec_lts.hpp"
@@ -178,6 +181,10 @@ std::string fmt_double(double v) {
 FaultRun execute(const std::string& design, const FlowOptions& options,
                  const CampaignOptions& campaign, const PlannedFault& pf,
                  const std::vector<TrustedMonitor>& trusted) {
+  obs::Span span("faultsim.run", obs::kCatFault);
+  span.arg("design", design);
+  span.arg("kind", pf.kind);
+  obs::Registry::global().counter("faultsim.runs").add();
   FaultRun run;
   run.kind = pf.kind;
 
@@ -244,6 +251,10 @@ FaultRun execute(const std::string& design, const FlowOptions& options,
     }
   }
   run.detected = fault_detected(run.outcome);
+  span.arg("outcome", fault_outcome_name(run.outcome));
+  if (run.detected) {
+    obs::Registry::global().counter("faultsim.detected").add();
+  }
   return run;
 }
 
@@ -293,6 +304,8 @@ std::uint64_t effective_seed(const CampaignOptions& options) {
 DesignCampaign run_design_campaign(const std::string& design,
                                    const FlowOptions& options,
                                    const CampaignOptions& campaign) {
+  obs::Span design_span("faultsim.design", obs::kCatFault);
+  design_span.arg("design", design);
   DesignCampaign dc;
   dc.design = design;
   const std::uint64_t seed = effective_seed(campaign);
@@ -333,7 +346,11 @@ DesignCampaign run_design_campaign(const std::string& design,
       }
     }
   };
-  const BenchmarkResult baseline = run_benchmark(design, options, &hooks);
+  const BenchmarkResult baseline = [&] {
+    obs::Span span("faultsim.baseline", obs::kCatFault);
+    span.arg("design", design);
+    return run_benchmark(design, options, &hooks);
+  }();
   dc.baseline_ok = baseline.ok;
 
   // Calibrate each monitor against the healthy trace.  A fully
@@ -496,48 +513,52 @@ std::string CampaignResult::to_text() const {
 }
 
 std::string CampaignResult::to_json() const {
-  std::string s = "{\"seed\":" + std::to_string(seed) + ",\"designs\":[";
-  for (std::size_t i = 0; i < designs.size(); ++i) {
-    const DesignCampaign& d = designs[i];
-    if (i > 0) s += ",";
-    s += "{\"design\":\"" + lint::json_escape(d.design) + "\"";
-    s += ",\"baseline_ok\":";
-    s += d.baseline_ok ? "true" : "false";
-    s += ",\"monitors\":" + std::to_string(d.monitors);
-    s += ",\"injected\":" + std::to_string(d.injected);
-    s += ",\"detected\":" + std::to_string(d.detected);
-    s += ",\"tolerated\":" + std::to_string(d.tolerated);
-    s += ",\"silent_corruption\":" + std::to_string(d.silent_corruption);
-    s += ",\"trace_detected\":" + std::to_string(d.trace_detected);
-    s += ",\"runs\":[";
-    for (std::size_t j = 0; j < d.runs.size(); ++j) {
-      const FaultRun& run = d.runs[j];
-      if (j > 0) s += ",";
-      s += "{\"fault\":\"" + lint::json_escape(run.fault) + "\"";
-      s += ",\"kind\":\"" + lint::json_escape(run.kind) + "\"";
-      s += ",\"outcome\":\"" +
-           std::string(fault_outcome_name(run.outcome)) + "\"";
-      s += ",\"detected\":";
-      s += run.detected ? "true" : "false";
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", obs::kSchemaVersion);
+  w.member("seed", seed);
+  w.key("designs").begin_array();
+  for (const DesignCampaign& d : designs) {
+    w.begin_object();
+    w.member("design", d.design);
+    w.member("baseline_ok", d.baseline_ok);
+    w.member("monitors", d.monitors);
+    w.member("injected", d.injected);
+    w.member("detected", d.detected);
+    w.member("tolerated", d.tolerated);
+    w.member("silent_corruption", d.silent_corruption);
+    w.member("trace_detected", d.trace_detected);
+    w.key("runs").begin_array();
+    for (const FaultRun& run : d.runs) {
+      w.begin_object();
+      w.member("fault", run.fault);
+      w.member("kind", run.kind);
+      w.member("outcome", fault_outcome_name(run.outcome));
+      w.member("detected", run.detected);
       if (!run.monitor.empty()) {
-        s += ",\"monitor\":\"" + lint::json_escape(run.monitor) + "\"";
-        s += ",\"counterexample\":[";
-        for (std::size_t k = 0; k < run.counterexample.size(); ++k) {
-          if (k > 0) s += ",";
-          s += "\"" + lint::json_escape(run.counterexample[k]) + "\"";
+        w.member("monitor", run.monitor);
+        w.key("counterexample").begin_array();
+        for (const std::string& label : run.counterexample) {
+          w.value(label);
         }
-        s += "]";
+        w.end_array();
       }
-      s += ",\"detail\":\"" + lint::json_escape(run.detail) + "\"}";
+      w.member("detail", run.detail);
+      w.end_object();
     }
-    s += "]}";
+    w.end_array();
+    w.end_object();
   }
-  s += "],\"totals\":{\"injected\":" + std::to_string(total_injected()) +
-       ",\"detected\":" + std::to_string(total_detected()) +
-       ",\"tolerated\":" + std::to_string(total_tolerated()) +
-       ",\"silent_corruption\":" +
-       std::to_string(total_silent_corruption()) + "}}";
-  return s;
+  w.end_array();
+  w.key("totals")
+      .begin_object()
+      .member("injected", total_injected())
+      .member("detected", total_detected())
+      .member("tolerated", total_tolerated())
+      .member("silent_corruption", total_silent_corruption())
+      .end_object();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace bb::flow

@@ -13,19 +13,16 @@
 #include "src/bm/validate.hpp"
 #include "src/hsnet/to_ch.hpp"
 #include "src/lint/diag.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/session.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/json.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/workbudget.hpp"
 
 namespace bb::flow {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 std::string fmt_ms(double ms) {
   char buf[32];
@@ -139,8 +136,22 @@ std::uint64_t effective_work_budget(const FlowOptions& options) {
 
 ControlResult synthesize_control(const hsnet::Netlist& netlist,
                                  const FlowOptions& options) {
-  const auto t_total = Clock::now();
+  // A per-call session (FlowOptions paths) nests inside any session the
+  // tool already opened: only the outermost owner writes artifacts.
+  std::optional<obs::Session> session;
+  if (!options.trace_path.empty() || !options.metrics_path.empty()) {
+    session.emplace(options.trace_path, options.metrics_path);
+  }
   ControlResult result;
+  // All StageTimings fields are accumulated through spans; the span also
+  // records a trace event when tracing is on.  The total span is closed
+  // explicitly before returning so its write into `result` cannot chase a
+  // moved-from object; on the exception paths its destructor fires before
+  // `result` unwinds (declaration order), which is equally safe.
+  obs::Span total_span("flow.synthesize_control", obs::kCatFlow,
+                       &result.timings.total_ms);
+  total_span.arg("design", netlist.name());
+  obs::Registry::global().counter("flow.runs").add();
   const auto& lib = techmap::CellLibrary::ams035();
   minimalist::SynthCache* cache =
       options.cache ? (options.cache_instance != nullptr
@@ -157,45 +168,50 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     result.lint_report.merge(findings);
   };
   if (options.lint) {
-    const auto t = Clock::now();
+    obs::Span span("flow.lint.handshake", obs::kCatFlow,
+                   &result.timings.lint_ms);
     absorb("handshake netlist '" + netlist.name() + "'",
            lint::lint_handshake(netlist, options.lint_options));
-    result.timings.lint_ms += ms_since(t);
   }
 
   // Balsa-to-CH for every control component; in the template baseline,
   // components with a hand-optimized circuit skip the synthesis path.
-  const auto t_to_ch = Clock::now();
   std::vector<ch::Program> programs;
-  for (const int id : netlist.control_ids()) {
-    const auto& component = netlist.component(id);
-    if (!options.cluster && options.templates &&
-        techmap::has_template(component.kind)) {
-      auto circuit = techmap::template_circuit(component, lib);
-      ControllerInfo info;
-      info.name = component.display_name() + " (template)";
-      info.members = {component.display_name()};
-      info.area = circuit->total_area();
-      result.info.push_back(std::move(info));
-      result.gates.merge(*circuit);
-      continue;
+  {
+    obs::Span span("flow.to_ch", obs::kCatFlow, &result.timings.to_ch_ms);
+    for (const int id : netlist.control_ids()) {
+      const auto& component = netlist.component(id);
+      if (!options.cluster && options.templates &&
+          techmap::has_template(component.kind)) {
+        auto circuit = techmap::template_circuit(component, lib);
+        ControllerInfo info;
+        info.name = component.display_name() + " (template)";
+        info.members = {component.display_name()};
+        info.area = circuit->total_area();
+        result.info.push_back(std::move(info));
+        result.gates.merge(*circuit);
+        continue;
+      }
+      programs.push_back(hsnet::to_ch(component));
     }
-    programs.push_back(hsnet::to_ch(component));
+    span.arg("programs", static_cast<std::uint64_t>(programs.size()));
   }
-  result.timings.to_ch_ms = ms_since(t_to_ch);
 
   // Clustering (Section 4): T2 (which runs T1) over the CH programs.
-  const auto t_cluster = Clock::now();
   std::vector<opt::ClusteredProgram> clustered;
-  if (options.cluster) {
-    opt::ClusterOptions copts;
-    copts.max_states = options.max_states;
-    clustered =
-        opt::optimize(std::move(programs), copts, &result.cluster_stats);
-  } else {
-    clustered = opt::wrap(std::move(programs));
+  {
+    obs::Span span("flow.cluster", obs::kCatFlow,
+                   &result.timings.cluster_ms);
+    if (options.cluster) {
+      opt::ClusterOptions copts;
+      copts.max_states = options.max_states;
+      clustered =
+          opt::optimize(std::move(programs), copts, &result.cluster_stats);
+    } else {
+      clustered = opt::wrap(std::move(programs));
+    }
+    span.arg("controllers", static_cast<std::uint64_t>(clustered.size()));
   }
-  result.timings.cluster_ms = ms_since(t_cluster);
 
   // CH-to-BMS, Minimalist, tech mapping, one controller per work unit.
   // Units are independent: each worker compiles, lints, synthesizes and
@@ -225,6 +241,10 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
                                 const std::string& rule,
                                 const std::string& reason) {
     const auto& program = clustered[i].program;
+    obs::Span span("flow.fallback", obs::kCatFlow);
+    span.arg("controller", program.name);
+    span.arg("rule", rule);
+    obs::Registry::global().counter("flow.controllers.degraded").add();
     unit.gates.reset();
     unit.ctrl.reset();
     unit.prefix.clear();
@@ -299,6 +319,9 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     Unit& unit = units[i];
     const auto& program = clustered[i].program;
     unit.timing.name = program.name;
+    obs::Span unit_span("flow.controller", obs::kCatFlow);
+    unit_span.arg("name", program.name);
+    unit_span.arg("index", static_cast<std::uint64_t>(i));
     // Tracks how far the chain got, for FlowError/ControllerFailure
     // attribution when an unstructured exception escapes a stage.
     FlowStage stage = FlowStage::kBmCompile;
@@ -318,63 +341,79 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
         budget = &*budget_storage;
       }
 
-      auto t = Clock::now();
-      const bm::Spec spec = bm::compile(*program.body, program.name);
-      if (!options.lint) {
-        const auto check = bm::validate(spec);
-        if (!check.ok) {
-          throw FlowError(FlowStage::kBmCompile, "FL001", program.name,
-                          "failed BM validation: " + check.errors[0]);
+      std::optional<bm::Spec> spec_storage;
+      {
+        obs::Span span("flow.bm_compile", obs::kCatFlow,
+                       &unit.timing.bm_compile_ms);
+        span.arg("controller", program.name);
+        spec_storage = bm::compile(*program.body, program.name);
+        if (!options.lint) {
+          const auto check = bm::validate(*spec_storage);
+          if (!check.ok) {
+            throw FlowError(FlowStage::kBmCompile, "FL001", program.name,
+                            "failed BM validation: " + check.errors[0]);
+          }
         }
+        // Clustering never merges past the cap, but a degraded flow also
+        // guards single components that arrive oversized on their own.
+        if (!options.strict && options.max_states > 0 &&
+            spec_storage->num_states > options.max_states) {
+          throw FlowError(FlowStage::kBmCompile, "FL003", program.name,
+                          std::to_string(spec_storage->num_states) +
+                              " states exceed the max_states cap of " +
+                              std::to_string(options.max_states));
+        }
+        span.arg("states",
+                 static_cast<std::uint64_t>(spec_storage->num_states));
       }
-      // Clustering never merges past the cap, but a degraded flow also
-      // guards single components that arrive oversized on their own.
-      if (!options.strict && options.max_states > 0 &&
-          spec.num_states > options.max_states) {
-        throw FlowError(FlowStage::kBmCompile, "FL003", program.name,
-                        std::to_string(spec.num_states) +
-                            " states exceed the max_states cap of " +
-                            std::to_string(options.max_states));
-      }
-      unit.timing.bm_compile_ms = ms_since(t);
+      const bm::Spec& spec = *spec_storage;
       if (options.lint) {
         stage = FlowStage::kLint;
-        t = Clock::now();
+        obs::Span span("flow.lint.bm", obs::kCatFlow, &unit.timing.lint_ms);
+        span.arg("controller", program.name);
         local_absorb("BM spec of controller '" + program.name + "'",
                      lint::lint_bm(spec, options.lint_options));
-        unit.timing.lint_ms += ms_since(t);
       }
 
       stage = FlowStage::kSynthesis;
-      t = Clock::now();
       minimalist::SynthesizedController ctrl = [&] {
+        obs::Span span("flow.synthesis", obs::kCatSynth,
+                       &unit.timing.minimalist_ms);
+        span.arg("controller", program.name);
         try {
-          return cache != nullptr
-                     ? minimalist::synthesize_cached(spec, options.mode,
-                                                     *cache,
-                                                     &unit.timing.cache_hit,
-                                                     budget)
-                     : minimalist::synthesize(spec, options.mode, budget);
+          auto synthesized =
+              cache != nullptr
+                  ? minimalist::synthesize_cached(spec, options.mode, *cache,
+                                                  &unit.timing.cache_hit,
+                                                  budget)
+                  : minimalist::synthesize(spec, options.mode, budget);
+          span.arg("cache",
+                   unit.timing.cache_hit ? "hit"
+                                         : (cache != nullptr ? "miss" : "off"));
+          return synthesized;
         } catch (const util::WorkBudgetExceeded& e) {
           throw FlowError(FlowStage::kSynthesis, "FL002", program.name,
                           e.what());
         }
       }();
-      unit.timing.minimalist_ms = ms_since(t);
 
       if (options.lint) {
         stage = FlowStage::kLint;
-        t = Clock::now();
+        obs::Span span("flow.lint.two_level", obs::kCatFlow,
+                       &unit.timing.lint_ms);
+        span.arg("controller", program.name);
         local_absorb("two-level logic of controller '" + program.name + "'",
                      lint::lint_two_level(ctrl, spec, options.lint_options));
-        unit.timing.lint_ms += ms_since(t);
       }
 
       stage = FlowStage::kTechmap;
       unit.prefix = "ctl" + std::to_string(i);
-      t = Clock::now();
-      unit.gates = techmap::map_controller(ctrl, lib, mopts, unit.prefix);
-      unit.timing.techmap_ms = ms_since(t);
+      {
+        obs::Span span("flow.techmap", obs::kCatFlow,
+                       &unit.timing.techmap_ms);
+        span.arg("controller", program.name);
+        unit.gates = techmap::map_controller(ctrl, lib, mopts, unit.prefix);
+      }
 
       unit.info.name = program.name;
       unit.info.members = clustered[i].members;
@@ -407,14 +446,19 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
   const int max_useful = units.empty() ? 1 : static_cast<int>(units.size());
   const int jobs = std::max(1, std::min(effective_jobs(options), max_useful));
   result.timings.jobs = jobs;
-  const auto t_units = Clock::now();
-  if (jobs <= 1 || units.size() <= 1) {
-    for (std::size_t i = 0; i < units.size(); ++i) run_unit(i);
-  } else {
-    util::ThreadPool pool(jobs);
-    util::parallel_for_index(pool, units.size(), run_unit);
+  obs::Registry::global().counter("flow.controllers").add(units.size());
+  {
+    obs::Span span("flow.controllers", obs::kCatFlow,
+                   &result.timings.controllers_wall_ms);
+    span.arg("count", static_cast<std::uint64_t>(units.size()));
+    span.arg("jobs", static_cast<std::uint64_t>(jobs));
+    if (jobs <= 1 || units.size() <= 1) {
+      for (std::size_t i = 0; i < units.size(); ++i) run_unit(i);
+    } else {
+      util::ThreadPool pool(jobs);
+      util::parallel_for_index(pool, units.size(), run_unit);
+    }
   }
-  result.timings.controllers_wall_ms = ms_since(t_units);
 
   // Deterministic in-order merge.  Errors surface exactly as in the
   // serial flow: the lowest-index failing controller wins.
@@ -463,13 +507,13 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
   }
 
   if (options.lint) {
-    const auto t = Clock::now();
+    obs::Span span("flow.lint.gates", obs::kCatFlow,
+                   &result.timings.lint_ms);
     absorb("merged control netlist",
            lint::lint_gates(result.gates, options.lint_options));
-    result.timings.lint_ms += ms_since(t);
   }
   result.area = result.gates.total_area();
-  result.timings.total_ms = ms_since(t_total);
+  total_span.finish();
   return result;
 }
 
@@ -493,33 +537,34 @@ std::string StageTimings::to_text() const {
 }
 
 std::string StageTimings::to_json() const {
-  std::string s = "{";
-  s += "\"to_ch_ms\":" + fmt_ms(to_ch_ms);
-  s += ",\"cluster_ms\":" + fmt_ms(cluster_ms);
-  s += ",\"bm_compile_ms\":" + fmt_ms(bm_compile_ms);
-  s += ",\"minimalist_ms\":" + fmt_ms(minimalist_ms);
-  s += ",\"techmap_ms\":" + fmt_ms(techmap_ms);
-  s += ",\"lint_ms\":" + fmt_ms(lint_ms);
-  s += ",\"controllers_wall_ms\":" + fmt_ms(controllers_wall_ms);
-  s += ",\"total_ms\":" + fmt_ms(total_ms);
-  s += ",\"jobs\":" + std::to_string(jobs);
-  s += ",\"cache_hits\":" + std::to_string(cache_hits);
-  s += ",\"cache_misses\":" + std::to_string(cache_misses);
-  s += ",\"controllers\":[";
-  for (std::size_t i = 0; i < controllers.size(); ++i) {
-    const Controller& c = controllers[i];
-    if (i > 0) s += ",";
-    s += "{\"name\":\"" + lint::json_escape(c.name) + "\"";
-    s += ",\"bm_compile_ms\":" + fmt_ms(c.bm_compile_ms);
-    s += ",\"minimalist_ms\":" + fmt_ms(c.minimalist_ms);
-    s += ",\"techmap_ms\":" + fmt_ms(c.techmap_ms);
-    s += ",\"lint_ms\":" + fmt_ms(c.lint_ms);
-    s += ",\"cache_hit\":";
-    s += c.cache_hit ? "true" : "false";
-    s += "}";
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", obs::kSchemaVersion);
+  w.member("to_ch_ms", to_ch_ms);
+  w.member("cluster_ms", cluster_ms);
+  w.member("bm_compile_ms", bm_compile_ms);
+  w.member("minimalist_ms", minimalist_ms);
+  w.member("techmap_ms", techmap_ms);
+  w.member("lint_ms", lint_ms);
+  w.member("controllers_wall_ms", controllers_wall_ms);
+  w.member("total_ms", total_ms);
+  w.member("jobs", jobs);
+  w.member("cache_hits", cache_hits);
+  w.member("cache_misses", cache_misses);
+  w.key("controllers").begin_array();
+  for (const Controller& c : controllers) {
+    w.begin_object()
+        .member("name", c.name)
+        .member("bm_compile_ms", c.bm_compile_ms)
+        .member("minimalist_ms", c.minimalist_ms)
+        .member("techmap_ms", c.techmap_ms)
+        .member("lint_ms", c.lint_ms)
+        .member("cache_hit", c.cache_hit)
+        .end_object();
   }
-  s += "]}";
-  return s;
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 std::string report(const ControlResult& result, bool with_timings) {

@@ -71,6 +71,17 @@ struct FlowOptions {
   /// otherwise); < 0 forces unlimited; > 0 is an explicit cap.  A cache
   /// hit costs no budgeted work.
   long long work_budget = 0;
+  /// When non-empty, this synthesize_control call collects a span trace
+  /// and writes it here as Chrome trace-event JSON (open in Perfetto or
+  /// chrome://tracing).  If an enclosing obs::Session already owns the
+  /// trace (e.g. a tool passed --trace), the spans land in that trace
+  /// instead and no separate file is written.  Tools usually leave this
+  /// empty and own the session themselves; the BB_TRACE environment
+  /// variable is honored at the tool layer, not here.
+  std::string trace_path;
+  /// When non-empty, a metrics snapshot (obs::Registry::global()) is
+  /// written here after the call.  Same ownership rules as trace_path.
+  std::string metrics_path;
 
   /// The paper's optimized back-end configuration.
   static FlowOptions optimized();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/json.hpp"
+
 namespace bb::lint {
 
 std::string_view severity_name(Severity severity) {
@@ -147,43 +149,28 @@ std::string Report::to_text() const {
 }
 
 std::string Report::to_json() const {
-  std::string s = "{\"diagnostics\":[";
-  for (std::size_t i = 0; i < diags_.size(); ++i) {
-    const Diagnostic& d = diags_[i];
-    if (i > 0) s += ",";
-    s += "{\"rule\":\"" + json_escape(d.rule) + "\",\"severity\":\"" +
-         std::string(severity_name(d.severity)) + "\",\"object\":\"" +
-         json_escape(d.object) + "\",\"message\":\"" + json_escape(d.message) +
-         "\"}";
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("diagnostics").begin_array();
+  for (const Diagnostic& d : diags_) {
+    w.begin_object()
+        .member("rule", d.rule)
+        .member("severity", severity_name(d.severity))
+        .member("object", d.object)
+        .member("message", d.message)
+        .end_object();
   }
-  s += "],\"errors\":" + std::to_string(count(Severity::kError)) +
-       ",\"warnings\":" + std::to_string(count(Severity::kWarning)) +
-       ",\"notes\":" + std::to_string(count(Severity::kNote)) + "}";
-  return s;
+  w.end_array();
+  w.member("errors", static_cast<std::uint64_t>(count(Severity::kError)));
+  w.member("warnings",
+           static_cast<std::uint64_t>(count(Severity::kWarning)));
+  w.member("notes", static_cast<std::uint64_t>(count(Severity::kNote)));
+  w.end_object();
+  return w.str();
 }
 
 std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xf];
-          out += hex[c & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return util::json_escape(text);
 }
 
 }  // namespace bb::lint

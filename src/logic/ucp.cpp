@@ -5,6 +5,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace bb::logic {
 
 namespace {
@@ -54,10 +57,12 @@ void choose_column(const Matrix& m, State& s, std::size_t c) {
 }
 
 /// Greedy completion: repeatedly pick the column covering the most
-/// uncovered rows per unit cost.
+/// uncovered rows per unit cost.  `greedy_rounds` batches the iteration
+/// count for the caller to publish once per solve.
 bool greedy_complete(const Matrix& m, State s, UcpSolution& best,
-                     util::WorkBudget* budget) {
+                     util::WorkBudget* budget, std::uint64_t& greedy_rounds) {
   while (s.rows_left > 0) {
+    ++greedy_rounds;
     if (budget != nullptr) budget->charge();
     std::size_t best_col = m.cost.size();
     double best_ratio = -1.0;
@@ -87,9 +92,9 @@ bool greedy_complete(const Matrix& m, State s, UcpSolution& best,
 }
 
 void branch(const Matrix& m, State s, UcpSolution& best, std::size_t& nodes,
-            util::WorkBudget* budget) {
+            util::WorkBudget* budget, std::uint64_t& greedy_rounds) {
   if (nodes == 0) {
-    greedy_complete(m, std::move(s), best, budget);
+    greedy_complete(m, std::move(s), best, budget, greedy_rounds);
     return;
   }
   --nodes;
@@ -146,13 +151,16 @@ void branch(const Matrix& m, State s, UcpSolution& best, std::size_t& nodes,
     if (s.col_removed[c]) continue;
     State next = s;
     choose_column(m, next, c);
-    branch(m, std::move(next), best, nodes, budget);
+    branch(m, std::move(next), best, nodes, budget, greedy_rounds);
   }
 }
 
 }  // namespace
 
 UcpSolution solve_ucp(const UcpProblem& problem, util::WorkBudget* budget) {
+  obs::Span span("logic.ucp", obs::kCatLogic);
+  span.arg("rows", static_cast<std::uint64_t>(problem.covers.size()));
+  span.arg("columns", static_cast<std::uint64_t>(problem.column_cost.size()));
   const Matrix m = build_matrix(problem);
   State init;
   init.row_covered.assign(m.rows.size(), false);
@@ -160,10 +168,19 @@ UcpSolution solve_ucp(const UcpProblem& problem, util::WorkBudget* budget) {
   init.rows_left = m.rows.size();
 
   UcpSolution best;
-  greedy_complete(m, init, best, budget);  // establishes an upper bound
-  std::size_t nodes = 200000;
-  branch(m, init, best, nodes, budget);
+  std::uint64_t greedy_rounds = 0;
+  greedy_complete(m, init, best, budget, greedy_rounds);  // upper bound
+  constexpr std::size_t kBranchNodes = 200000;
+  std::size_t nodes = kBranchNodes;
+  branch(m, init, best, nodes, budget, greedy_rounds);
   std::sort(best.columns.begin(), best.columns.end());
+  const std::uint64_t branch_nodes = kBranchNodes - nodes;
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("logic.ucp.solved").add();
+  registry.counter("logic.ucp.branch_nodes").add(branch_nodes);
+  registry.counter("logic.ucp.greedy_rounds").add(greedy_rounds);
+  span.arg("branch_nodes", branch_nodes);
+  span.arg("greedy_rounds", greedy_rounds);
   return best;
 }
 

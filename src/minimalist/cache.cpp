@@ -1,5 +1,7 @@
 #include "src/minimalist/cache.hpp"
 
+#include "src/obs/metrics.hpp"
+
 namespace bb::minimalist {
 
 namespace {
@@ -32,9 +34,11 @@ std::optional<SynthesizedController> SynthCache::lookup(const bm::Spec& spec,
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    obs::Registry::global().counter("minimalist.cache.misses").add();
     return std::nullopt;
   }
   ++hits_;
+  obs::Registry::global().counter("minimalist.cache.hits").add();
   return rebind(it->second, spec);
 }
 

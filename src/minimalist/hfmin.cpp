@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "src/logic/ucp.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace bb::minimalist {
 
@@ -58,6 +60,8 @@ bool is_dhf_implicant(const Cube& cube, const FuncSpec& spec) {
 SolvedFunction minimize_function(const FuncSpec& spec, std::size_t num_vars,
                                  std::size_t state_base, SynthMode mode,
                                  util::WorkBudget* budget) {
+  obs::Span span("minimalist.hfmin", obs::kCatSynth);
+  span.arg("function", spec.name);
   // Rows: every required cube and every anchor point must sit inside a
   // single product of the final cover.
   std::vector<Cube> rows = spec.on_required;
@@ -103,6 +107,12 @@ SolvedFunction minimize_function(const FuncSpec& spec, std::size_t num_vars,
       add_candidate(expand_in_order(r, spec, state_base, rot));
     }
   }
+
+  obs::Registry::global()
+      .counter("minimalist.dhf_candidates")
+      .add(candidates.size());
+  span.arg("rows", static_cast<std::uint64_t>(rows.size()));
+  span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
 
   // Covering problem: candidate c covers row r iff c contains r.
   logic::UcpProblem problem;

@@ -5,6 +5,9 @@
 #include <set>
 #include <string>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace bb::minimalist {
 
 namespace {
@@ -45,6 +48,9 @@ std::vector<std::string> entry_signatures(const bm::Spec& spec) {
 
 StateMinResult minimize_states(const bm::Spec& spec,
                                util::WorkBudget* budget) {
+  obs::Span span("minimalist.statemin", obs::kCatSynth);
+  span.arg("controller", spec.name);
+  span.arg("states", static_cast<std::uint64_t>(spec.num_states));
   // Initial partition: entry valuation + the initial-state marker (the
   // initial state must stay in its own mergeable group only with states
   // that are truly equivalent to it, which refinement decides).
@@ -63,8 +69,10 @@ StateMinResult minimize_states(const bm::Spec& spec,
   // Refinement: states in a block must have identical (in burst -> out
   // burst, target block) maps.
   bool changed = true;
+  std::uint64_t passes = 0;  // batched into the registry after the loop
   while (changed) {
     changed = false;
+    ++passes;
     if (budget != nullptr) {
       budget->charge(static_cast<std::uint64_t>(spec.num_states));
     }
@@ -101,6 +109,12 @@ StateMinResult minimize_states(const bm::Spec& spec,
   result.spec.initial_state = 0;
   result.spec.num_states = static_cast<int>(number.size());
   result.merged_states = spec.num_states - result.spec.num_states;
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("minimalist.statemin.passes").add(passes);
+  registry.counter("minimalist.statemin.merged")
+      .add(static_cast<std::uint64_t>(result.merged_states));
+  span.arg("passes", passes);
+  span.arg("merged", static_cast<std::uint64_t>(result.merged_states));
 
   std::set<std::string> seen;
   for (const bm::Arc& a : spec.arcs) {

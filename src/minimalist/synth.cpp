@@ -5,6 +5,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace bb::minimalist {
 
 namespace {
@@ -84,6 +87,10 @@ std::string SynthesizedController::to_sol() const {
 
 SynthesizedController synthesize(const bm::Spec& spec, SynthMode mode,
                                  util::WorkBudget* budget) {
+  obs::Span span("minimalist.synthesize", obs::kCatSynth);
+  span.arg("controller", spec.name);
+  span.arg("states", static_cast<std::uint64_t>(spec.num_states));
+  obs::Registry::global().counter("minimalist.synthesized").add();
   const MachineSpec machine = extract(spec);
 
   SynthesizedController out;

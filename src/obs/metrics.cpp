@@ -1,0 +1,143 @@
+#include "src/obs/metrics.hpp"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/util/json.hpp"
+
+namespace bb::obs {
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: iteration in name order makes the snapshot deterministic;
+  // unique_ptr keeps instrument addresses stable across rehash-free
+  // inserts and reset().
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", kSchemaVersion);
+
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : impl_->counters) w.member(name, c->value());
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : impl_->gauges) w.member(name, g->value());
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : impl_->histograms) {
+    w.key(name).begin_object();
+    w.member("count", h->count());
+    w.member("sum", h->sum());
+    w.member("min", h->min());
+    w.member("max", h->max());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      w.begin_object();
+      w.member("ge", Histogram::bucket_lower(i));
+      w.member("count", n);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace bb::obs

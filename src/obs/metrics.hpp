@@ -1,0 +1,120 @@
+// Process-wide metrics registry: named counters, gauges and log-bucketed
+// histograms with a deterministic JSON snapshot.
+//
+// Instruments are cheap enough to leave permanently enabled: recording is
+// one relaxed atomic RMW, and hot loops batch into a local counter and
+// publish once at the end.  References returned by the registry are
+// stable for the life of the process (reset() zeroes values but never
+// destroys instruments), so call sites cache them:
+//
+//   static obs::Counter& hits =
+//       obs::Registry::global().counter("minimalist.cache.hits");
+//   hits.add();
+//
+// The snapshot is deterministic by construction: instruments render in
+// name order and values are integers, so two runs that perform the same
+// work (e.g. two same-seed serial flows) produce byte-identical
+// snapshots.  Wall-clock-derived values (thread-pool wait/run times) only
+// ever come from the parallel path, which the determinism contract
+// excludes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bb::obs {
+
+/// Format revision of the metrics snapshot (and of the trace artifact,
+/// which shares the constant): bump when a field changes meaning.
+inline constexpr int kSchemaVersion = 1;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value / high-water-mark instrument.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is higher than the current value.
+  void update_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram over non-negative integers.  Bucket 0 holds the
+/// value 0; bucket i >= 1 holds [2^(i-1), 2^i).  65 buckets cover the
+/// whole uint64 range.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v);
+
+  /// The bucket a value lands in: 0 for 0, otherwise std::bit_width(v).
+  static std::size_t bucket_index(std::uint64_t v);
+  /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_lower(std::size_t i);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value (0 when empty).
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named-instrument registry.  Lookup takes a mutex (cache the reference
+/// in hot paths); recording is lock-free.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Deterministic snapshot: {"schema_version":N,"counters":{...},
+  /// "gauges":{...},"histograms":{...}} with names in sorted order.
+  std::string snapshot_json() const;
+
+  /// Zeroes every instrument (references stay valid).
+  void reset();
+
+  /// The process-wide registry all instrumentation records into.
+  static Registry& global();
+
+ private:
+  struct Impl;
+  Registry();
+  ~Registry();
+  Impl* impl_;
+};
+
+}  // namespace bb::obs

@@ -1,0 +1,49 @@
+// Process-level wiring for the observability subsystem: one RAII object
+// that turns the tracer on, hooks the thread pool, and writes the trace
+// and metrics artifacts when it goes out of scope.
+//
+// Tools construct a Session near the top of main():
+//
+//   obs::Session session(obs::env_or(trace_flag, "BB_TRACE"),
+//                        obs::env_or(metrics_flag, "BB_METRICS"));
+//
+// Empty paths disable the corresponding artifact.  Sessions nest: only
+// the session that actually enabled tracing writes and disables it, so a
+// library call that opens its own Session (e.g. synthesize_control with
+// FlowOptions::trace_path) is inert when an outer session already owns
+// the trace.
+#pragma once
+
+#include <string>
+
+namespace bb::obs {
+
+/// `value` when non-empty, otherwise the environment variable `env_var`
+/// (empty when unset).
+std::string env_or(std::string value, const char* env_var);
+
+/// Registers the util::ThreadPool task observer that feeds the pool.*
+/// metrics and per-task trace spans.  Idempotent.
+void install_thread_pool_instrumentation();
+
+class Session {
+ public:
+  /// Enables tracing when `trace_path` is non-empty and no other session
+  /// owns the trace.  `metrics_path` selects where the metrics snapshot
+  /// goes at destruction (empty = nowhere).
+  Session(std::string trace_path, std::string metrics_path);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// True when this session enabled tracing (and will write the trace).
+  bool owns_trace() const { return owns_trace_; }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool owns_trace_ = false;
+};
+
+}  // namespace bb::obs

@@ -1,0 +1,247 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/util/io.hpp"
+#include "src/util/json.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace bb::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = Tracer::Clock;
+
+struct Event {
+  const char* name;
+  const char* cat;
+  double ts_us;
+  double dur_us;
+  std::uint32_t tid;
+  std::string args_json;
+};
+
+/// Per-thread ring.  Only the owning thread records; the flush thread
+/// copies under the same mutex, so a record racing a flush is safe (the
+/// uncontended lock is a few nanoseconds, far below span granularity).
+struct ThreadRing {
+  static constexpr std::size_t kRingCapacity = 65536;
+
+  std::mutex mu;
+  std::vector<Event> events;  ///< grows to kRingCapacity, then wraps
+  std::size_t next = 0;       ///< overwrite cursor once full
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+
+  void push(Event e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(std::move(e));
+    } else {
+      events[next] = std::move(e);
+      next = (next + 1) % kRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 0;
+  Clock::time_point epoch = Clock::now();
+};
+
+TracerState& state() {
+  static TracerState s;
+  return s;
+}
+
+ThreadRing& local_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    r->tid = ++s.next_tid;
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  TracerState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (internal::g_tracing.load(std::memory_order_relaxed)) return;
+    for (auto& ring : s.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      ring->events.clear();
+      ring->next = 0;
+      ring->dropped = 0;
+    }
+    s.epoch = Clock::now();
+  }
+  internal::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  internal::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+double Tracer::to_us(Clock::time_point tp) const {
+  return us_between(state().epoch, tp);
+}
+
+void Tracer::record(const char* name, const char* cat,
+                    Clock::time_point start, Clock::time_point end,
+                    std::string args_json) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = to_us(start);
+  e.dur_us = us_between(start, end);
+  ThreadRing& ring = local_ring();
+  e.tid = ring.tid;
+  e.args_json = std::move(args_json);
+  ring.push(std::move(e));
+}
+
+std::string Tracer::flush_json() {
+  std::vector<Event> merged;
+  std::uint64_t dropped = 0;
+  std::vector<std::uint32_t> tids;
+  {
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& ring : s.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      if (!ring->events.empty()) tids.push_back(ring->tid);
+      // Ring order: oldest first (the slice [next, end) precedes
+      // [0, next) once the ring has wrapped).
+      for (std::size_t i = 0; i < ring->events.size(); ++i) {
+        const std::size_t at = (ring->next + i) % ring->events.size();
+        merged.push_back(std::move(ring->events[at]));
+      }
+      dropped += ring->dropped;
+      ring->events.clear();
+      ring->next = 0;
+      ring->dropped = 0;
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::sort(tids.begin(), tids.end());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", kSchemaVersion);
+  w.member("displayTimeUnit", "ms");
+  w.member("dropped_events", dropped);
+  w.key("traceEvents").begin_array();
+  w.begin_object()
+      .member("ph", "M")
+      .member("name", "process_name")
+      .member("pid", 1)
+      .member("tid", std::uint64_t{0})
+      .key("args")
+      .begin_object()
+      .member("name", "bb")
+      .end_object()
+      .end_object();
+  for (const std::uint32_t tid : tids) {
+    w.begin_object()
+        .member("ph", "M")
+        .member("name", "thread_name")
+        .member("pid", 1)
+        .member("tid", std::uint64_t{tid})
+        .key("args")
+        .begin_object()
+        .member("name", "thread " + std::to_string(tid))
+        .end_object()
+        .end_object();
+  }
+  for (const Event& e : merged) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.cat);
+    w.member("ph", "X");
+    w.member("ts", e.ts_us);
+    w.member("dur", e.dur_us);
+    w.member("pid", 1);
+    w.member("tid", std::uint64_t{e.tid});
+    if (!e.args_json.empty()) {
+      w.key("args").raw("{" + e.args_json + "}");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void Tracer::write(const std::string& path) {
+  util::write_file_atomic(path, flush_json() + "\n");
+}
+
+Span::Span(const char* name, const char* cat, double* accumulate_ms)
+    : name_(name), cat_(cat), accumulate_ms_(accumulate_ms) {
+  tracing_ = tracing_enabled();
+  timing_ = tracing_ || accumulate_ms_ != nullptr;
+  if (timing_) start_ = Tracer::Clock::now();
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (!tracing_ || done_) return;
+  if (!args_json_.empty()) args_json_ += ',';
+  args_json_ += '"';
+  args_json_ += util::json_escape(key);
+  args_json_ += "\":\"";
+  args_json_ += util::json_escape(value);
+  args_json_ += '"';
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (!tracing_ || done_) return;
+  if (!args_json_.empty()) args_json_ += ',';
+  args_json_ += '"';
+  args_json_ += util::json_escape(key);
+  args_json_ += "\":";
+  args_json_ += std::to_string(value);
+}
+
+double Span::finish() {
+  if (done_) return 0.0;
+  done_ = true;
+  if (!timing_) return 0.0;
+  const auto end = Tracer::Clock::now();
+  const double ms = us_between(start_, end) / 1000.0;
+  if (accumulate_ms_ != nullptr) *accumulate_ms_ += ms;
+  if (tracing_) {
+    Tracer::instance().record(name_, cat_, start_, end,
+                              std::move(args_json_));
+  }
+  return ms;
+}
+
+}  // namespace bb::obs

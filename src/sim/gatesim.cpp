@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
 #include "src/sim/fault.hpp"
 
 namespace bb::sim {
@@ -121,8 +122,10 @@ void GateBinding::settle_initial(Simulator& sim,
 
   const auto& gates = netlist_.gates();
   bool settled = false;
+  std::uint64_t passes = 0;
   for (int pass = 0; pass < 1000 && !settled; ++pass) {
     settled = true;
+    ++passes;
     for (std::size_t g = 0; g < gates.size(); ++g) {
       if (is_clamped[gates[g].output]) continue;
       const bool v = eval(sim, g, /*faulted=*/false);
@@ -132,6 +135,7 @@ void GateBinding::settle_initial(Simulator& sim,
       }
     }
   }
+  obs::Registry::global().counter("sim.settle_passes").add(passes);
   if (!settled) {
     throw std::runtime_error(
         "GateBinding: no stable initial assignment (oscillating loop)");

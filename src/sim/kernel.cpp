@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace bb::sim {
 
 Simulator::Simulator(int num_nets)
@@ -50,22 +53,34 @@ void Simulator::apply(int net, bool value) {
 }
 
 RunStatus Simulator::run_status(double max_time_ns, std::uint64_t max_events) {
+  obs::Span span("sim.run", obs::kCatSim);
   if (!started_) {
     started_ = true;
     for (Process* p : processes_) p->start(*this);
   }
   events_ = 0;
+  // Batched into locals: one registry publish per run_status call, not
+  // per event.
+  std::size_t queue_high_water = queue_.size();
+  RunStatus status = RunStatus::kQuiescent;
   while (!queue_.empty() || !callbacks_.empty()) {
-    if (events_ + 1 > max_events) return RunStatus::kEventBudget;
+    if (events_ + 1 > max_events) {
+      status = RunStatus::kEventBudget;
+      break;
+    }
     ++events_;
     ++total_events_;
+    queue_high_water = std::max(queue_high_water, queue_.size());
 
     const double net_time =
         queue_.empty() ? 1e300 : queue_.top().time;
     const double cb_time =
         callbacks_.empty() ? 1e300 : callbacks_.top().time;
     const double t = std::min(net_time, cb_time);
-    if (t > max_time_ns) return RunStatus::kTimeout;
+    if (t > max_time_ns) {
+      status = RunStatus::kTimeout;
+      break;
+    }
 
     if (cb_time <= net_time) {
       Callback cb = callbacks_.top();
@@ -83,7 +98,13 @@ RunStatus Simulator::run_status(double max_time_ns, std::uint64_t max_events) {
     has_pending_[ev.net] = false;
     apply(ev.net, ev.value);
   }
-  return RunStatus::kQuiescent;
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("sim.events").add(events_);
+  registry.gauge("sim.queue_high_water")
+      .update_max(static_cast<std::int64_t>(queue_high_water));
+  span.arg("events", events_);
+  span.arg("status", run_status_name(status));
+  return status;
 }
 
 std::string_view run_status_name(RunStatus status) {

@@ -13,7 +13,9 @@
 //
 // Options: --unoptimized (template baseline instead of the clustered
 // back-end), --max-states N, --jobs N (controller-synthesis worker
-// threads; 0 = auto), --no-cache (disable the synthesis cache).
+// threads; 0 = auto), --no-cache (disable the synthesis cache),
+// --trace FILE (Chrome trace-event JSON; BB_TRACE env fallback),
+// --metrics FILE (metrics snapshot JSON; BB_METRICS env fallback).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +30,7 @@
 #include "src/flow/flow.hpp"
 #include "src/hsnet/to_ch.hpp"
 #include "src/netlist/verilog.hpp"
+#include "src/obs/session.hpp"
 #include "src/opt/cluster.hpp"
 
 namespace {
@@ -36,7 +39,7 @@ namespace {
   std::cerr
       << "usage: bbbc <netlist|ch|bms|sol|verilog|report|bench> "
          "<file.balsa|design> [--unoptimized] [--max-states N] "
-         "[--jobs N] [--no-cache]\n"
+         "[--jobs N] [--no-cache] [--trace FILE] [--metrics FILE]\n"
          "built-in designs: systolic wagging stack ssem\n";
   std::exit(2);
 }
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
   const std::string target = argv[2];
 
   bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--unoptimized") {
@@ -74,10 +79,16 @@ int main(int argc, char** argv) {
       options.jobs = std::stoi(argv[++i]);
     } else if (flag == "--no-cache") {
       options.cache = false;
+    } else if (flag == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       usage();
     }
   }
+  bb::obs::Session session(bb::obs::env_or(trace_path, "BB_TRACE"),
+                           bb::obs::env_or(metrics_path, "BB_METRICS"));
 
   try {
     if (command == "bench") {

@@ -15,12 +15,15 @@
 //   --delay-runs N   delay-perturbation runs per design (default 1)
 //   --json FILE      also write the campaign JSON artifact (atomic)
 //   --unoptimized    template baseline flow instead of the clustered one
+//   --trace FILE     Chrome trace-event JSON (BB_TRACE env fallback)
+//   --metrics FILE   metrics snapshot JSON (BB_METRICS env fallback)
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/flow/faultsim.hpp"
+#include "src/obs/session.hpp"
 #include "src/util/io.hpp"
 
 namespace {
@@ -28,7 +31,7 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr << "usage: bb-faultsim [design...] [--seed N] [--stuck-at N] "
                "[--bit-flips N] [--delay-runs N] [--json FILE] "
-               "[--unoptimized]\n"
+               "[--unoptimized] [--trace FILE] [--metrics FILE]\n"
                "built-in designs: systolic wagging stack ssem\n";
   std::exit(2);
 }
@@ -38,6 +41,8 @@ namespace {
 int main(int argc, char** argv) {
   std::vector<std::string> designs;
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
   bb::flow::CampaignOptions campaign;
   bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
 
@@ -55,6 +60,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--unoptimized") {
       options = bb::flow::FlowOptions::unoptimized();
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       usage();
     } else {
@@ -64,6 +73,8 @@ int main(int argc, char** argv) {
   if (designs.empty()) {
     designs = {"systolic", "wagging", "stack", "ssem"};
   }
+  bb::obs::Session session(bb::obs::env_or(trace_path, "BB_TRACE"),
+                           bb::obs::env_or(metrics_path, "BB_METRICS"));
 
   try {
     const auto result =

@@ -30,6 +30,7 @@
 #include "src/hsnet/to_ch.hpp"
 #include "src/lint/lint.hpp"
 #include "src/minimalist/synth.hpp"
+#include "src/obs/session.hpp"
 #include "src/opt/cluster.hpp"
 #include "src/techmap/cells.hpp"
 #include "src/techmap/map.hpp"
@@ -141,6 +142,11 @@ int main(int argc, char** argv) {
       usage();
     }
   }
+
+  // Tracing/metrics are env-only here (BB_TRACE/BB_METRICS); the lint
+  // flow reuses synthesize_control, so the spans are the same as bbbc's.
+  bb::obs::Session session(bb::obs::env_or("", "BB_TRACE"),
+                           bb::obs::env_or("", "BB_METRICS"));
 
   std::vector<std::string> names;
   if (target == "all") {

@@ -1,0 +1,136 @@
+#include "src/util/json.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace bb::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ',';
+  need_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  stack_.push_back('o');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != 'o' || after_key_) {
+    throw std::logic_error("JsonWriter: end_object without matching object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  stack_.push_back('a');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != 'a' || after_key_) {
+    throw std::logic_error("JsonWriter: end_array without matching array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != 'o' || after_key_) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int decimals) {
+  comma();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  comma();
+  out_ += fragment;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty() || after_key_) {
+    throw std::logic_error("JsonWriter: unclosed container or dangling key");
+  }
+  return out_;
+}
+
+}  // namespace bb::util

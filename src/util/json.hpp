@@ -1,0 +1,71 @@
+// Shared JSON emission for every machine-readable artifact the flow
+// writes (lint reports, stage timings, fault-campaign results, bench
+// artifacts, traces, metric snapshots).
+//
+// JsonWriter is a forward-only streaming writer: the caller opens
+// objects/arrays, emits keys and values in the order it wants them to
+// appear (key order is therefore stable by construction), and the writer
+// handles commas, quoting and escaping.  Numbers are rendered
+// deterministically: integers via std::to_string, doubles with a fixed
+// decimal count (default three, matching the flow's millisecond
+// renderings), so two identical runs always produce identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::util {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters as \uXXXX).
+std::string json_escape(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next emission must be its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);  ///< quoted + escaped
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  /// Fixed-point decimal rendering ("%.*f"), three digits by default.
+  JsonWriter& value(double v, int decimals = 3);
+  /// A pre-rendered JSON fragment (e.g. a nested to_json() result).
+  JsonWriter& raw(std::string_view fragment);
+
+  /// key() + value() in one call, for flat objects.
+  template <typename T>
+  JsonWriter& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& member(std::string_view k, double v, int decimals) {
+    key(k);
+    return value(v, decimals);
+  }
+
+  /// The finished document.  All containers must be closed.
+  /// Throws std::logic_error on unbalanced begin/end calls.
+  std::string str() const;
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One entry per open container: 'o' = object, 'a' = array.
+  std::vector<char> stack_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace bb::util

@@ -7,6 +7,14 @@
 
 namespace bb::util {
 
+namespace {
+std::atomic<void (*)(const ThreadPool::TaskStats&)> g_task_observer{nullptr};
+}  // namespace
+
+void ThreadPool::set_task_observer(void (*observer)(const TaskStats&)) {
+  g_task_observer.store(observer, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -27,14 +35,15 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        Queued{std::move(task), std::chrono::steady_clock::now()});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Queued task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -42,7 +51,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    auto* observer = g_task_observer.load(std::memory_order_acquire);
+    if (observer == nullptr) {
+      task.fn();
+      continue;
+    }
+    TaskStats stats;
+    stats.enqueued = task.enqueued;
+    stats.run_start = std::chrono::steady_clock::now();
+    task.fn();
+    stats.run_end = std::chrono::steady_clock::now();
+    observer(stats);
   }
 }
 

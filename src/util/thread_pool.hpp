@@ -9,6 +9,8 @@
 // fails with exactly the error a serial in-order run would report first.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -21,6 +23,20 @@ namespace bb::util {
 
 class ThreadPool {
  public:
+  /// Timing of one executed task, reported to the task observer from the
+  /// worker thread that ran it, right after the task returned.
+  struct TaskStats {
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point run_start;
+    std::chrono::steady_clock::time_point run_end;
+  };
+
+  /// Process-wide hook observing every executed task (all pools).  Used by
+  /// the obs layer for pool metrics/tracing; bb_util cannot depend on
+  /// bb_obs, hence the inverted function-pointer registration.  Pass
+  /// nullptr to uninstall.  The observer must be cheap and must not throw.
+  static void set_task_observer(void (*observer)(const TaskStats&));
+
   /// Spawns `num_threads` workers (0 is clamped to 1).
   explicit ThreadPool(std::size_t num_threads);
   /// Joins all workers; tasks already queued are completed first.
@@ -41,10 +57,15 @@ class ThreadPool {
   static std::size_t recommended_jobs();
 
  private:
+  struct Queued {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Queued> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -117,6 +117,41 @@ TEST(ParallelFlowSuite, StageTimingsAreCollected) {
   const std::string json = t.to_json();
   EXPECT_NE(json.find("\"controllers_wall_ms\""), std::string::npos);
   EXPECT_NE(json.find("\"cache_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+}
+
+TEST(ParallelFlowSuite, StageAggregatesEqualPerControllerSums) {
+  // The aggregate per-stage timings are the index-ordered sum of the
+  // per-controller values (the merge adds doubles in the same order the
+  // test does, so the equality is exact).  This pins the span-derived
+  // timings to the same contract the pre-span StageTimings honored.
+  const auto net = balsa::compile_source(designs::ssem().source);
+  const auto result = synthesize_control(net, with(0, false));
+  const auto& t = result.timings;
+  double bm_compile = 0.0, minimalist = 0.0, techmap = 0.0, lint = 0.0;
+  for (const auto& c : t.controllers) {
+    bm_compile += c.bm_compile_ms;
+    minimalist += c.minimalist_ms;
+    techmap += c.techmap_ms;
+    lint += c.lint_ms;
+  }
+  EXPECT_DOUBLE_EQ(t.bm_compile_ms, bm_compile);
+  EXPECT_DOUBLE_EQ(t.minimalist_ms, minimalist);
+  EXPECT_DOUBLE_EQ(t.techmap_ms, techmap);
+  // The aggregate lint time also covers the handshake- and gate-level
+  // passes, which run outside any controller.
+  EXPECT_GE(t.lint_ms, lint);
+  EXPECT_LE(t.bm_compile_ms + t.minimalist_ms + t.techmap_ms, t.total_ms);
+  // to_json stays field-compatible with the pre-observability format.
+  const std::string json = t.to_json();
+  EXPECT_EQ(json.rfind("{\"schema_version\":", 0), 0u);
+  for (const char* field :
+       {"\"to_ch_ms\":", "\"cluster_ms\":", "\"bm_compile_ms\":",
+        "\"minimalist_ms\":", "\"techmap_ms\":", "\"lint_ms\":",
+        "\"controllers_wall_ms\":", "\"total_ms\":", "\"jobs\":",
+        "\"cache_hits\":", "\"cache_misses\":", "\"controllers\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
 }
 
 TEST(ParallelFlowSuite, ReportOmitsTimingsUnlessAsked) {

@@ -1,0 +1,265 @@
+// Contracts of the observability subsystem: JsonWriter byte-exactness,
+// histogram bucketing, the disabled-tracing fast path (no allocation),
+// span collection across thread-pool workers, and byte-determinism of
+// the metrics snapshot for same-seed serial flows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <string_view>
+
+#include "src/balsa/compile.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/flow.hpp"
+#include "src/minimalist/cache.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/session.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/json.hpp"
+#include "src/util/thread_pool.hpp"
+
+// Allocation counter for the disabled-path test: every scalar/array
+// non-aligned allocation in this binary bumps g_allocations.  (Aligned
+// overloads fall through to the default implementation; nothing the
+// disabled span path touches uses them.)
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bb {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              std::string_view needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(JsonWriter, EmitsExactBytes) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("a", 1);
+  w.key("b").begin_array();
+  w.begin_object().member("c", "x\n").end_object();
+  w.value(true);
+  w.end_array();
+  w.member("d", 1.5);
+  w.member("e", 0.12345, 2);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"a\":1,\"b\":[{\"c\":\"x\\n\"},true],\"d\":1.500,\"e\":0.12}");
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(util::json_escape("a\"b\\c\td\x01"), "a\\\"b\\\\c\\td\\u0001");
+}
+
+TEST(JsonWriter, ThrowsOnUnbalancedDocuments) {
+  util::JsonWriter unclosed;
+  unclosed.begin_object();
+  EXPECT_THROW(unclosed.str(), std::logic_error);
+
+  util::JsonWriter mismatched;
+  mismatched.begin_object();
+  EXPECT_THROW(mismatched.end_array(), std::logic_error);
+
+  util::JsonWriter dangling;
+  dangling.begin_object();
+  dangling.key("k");
+  EXPECT_THROW(dangling.str(), std::logic_error);
+
+  util::JsonWriter key_in_array;
+  key_in_array.begin_array();
+  EXPECT_THROW(key_in_array.key("k"), std::logic_error);
+}
+
+TEST(Histogram, LogBucketEdges) {
+  // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_index(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_lower(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_lower(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_lower(3), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_lower(4), 8u);
+
+  obs::Histogram h;
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 7u, 8u}) h.record(v);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 25u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(3), 2u);  // 4, 7
+  EXPECT_EQ(h.bucket_count(4), 1u);  // 8
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Registry, InstrumentReferencesAreStableAcrossReset) {
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& c = registry.counter("obs_test.stable");
+  c.add(3);
+  EXPECT_EQ(&c, &registry.counter("obs_test.stable"));
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  EXPECT_EQ(registry.counter("obs_test.stable").value(), 1u);
+
+  obs::Gauge& g = registry.gauge("obs_test.gauge");
+  g.update_max(5);
+  g.update_max(3);
+  EXPECT_EQ(g.value(), 5);
+}
+
+TEST(Registry, SnapshotIsSortedAndCarriesSchemaVersion) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset();
+  registry.counter("obs_test.zz").add(2);
+  registry.counter("obs_test.aa").add(1);
+  const std::string json = registry.snapshot_json();
+  EXPECT_EQ(json.rfind("{\"schema_version\":", 0), 0u);
+  const std::size_t aa = json.find("\"obs_test.aa\":1");
+  const std::size_t zz = json.find("\"obs_test.zz\":2");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+}
+
+TEST(Span, DisabledPathAllocatesNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span span("obs_test.disabled", obs::kCatFlow);
+    span.arg("key", std::string_view("value"));
+    span.arg("n", std::uint64_t{42});
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "a disabled span must not allocate";
+}
+
+TEST(Span, AccumulatesMillisecondsEvenWhenDisabled) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  double total = 0.0;
+  {
+    obs::Span span("obs_test.accumulate", obs::kCatFlow, &total);
+  }
+  EXPECT_GE(total, 0.0);
+  const double first = total;
+  obs::Span span("obs_test.accumulate", obs::kCatFlow, &total);
+  EXPECT_GT(span.finish(), -1.0);
+  EXPECT_GE(total, first);
+  EXPECT_EQ(span.finish(), 0.0) << "finish() must be idempotent";
+}
+
+TEST(Tracer, CollectsNestedSpansAcrossPoolWorkers) {
+  obs::install_thread_pool_instrumentation();
+  obs::Tracer::instance().enable();
+  {
+    util::ThreadPool pool(4);
+    util::parallel_for_index(pool, 8, [](std::size_t i) {
+      obs::Span outer("obs_test.outer", obs::kCatPool);
+      outer.arg("index", static_cast<std::uint64_t>(i));
+      obs::Span inner("obs_test.inner", obs::kCatPool);
+    });
+  }  // pool joined: every task observer has fired
+  obs::Tracer::instance().disable();
+  const std::string json = obs::Tracer::instance().flush_json();
+
+  EXPECT_EQ(json.rfind("{\"schema_version\":", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"obs_test.outer\""), 8u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"obs_test.inner\""), 8u);
+  // One pool.task span per submitted worker task (4 workers).
+  EXPECT_GE(count_occurrences(json, "\"name\":\"pool.task\""), 1u);
+  EXPECT_NE(json.find("\"queue_wait_us\":"), std::string::npos);
+
+  // The flush drained everything: a second flush is empty of spans.
+  const std::string empty = obs::Tracer::instance().flush_json();
+  EXPECT_EQ(count_occurrences(empty, "\"name\":\"obs_test.outer\""), 0u);
+}
+
+TEST(Tracer, SessionWritesTraceAndMetricsFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/obs_test_trace.json";
+  const std::string metrics_path = dir + "/obs_test_metrics.json";
+  {
+    obs::Session session(trace_path, metrics_path);
+    EXPECT_TRUE(session.owns_trace());
+    // A nested session must not steal ownership of the trace.
+    obs::Session nested(trace_path + ".nested", "");
+    EXPECT_FALSE(nested.owns_trace());
+    obs::Span span("obs_test.session", obs::kCatFlow);
+  }
+  EXPECT_FALSE(obs::tracing_enabled());
+  std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string trace;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    trace.append(buf, n);
+  }
+  std::fclose(f);
+  EXPECT_NE(trace.find("\"obs_test.session\""), std::string::npos);
+
+  std::FILE* m = std::fopen(metrics_path.c_str(), "rb");
+  ASSERT_NE(m, nullptr);
+  std::fclose(m);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(MetricsDeterminism, SerialSameSeedFlowsSnapshotByteIdentically) {
+  const auto net = balsa::compile_source(designs::ssem().source);
+  const auto run = [&net] {
+    obs::Registry::global().reset();
+    minimalist::SynthCache cache;
+    flow::FlowOptions options = flow::FlowOptions::optimized();
+    options.jobs = 1;
+    options.cache_instance = &cache;
+    flow::synthesize_control(net, options);
+    return obs::Registry::global().snapshot_json();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"minimalist.cache.misses\":"), std::string::npos);
+  EXPECT_NE(first.find("\"flow.controllers\":"), std::string::npos);
+  EXPECT_NE(first.find("\"logic.ucp.solved\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bb
