@@ -1,0 +1,248 @@
+// Service-tier load generator: replays the four evaluation designs
+// against an in-process bb-served instance over its real Unix-domain
+// socket, cold (fresh cache directory) and then warm (a NEW server on
+// the SAME directory, so every warm hit is served by the persistent
+// disk tier or by memory entries promoted from it).
+//
+// Emits a JSON artifact with per-phase throughput, latency percentiles
+// and tiered cache hit rates; the warm phase must show a higher hit
+// rate and a lower median latency than the cold phase.
+//
+//   bench_serve [out.json] [--clients N] [--repeat N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/designs/designs.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/io.hpp"
+#include "src/util/json.hpp"
+#include "src/util/json_parse.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+struct PhaseResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double wall_ms = 0.0;
+  std::vector<double> latencies_ms;  ///< sorted after the run
+  bb::minimalist::SynthCache::Stats cache;
+  bb::serve::DiskCacheStats disk;
+
+  double hit_rate() const {
+    const auto answered = cache.hits + cache.disk_hits + cache.misses;
+    return answered == 0 ? 0.0
+                         : static_cast<double>(cache.hits + cache.disk_hits) /
+                               static_cast<double>(answered);
+  }
+};
+
+std::string synthesize_request(const std::string& id,
+                               const std::string& design) {
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", bb::serve::kProtocolVersion);
+  w.member("id", id);
+  w.member("op", "synthesize");
+  w.member("design", design);
+  w.end_object();
+  return w.str();
+}
+
+/// One phase: a fresh server on `cache_dir`, `clients` concurrent
+/// connections replaying designs x repeat requests.
+PhaseResult run_phase(const std::string& name, const std::string& socket_path,
+                      const std::string& cache_dir,
+                      const std::vector<std::string>& designs, int clients,
+                      int repeat) {
+  bb::serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.cache_dir = cache_dir;
+  bb::serve::Server server(std::move(options));
+  std::thread server_thread([&server] { server.run(); });
+
+  std::vector<std::string> requests;
+  for (int r = 0; r < repeat; ++r) {
+    for (const std::string& design : designs) {
+      requests.push_back(synthesize_request(
+          name + "-" + std::to_string(requests.size()), design));
+    }
+  }
+
+  PhaseResult result;
+  result.name = name;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> errors{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies;
+
+  const auto phase_start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      bb::serve::Client client(socket_path);
+      for (std::size_t i = next.fetch_add(1); i < requests.size();
+           i = next.fetch_add(1)) {
+        const auto start = Clock::now();
+        const std::string reply = client.roundtrip(requests[i], 600000);
+        const double ms = ms_between(start, Clock::now());
+        const auto doc = bb::util::parse_json(reply);
+        if (!doc || doc->get_string("status") != "ok") {
+          errors.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies.push_back(ms);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.wall_ms = ms_between(phase_start, Clock::now());
+  result.requests = requests.size();
+  result.errors = errors.load();
+  result.cache = server.cache().stats();
+  if (server.disk_cache() != nullptr) result.disk = server.disk_cache()->stats();
+
+  server.stop();
+  server_thread.join();
+
+  std::sort(latencies.begin(), latencies.end());
+  result.latencies_ms = std::move(latencies);
+  return result;
+}
+
+void emit_phase(bb::util::JsonWriter& w, const PhaseResult& r) {
+  w.begin_object();
+  w.member("name", r.name);
+  w.member("requests", static_cast<std::uint64_t>(r.requests));
+  w.member("errors", static_cast<std::uint64_t>(r.errors));
+  w.member("wall_ms", r.wall_ms);
+  w.member("throughput_rps",
+           r.wall_ms > 0.0 ? static_cast<double>(r.requests) /
+                                 (r.wall_ms / 1000.0)
+                           : 0.0);
+  w.key("latency_ms").begin_object();
+  double sum = 0.0;
+  for (const double v : r.latencies_ms) sum += v;
+  w.member("mean", r.latencies_ms.empty()
+                       ? 0.0
+                       : sum / static_cast<double>(r.latencies_ms.size()));
+  w.member("p50", percentile(r.latencies_ms, 50));
+  w.member("p90", percentile(r.latencies_ms, 90));
+  w.member("p99", percentile(r.latencies_ms, 99));
+  w.member("max", r.latencies_ms.empty() ? 0.0 : r.latencies_ms.back());
+  w.end_object();
+  w.key("cache").begin_object();
+  w.member("hits", r.cache.hits);
+  w.member("disk_hits", r.cache.disk_hits);
+  w.member("misses", r.cache.misses);
+  w.member("hit_rate", r.hit_rate());
+  w.end_object();
+  w.key("disk_cache").begin_object();
+  w.member("hits", r.disk.hits);
+  w.member("misses", r.disk.misses);
+  w.member("stores", r.disk.stores);
+  w.member("evictions", r.disk.evictions);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "bench_serve.json";
+  int clients = 4;
+  int repeat = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc) {
+      clients = static_cast<int>(
+          bb::util::parse_int("bench_serve", "--clients", argv[++i], 1, 256));
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = static_cast<int>(
+          bb::util::parse_int("bench_serve", "--repeat", argv[++i], 1, 1000));
+    } else {
+      out_path = arg;
+    }
+  }
+
+  const fs::path work =
+      fs::temp_directory_path() /
+      ("bb_bench_serve_" + std::to_string(::getpid()));
+  fs::remove_all(work);
+  fs::create_directories(work);
+  const std::string socket_path = (work / "bb.sock").string();
+  const std::string cache_dir = (work / "cache").string();
+
+  std::vector<std::string> designs;
+  for (const auto* d : bb::designs::all_designs()) designs.push_back(d->name);
+
+  std::vector<PhaseResult> phases;
+  // Cold: empty cache directory, every first-seen controller misses.
+  // Warm: a brand-new server (fresh memory tier) on the now-populated
+  // directory — its hits come through the persistent disk tier.
+  phases.push_back(run_phase("cold", socket_path, cache_dir, designs,
+                             clients, repeat));
+  phases.push_back(run_phase("warm", socket_path, cache_dir, designs,
+                             clients, repeat));
+
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", 1);
+  w.member("clients", clients);
+  w.member("repeat", repeat);
+  w.key("designs").begin_array();
+  for (const auto& d : designs) w.value(d);
+  w.end_array();
+  w.key("phases").begin_array();
+  for (const PhaseResult& r : phases) emit_phase(w, r);
+  w.end_array();
+  w.end_object();
+
+  bb::util::write_file_atomic(out_path, w.str() + "\n");
+
+  for (const PhaseResult& r : phases) {
+    std::printf("%-5s %3zu requests  %8.1f ms wall  p50 %8.2f ms  "
+                "hit rate %5.1f%%  (%llu mem + %llu disk hits, %llu misses)\n",
+                r.name.c_str(), r.requests, r.wall_ms,
+                percentile(r.latencies_ms, 50), 100.0 * r.hit_rate(),
+                static_cast<unsigned long long>(r.cache.hits),
+                static_cast<unsigned long long>(r.cache.disk_hits),
+                static_cast<unsigned long long>(r.cache.misses));
+  }
+  const bool warm_better =
+      phases[1].hit_rate() > phases[0].hit_rate() &&
+      percentile(phases[1].latencies_ms, 50) <
+          percentile(phases[0].latencies_ms, 50);
+  std::printf("warm phase %s cold (artifact: %s)\n",
+              warm_better ? "beats" : "does NOT beat", out_path.c_str());
+
+  std::error_code ec;
+  fs::remove_all(work, ec);
+  return phases[0].errors + phases[1].errors == 0 && warm_better ? 0 : 1;
+}

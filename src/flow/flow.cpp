@@ -381,15 +381,18 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
                        &unit.timing.minimalist_ms);
         span.arg("controller", program.name);
         try {
+          minimalist::CacheTier tier = minimalist::CacheTier::kMiss;
           auto synthesized =
               cache != nullptr
                   ? minimalist::synthesize_cached(spec, options.mode, *cache,
                                                   &unit.timing.cache_hit,
-                                                  budget)
+                                                  budget, &tier)
                   : minimalist::synthesize(spec, options.mode, budget);
+          unit.timing.cache_disk = tier == minimalist::CacheTier::kDisk;
           span.arg("cache",
-                   unit.timing.cache_hit ? "hit"
-                                         : (cache != nullptr ? "miss" : "off"));
+                   !unit.timing.cache_hit ? (cache != nullptr ? "miss" : "off")
+                   : unit.timing.cache_disk ? "disk-hit"
+                                            : "hit");
           return synthesized;
         } catch (const util::WorkBudgetExceeded& e) {
           throw FlowError(FlowStage::kSynthesis, "FL002", program.name,
@@ -473,6 +476,7 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     if (cache != nullptr) {
       if (unit.timing.cache_hit) {
         ++result.timings.cache_hits;
+        if (unit.timing.cache_disk) ++result.timings.cache_disk_hits;
       } else {
         ++result.timings.cache_misses;
       }
@@ -525,13 +529,16 @@ std::string StageTimings::to_text() const {
                   ", lint " + fmt_ms(lint_ms) + "\n";
   s += "controllers wall " + fmt_ms(controllers_wall_ms) + " ms on " +
        std::to_string(jobs) + " job(s), total " + fmt_ms(total_ms) +
-       " ms; cache " + std::to_string(cache_hits) + " hit(s), " +
+       " ms; cache " + std::to_string(cache_hits) + " hit(s) (" +
+       std::to_string(cache_disk_hits) + " from disk), " +
        std::to_string(cache_misses) + " miss(es)\n";
   for (const Controller& c : controllers) {
     s += "  " + c.name + ": bm " + fmt_ms(c.bm_compile_ms) + ", synth " +
          fmt_ms(c.minimalist_ms) + ", map " + fmt_ms(c.techmap_ms) +
          ", lint " + fmt_ms(c.lint_ms) +
-         (c.cache_hit ? " (cache hit)" : "") + "\n";
+         (c.cache_hit ? (c.cache_disk ? " (disk cache hit)" : " (cache hit)")
+                      : "") +
+         "\n";
   }
   return s;
 }
@@ -551,6 +558,7 @@ std::string StageTimings::to_json() const {
   w.member("jobs", jobs);
   w.member("cache_hits", cache_hits);
   w.member("cache_misses", cache_misses);
+  w.member("cache_disk_hits", cache_disk_hits);
   w.key("controllers").begin_array();
   for (const Controller& c : controllers) {
     w.begin_object()
@@ -560,6 +568,7 @@ std::string StageTimings::to_json() const {
         .member("techmap_ms", c.techmap_ms)
         .member("lint_ms", c.lint_ms)
         .member("cache_hit", c.cache_hit)
+        .member("cache_disk", c.cache_disk)
         .end_object();
   }
   w.end_array();

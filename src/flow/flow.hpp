@@ -106,6 +106,9 @@ struct StageTimings {
   int jobs = 1;                      ///< worker threads actually used
   std::uint64_t cache_hits = 0;      ///< this call's hits (not global)
   std::uint64_t cache_misses = 0;
+  /// Hits served by the persistent second tier (serve::DiskCache) rather
+  /// than the in-memory map; a subset of cache_hits.
+  std::uint64_t cache_disk_hits = 0;
 
   struct Controller {
     std::string name;
@@ -114,6 +117,7 @@ struct StageTimings {
     double techmap_ms = 0.0;
     double lint_ms = 0.0;
     bool cache_hit = false;
+    bool cache_disk = false;  ///< the hit came from the disk tier
   };
   std::vector<Controller> controllers;
 

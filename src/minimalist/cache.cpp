@@ -1,5 +1,7 @@
 #include "src/minimalist/cache.hpp"
 
+#include <utility>
+
 #include "src/obs/metrics.hpp"
 
 namespace bb::minimalist {
@@ -28,37 +30,105 @@ std::string cache_key(const bm::Spec& spec, SynthMode mode) {
 }
 
 std::optional<SynthesizedController> SynthCache::lookup(const bm::Spec& spec,
-                                                        SynthMode mode) {
+                                                        SynthMode mode,
+                                                        CacheTier* tier) {
   const std::string key = cache_key(spec, mode);
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
-    obs::Registry::global().counter("minimalist.cache.misses").add();
-    return std::nullopt;
+  BackingStore* backing = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      obs::Registry::global().counter("minimalist.cache.hits").add();
+      if (tier != nullptr) *tier = CacheTier::kMemory;
+      return rebind(it->second.ctrl, spec);
+    }
+    backing = backing_;
   }
-  ++hits_;
-  obs::Registry::global().counter("minimalist.cache.hits").add();
-  return rebind(it->second, spec);
+
+  // Memory miss: consult the second tier outside the lock so disk reads
+  // never serialize the workers.
+  if (backing != nullptr) {
+    if (auto loaded = backing->load(key)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++disk_hits_;
+      insert_locked(key, *loaded);
+      obs::Registry::global().counter("minimalist.cache.disk.hits").add();
+      if (tier != nullptr) *tier = CacheTier::kDisk;
+      return rebind(std::move(*loaded), spec);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+  }
+  obs::Registry::global().counter("minimalist.cache.misses").add();
+  if (tier != nullptr) *tier = CacheTier::kMiss;
+  return std::nullopt;
 }
 
 void SynthCache::store(const bm::Spec& spec, SynthMode mode,
                        const SynthesizedController& ctrl) {
   std::string key = cache_key(spec, mode);
+  BackingStore* backing = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_locked(key, ctrl);
+    backing = backing_;
+  }
+  if (backing != nullptr) backing->store(key, ctrl);
+}
+
+void SynthCache::insert_locked(std::string key,
+                               const SynthesizedController& ctrl) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // First writer wins; just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(std::move(key), Entry{ctrl, lru_.begin()});
+  while (map_.size() > max_entries_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+    obs::Registry::global().counter("minimalist.cache.evictions").add();
+  }
+}
+
+void SynthCache::set_backing_store(BackingStore* store) {
   std::lock_guard<std::mutex> lock(mu_);
-  map_.emplace(std::move(key), ctrl);
+  backing_ = store;
+}
+
+void SynthCache::set_max_entries(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = cap == 0 ? 1 : cap;
+  while (map_.size() > max_entries_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+    obs::Registry::global().counter("minimalist.cache.evictions").add();
+  }
 }
 
 SynthCache::Stats SynthCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, map_.size()};
+  return Stats{hits_,      disk_hits_,  misses_,
+               evictions_, map_.size(), max_entries_};
 }
 
 void SynthCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  lru_.clear();
   hits_ = 0;
+  disk_hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 SynthCache& SynthCache::global() {
@@ -68,14 +138,18 @@ SynthCache& SynthCache::global() {
 
 SynthesizedController synthesize_cached(const bm::Spec& spec, SynthMode mode,
                                         SynthCache& cache, bool* hit,
-                                        util::WorkBudget* budget) {
-  if (auto cached = cache.lookup(spec, mode)) {
+                                        util::WorkBudget* budget,
+                                        CacheTier* tier) {
+  CacheTier local_tier = CacheTier::kMiss;
+  if (auto cached = cache.lookup(spec, mode, &local_tier)) {
     if (hit) *hit = true;
+    if (tier) *tier = local_tier;
     return std::move(*cached);
   }
   SynthesizedController ctrl = synthesize(spec, mode, budget);
   cache.store(spec, mode, ctrl);
   if (hit) *hit = false;
+  if (tier) *tier = CacheTier::kMiss;
   return ctrl;
 }
 

@@ -10,11 +10,22 @@
 // to what a fresh synthesis run would produce, which keeps cached and
 // uncached flows deterministic relative to each other.
 //
+// The in-memory map is the first tier.  A cache can additionally be
+// backed by a second, slower tier through the BackingStore hook (the
+// serve::DiskCache persists entries across processes); the memory tier
+// consults it on a miss and write-throughs every store.  The memory tier
+// is bounded: entries beyond `max_entries` are evicted in LRU order so a
+// long-running daemon cannot grow the cache without limit.
+//
 // The cache is thread-safe (one mutex around the map and counters) and
-// is shared by all workers of the parallel flow.
+// is shared by all workers of the parallel flow.  Backing-store calls
+// are made *outside* that mutex, so a slow disk never stalls workers
+// that are hitting in memory; the BackingStore implementation must be
+// thread-safe itself.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,24 +39,65 @@ namespace bb::minimalist {
 /// The cache key of a (spec, mode) pair.
 std::string cache_key(const bm::Spec& spec, SynthMode mode);
 
+/// Which tier satisfied a lookup.
+enum class CacheTier {
+  kMiss,    ///< neither tier had the entry
+  kMemory,  ///< in-memory map hit
+  kDisk,    ///< backing-store hit (promoted into memory)
+};
+
 class SynthCache {
  public:
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::size_t entries = 0;
+  /// Second-tier storage behind the in-memory map.  Keys are the opaque
+  /// cache_key() strings; values survive exactly (signal names included
+  /// — rebinding happens in the memory tier on the way out).
+  /// Implementations must be thread-safe and must treat any internal
+  /// failure as a miss (load) or a no-op (store): the cache is an
+  /// optimization, never a correctness dependency.
+  class BackingStore {
+   public:
+    virtual ~BackingStore() = default;
+    virtual std::optional<SynthesizedController> load(
+        const std::string& key) = 0;
+    virtual void store(const std::string& key,
+                       const SynthesizedController& ctrl) = 0;
   };
 
+  struct Stats {
+    std::uint64_t hits = 0;       ///< memory-tier hits
+    std::uint64_t disk_hits = 0;  ///< backing-store hits (memory missed)
+    std::uint64_t misses = 0;     ///< both tiers missed
+    std::uint64_t evictions = 0;  ///< memory entries dropped by the LRU cap
+    std::size_t entries = 0;      ///< current memory-tier entry count
+    std::size_t max_entries = 0;  ///< the configured cap
+  };
+
+  /// Default memory-tier entry cap.  Far above what any batch flow
+  /// produces (the four evaluation designs synthesize tens of distinct
+  /// controllers), so batch behavior is unchanged; a daemon serving
+  /// arbitrary requests stays bounded.
+  static constexpr std::size_t kDefaultMaxEntries = 65536;
+
   /// Returns the cached controller rebound to `spec`'s signal names, or
-  /// nullopt on a miss.  Counts a hit or miss.
+  /// nullopt on a miss.  Counts a hit or miss; `tier` (when non-null)
+  /// reports which tier answered.
   std::optional<SynthesizedController> lookup(const bm::Spec& spec,
-                                              SynthMode mode);
+                                              SynthMode mode,
+                                              CacheTier* tier = nullptr);
 
   /// Stores a freshly synthesized controller (first writer wins; a
   /// concurrent duplicate insert is a no-op since both results are
-  /// identical up to names).
+  /// identical up to names).  Write-throughs to the backing store.
   void store(const bm::Spec& spec, SynthMode mode,
              const SynthesizedController& ctrl);
+
+  /// Attaches a second-tier store (not owned; must outlive the cache or
+  /// be detached with nullptr first).
+  void set_backing_store(BackingStore* store);
+
+  /// Bounds the memory tier to `cap` entries (minimum 1); the least
+  /// recently used entries are evicted when the cap is exceeded.
+  void set_max_entries(std::size_t cap);
 
   Stats stats() const;
   void clear();
@@ -55,19 +107,34 @@ class SynthCache {
   static SynthCache& global();
 
  private:
+  struct Entry {
+    SynthesizedController ctrl;
+    std::list<std::string>::iterator lru;  ///< position in lru_
+  };
+
+  /// Inserts under mu_ (caller holds the lock); evicts LRU overflow.
+  void insert_locked(std::string key, const SynthesizedController& ctrl);
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, SynthesizedController> map_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  ///< most recently used at the front
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  BackingStore* backing_ = nullptr;
   std::uint64_t hits_ = 0;
+  std::uint64_t disk_hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// synthesize() through `cache`: looks up first, synthesizes and stores
-/// on a miss.  `hit` (when non-null) reports which path was taken.
-/// `budget` is only consulted on the miss path — a cache hit costs no
-/// budgeted work, so a controller that would blow its budget uncached
-/// can still succeed when a structurally identical twin seeded the cache.
+/// on a miss.  `hit` (when non-null) reports which path was taken and
+/// `tier` which tier answered.  `budget` is only consulted on the miss
+/// path — a cache hit costs no budgeted work, so a controller that would
+/// blow its budget uncached can still succeed when a structurally
+/// identical twin seeded the cache.
 SynthesizedController synthesize_cached(const bm::Spec& spec, SynthMode mode,
                                         SynthCache& cache, bool* hit = nullptr,
-                                        util::WorkBudget* budget = nullptr);
+                                        util::WorkBudget* budget = nullptr,
+                                        CacheTier* tier = nullptr);
 
 }  // namespace bb::minimalist

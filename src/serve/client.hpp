@@ -1,0 +1,38 @@
+// Minimal blocking client for the bb-served wire protocol: one
+// connection, newline-delimited request/reply lines.  Used by bb-client
+// and the bench_serve load generator; each instance is single-threaded,
+// open one Client per concurrent connection.
+#pragma once
+
+#include <string>
+
+namespace bb::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's Unix-domain socket.  Throws
+  /// std::runtime_error when the socket does not exist or refuses.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (the trailing newline is added here).
+  /// Throws std::runtime_error on a broken connection.
+  void send_line(const std::string& line);
+
+  /// Reads the next reply line.  `timeout_ms` < 0 waits forever.
+  /// Throws std::runtime_error on EOF, error, or timeout.
+  std::string recv_line(int timeout_ms = -1);
+
+  /// send_line + recv_line.  Correct for one-request-at-a-time use;
+  /// pipelined callers must match ids themselves.
+  std::string roundtrip(const std::string& line, int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace bb::serve

@@ -1,0 +1,214 @@
+#include "src/serve/disk_cache.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/serve/codec.hpp"
+#include "src/util/io.hpp"
+#include "src/util/strings.hpp"
+
+namespace bb::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Reads a whole file; nullopt when it cannot be opened (racing delete,
+/// permissions) — always a miss, never an error.
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return buf.str();
+}
+
+obs::Counter& counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string root, std::uint64_t max_bytes)
+    : root_(std::move(root)), max_bytes_(max_bytes) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec || !fs::is_directory(root_)) {
+    throw std::runtime_error("DiskCache: cannot create cache directory '" +
+                             root_ + "'" + (ec ? ": " + ec.message() : ""));
+  }
+}
+
+std::unique_ptr<DiskCache> DiskCache::from_env() {
+  const char* dir = std::getenv("BB_CACHE_DIR");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  std::uint64_t max_bytes = kDefaultCacheMaxBytes;
+  if (const char* mb = std::getenv("BB_CACHE_MAX_MB")) {
+    const auto parsed = util::parse_ll(mb);
+    if (parsed && *parsed > 0) {
+      max_bytes = static_cast<std::uint64_t>(*parsed) << 20;
+    }
+  }
+  return std::make_unique<DiskCache>(dir, max_bytes);
+}
+
+std::string DiskCache::entry_path(const std::string& key) const {
+  // Two independent FNV-1a streams give a 128-bit address; the embedded
+  // key is still verified on load, so even a collision only costs a miss.
+  return root_ + "/" + hex64(fnv1a64(key)) +
+         hex64(fnv1a64(key, 0x9e3779b97f4a7c15ull)) + ".bbc";
+}
+
+std::optional<minimalist::SynthesizedController> DiskCache::load(
+    const std::string& key) {
+  const std::string path = entry_path(key);
+  const auto data = slurp(path);
+  if (!data) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    counter("serve.disk_cache.misses").add();
+    return std::nullopt;
+  }
+
+  // Frame: "bbdc <version>\n<checksum>\n<keylen>\n<key>\n<payload>".
+  const auto reject = [&]() -> std::optional<
+                              minimalist::SynthesizedController> {
+    drop_corrupt(path);
+    return std::nullopt;
+  };
+  std::string_view rest(*data);
+  const auto take_line = [&rest]() -> std::optional<std::string_view> {
+    const std::size_t nl = rest.find('\n');
+    if (nl == std::string_view::npos) return std::nullopt;
+    std::string_view line = rest.substr(0, nl);
+    rest = rest.substr(nl + 1);
+    return line;
+  };
+
+  const auto header = take_line();
+  if (!header || !util::starts_with(*header, "bbdc ")) return reject();
+  if (util::parse_ll(header->substr(5)).value_or(-1) != kDiskEntryVersion) {
+    return reject();
+  }
+  const auto checksum_line = take_line();
+  const auto keylen_line = take_line();
+  if (!checksum_line || !keylen_line) return reject();
+  const auto keylen = util::parse_ll(*keylen_line);
+  if (!keylen || *keylen < 0 ||
+      static_cast<std::size_t>(*keylen) + 1 > rest.size()) {
+    return reject();
+  }
+  // The checksum covers the key and payload exactly as stored, so any
+  // torn or bit-flipped byte below this line is caught here.
+  if (hex64(fnv1a64(rest)) != *checksum_line) return reject();
+  const std::string_view stored_key = rest.substr(0, *keylen);
+  if (stored_key != key || rest[*keylen] != '\n') return reject();
+  const std::string_view payload = rest.substr(*keylen + 1);
+
+  auto ctrl = deserialize_controller(payload);
+  if (!ctrl) return reject();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    counter("serve.disk_cache.hits").add();
+  }
+  // Bump recency for the LRU evictor; best effort (another process may
+  // have evicted the file between the read and here).
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return ctrl;
+}
+
+void DiskCache::store(const std::string& key,
+                      const minimalist::SynthesizedController& ctrl) {
+  const std::string payload = serialize_controller(ctrl);
+  std::string body = key + "\n" + payload;
+  std::string entry = "bbdc " + std::to_string(kDiskEntryVersion) + "\n" +
+                      hex64(fnv1a64(body)) + "\n" +
+                      std::to_string(key.size()) + "\n" + std::move(body);
+  try {
+    util::write_file_atomic(entry_path(key), entry);
+  } catch (const std::exception&) {
+    // A full or read-only disk degrades the cache, never the synthesis.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_errors;
+    counter("serve.disk_cache.store_errors").add();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  counter("serve.disk_cache.stores").add();
+  evict_to_cap();
+}
+
+void DiskCache::drop_corrupt(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.corrupt_dropped;
+  ++stats_.misses;
+  counter("serve.disk_cache.corrupt_dropped").add();
+  counter("serve.disk_cache.misses").add();
+}
+
+void DiskCache::evict_to_cap() {
+  struct EntryFile {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size;
+  };
+  std::error_code ec;
+  std::vector<EntryFile> files;
+  std::uint64_t total = 0;
+  for (const auto& it : fs::directory_iterator(root_, ec)) {
+    if (!it.is_regular_file(ec)) continue;
+    if (it.path().extension() != ".bbc") continue;
+    EntryFile f;
+    f.path = it.path();
+    f.mtime = fs::last_write_time(f.path, ec);
+    if (ec) continue;
+    f.size = static_cast<std::uint64_t>(fs::file_size(f.path, ec));
+    if (ec) continue;
+    total += f.size;
+    files.push_back(std::move(f));
+  }
+  if (total <= max_bytes_) return;
+  std::sort(files.begin(), files.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              return a.mtime < b.mtime;  // oldest (least recently used) first
+            });
+  for (const EntryFile& f : files) {
+    if (total <= max_bytes_) break;
+    std::error_code remove_ec;
+    if (fs::remove(f.path, remove_ec)) {
+      total -= std::min(total, f.size);
+      ++stats_.evictions;
+      counter("serve.disk_cache.evictions").add();
+    }
+  }
+}
+
+DiskCacheStats DiskCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t DiskCache::entry_count() const {
+  std::error_code ec;
+  std::size_t n = 0;
+  for (const auto& it : fs::directory_iterator(root_, ec)) {
+    if (it.is_regular_file(ec) && it.path().extension() == ".bbc") ++n;
+  }
+  return n;
+}
+
+}  // namespace bb::serve

@@ -1,0 +1,92 @@
+// On-disk content-addressed controller store: the persistent second tier
+// behind minimalist::SynthCache.
+//
+// Each entry is one file under the root directory, named by a 128-bit
+// hash of the cache key (two independent FNV-1a streams), written
+// atomically+durably via util::write_file_atomic so a concurrent reader
+// — in this process or another one sharing the directory — either sees a
+// complete entry or none.  The entry embeds a format version, the full
+// key (guarding against hash collisions) and a checksum over the
+// payload; anything that fails validation is treated as a miss and the
+// file is deleted, so a corrupt or stale cache heals itself instead of
+// poisoning results.
+//
+// The store is size-capped: after a store pushes the directory past
+// `max_bytes`, the least recently *used* entries are evicted (loads bump
+// the file mtime, so recency survives process restarts).
+//
+// Entry format (text, see DESIGN.md):
+//   bbdc <entry-version>
+//   <16-hex checksum of everything after this line>
+//   <key byte count>
+//   <key bytes>
+//   <serialized controller (serve/codec.hpp)>
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/minimalist/cache.hpp"
+
+namespace bb::serve {
+
+/// Format revision of a cache entry's framing (the payload inside
+/// carries its own codec version).
+inline constexpr int kDiskEntryVersion = 1;
+
+/// Default size cap when BB_CACHE_MAX_MB is unset: 256 MiB.
+inline constexpr std::uint64_t kDefaultCacheMaxBytes = 256ull << 20;
+
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_errors = 0;     ///< failed writes (cache disabled? disk full?)
+  std::uint64_t corrupt_dropped = 0;  ///< checksum/version/parse failures deleted
+  std::uint64_t evictions = 0;        ///< entries removed by the size cap
+};
+
+class DiskCache : public minimalist::SynthCache::BackingStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `root`.  Throws
+  /// std::runtime_error when the directory cannot be created.
+  explicit DiskCache(std::string root,
+                     std::uint64_t max_bytes = kDefaultCacheMaxBytes);
+
+  /// The BB_CACHE_DIR-configured store: nullptr when the variable is
+  /// unset or empty (the persistent tier is off by default).
+  /// BB_CACHE_MAX_MB overrides the size cap.
+  static std::unique_ptr<DiskCache> from_env();
+
+  std::optional<minimalist::SynthesizedController> load(
+      const std::string& key) override;
+  void store(const std::string& key,
+             const minimalist::SynthesizedController& ctrl) override;
+
+  DiskCacheStats stats() const;
+  const std::string& root() const { return root_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Current on-disk entry count (directory scan; test/stats use).
+  std::size_t entry_count() const;
+
+  /// The file an entry for `key` lives in (exposed for tests).
+  std::string entry_path(const std::string& key) const;
+
+ private:
+  /// Deletes a failed entry and counts it; missing files are fine.
+  void drop_corrupt(const std::string& path);
+  /// Evicts least-recently-used entries until the directory fits the
+  /// size cap.  Called after stores, under mu_.
+  void evict_to_cap();
+
+  std::string root_;
+  std::uint64_t max_bytes_;
+  mutable std::mutex mu_;  ///< serializes eviction scans and counters
+  DiskCacheStats stats_;
+};
+
+}  // namespace bb::serve

@@ -1,0 +1,89 @@
+// The synthesis service wire protocol: newline-delimited JSON over a
+// Unix-domain stream socket.
+//
+// Every request is one JSON object on one line, tagged with
+// "schema_version"; every reply is one JSON object on one line.  Ops:
+//
+//   ping           liveness probe                     -> status "ok"
+//   stats          server + cache statistics          -> status "ok"
+//   shutdown       graceful drain + exit              -> status "ok"
+//   synthesize     full flow over "source" (mini-     -> report, area,
+//                  Balsa text) or "design" (built-in)    timings, cache
+//   synthesize_bm  one Burst-Mode spec ("bms" text)   -> .sol logic
+//
+// Replies echo the request "id" (when given) and carry one of the
+// statuses: "ok", "error" (structured stage/rule/message), "overloaded"
+// (admission queue full — retry later), "bad_request" (unparseable or
+// unsupported request).  Request decoding is strict about shape but
+// lenient about unknown members, so the schema can grow compatibly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/flow/flow.hpp"
+
+namespace bb::serve {
+
+/// Wire format revision; requests with a different schema_version are
+/// rejected with bad_request.
+inline constexpr int kProtocolVersion = 1;
+
+/// FlowOptions overrides a request may carry (absent members keep the
+/// server-side defaults).
+struct RequestOptions {
+  bool unoptimized = false;
+  std::optional<int> max_states;
+  std::optional<int> jobs;
+  std::optional<bool> cache;
+  std::optional<bool> strict;
+  std::optional<bool> lint;
+  /// Per-request synthesis deadline in abstract work operations
+  /// (util::WorkBudget); overrides the server default.
+  std::optional<long long> work_budget;
+  /// Include structural Verilog of the mapped control netlist in the
+  /// reply (synthesize only).
+  bool verilog = false;
+};
+
+struct Request {
+  std::string id;      ///< echoed verbatim in the reply; may be empty
+  std::string op;      ///< ping / stats / shutdown / synthesize / synthesize_bm
+  std::string design;  ///< built-in design name (synthesize)
+  std::string source;  ///< inline mini-Balsa text (synthesize)
+  std::string bms;     ///< inline .bms text (synthesize_bm)
+  std::string mode = "speed";  ///< "speed" | "area" (synthesize_bm)
+  RequestOptions options;
+};
+
+/// Parses one request line.  Returns false and fills `error` on any
+/// defect (bad JSON, wrong schema_version, unknown op, missing input).
+bool parse_request(const std::string& line, Request* request,
+                   std::string* error);
+
+/// Applies a request's overrides on top of the server's base options.
+flow::FlowOptions apply_options(const RequestOptions& overrides,
+                                long long default_work_budget);
+
+// ---- reply rendering (every function returns one line, no newline) ----
+
+struct ReplyTimings {
+  double queue_ms = 0.0;  ///< admission to execution start
+  double run_ms = 0.0;    ///< execution
+};
+
+std::string reply_ok_ping(const std::string& id);
+std::string reply_ok_stats(const std::string& id, const std::string& raw_json);
+std::string reply_ok_shutdown(const std::string& id);
+/// `result_json` is a pre-rendered JSON object fragment.
+std::string reply_ok_result(const std::string& id,
+                            const std::string& result_json,
+                            const ReplyTimings& timings);
+std::string reply_error(const std::string& id, const std::string& stage,
+                        const std::string& rule, const std::string& message,
+                        const ReplyTimings* timings = nullptr);
+std::string reply_overloaded(const std::string& id);
+std::string reply_bad_request(const std::string& id,
+                              const std::string& message);
+
+}  // namespace bb::serve

@@ -1,0 +1,488 @@
+#include "src/serve/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/balsa/compile.hpp"
+#include "src/bm/parse.hpp"
+#include "src/bm/validate.hpp"
+#include "src/designs/designs.hpp"
+#include "src/flow/flow.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/json.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/workbudget.hpp"
+
+namespace bb::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// One request line above this is hostile, not a workload.
+constexpr std::size_t kMaxLineBytes = 8u << 20;
+
+/// Poll interval: the latency bound on noticing stop().
+constexpr int kPollMs = 100;
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // client went away; nothing to do about it
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts) : options(std::move(opts)) {
+    if (!options.cache_dir.empty()) {
+      disk = std::make_unique<DiskCache>(options.cache_dir,
+                                         options.cache_max_bytes);
+      cache.set_backing_store(disk.get());
+    }
+    cache.set_max_entries(options.memory_cache_entries);
+    jobs = options.jobs > 0
+               ? static_cast<std::size_t>(options.jobs)
+               : util::ThreadPool::recommended_jobs();
+    listen_and_bind();
+    pool = std::make_unique<util::ThreadPool>(jobs);
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (!options.socket_path.empty()) ::unlink(options.socket_path.c_str());
+  }
+
+  // ---- state shared across connection threads ----
+  ServerOptions options;
+  std::size_t jobs = 1;
+  minimalist::SynthCache cache;
+  std::unique_ptr<DiskCache> disk;
+  std::unique_ptr<util::ThreadPool> pool;
+  int listen_fd = -1;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inflight{0};
+
+  mutable std::mutex stats_mu;
+  ServerStats stats;
+
+  /// Per-connection state shared between the reader thread and the pool
+  /// tasks answering its requests.
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 0;
+  };
+
+  void listen_and_bind() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.empty() ||
+        options.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("serve: socket path empty or longer than " +
+                               std::to_string(sizeof(addr.sun_path) - 1) +
+                               " bytes: '" + options.socket_path + "'");
+    }
+    std::memcpy(addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      throw std::runtime_error("serve: cannot create socket: " +
+                               std::string(std::strerror(errno)));
+    }
+    ::unlink(options.socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 64) != 0) {
+      const std::string reason = std::strerror(errno);
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw std::runtime_error("serve: cannot listen on '" +
+                               options.socket_path + "': " + reason);
+    }
+  }
+
+  void bump(std::uint64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats.*field += 1;
+  }
+
+  void write_reply(Conn& conn, const std::string& line) {
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    send_all(conn.fd, line + "\n");
+  }
+
+  // ---- request execution (runs on pool workers) ----
+
+  /// What a synthesis op produced; rendered into a reply only after the
+  /// run time has been measured, so timings_ms.run covers the execution.
+  struct Outcome {
+    bool ok = false;
+    std::string result_json;               ///< when ok
+    std::string stage, rule, message;      ///< when !ok
+  };
+
+  Outcome execute(const Request& req) {
+    Outcome out;
+    try {
+      out.result_json = req.op == "synthesize" ? execute_synthesize(req)
+                                               : execute_synthesize_bm(req);
+      out.ok = true;
+      bump(&ServerStats::completed);
+      return out;
+    } catch (const flow::LintError& e) {
+      out.stage = "lint";
+      out.rule = "LINT";
+      out.message = e.what();
+    } catch (const flow::FlowError& e) {
+      out.stage = std::string(flow_stage_name(e.stage()));
+      out.rule = e.diagnostic().rule;
+      out.message = e.what();
+    } catch (const bm::BmsParseError& e) {
+      out.stage = "parse";
+      out.rule = "BMS";
+      out.message = e.what();
+    } catch (const util::WorkBudgetExceeded& e) {
+      out.stage = "synthesis";
+      out.rule = "FL002";
+      out.message = e.what();
+    } catch (const std::exception& e) {
+      out.stage = "internal";
+      out.rule = "EX";
+      out.message = e.what();
+    }
+    bump(&ServerStats::errors);
+    return out;
+  }
+
+  std::string execute_synthesize(const Request& req) {
+    std::string source = req.source;
+    if (!req.design.empty()) {
+      try {
+        source = designs::design(req.design).source;
+      } catch (const std::out_of_range&) {
+        throw std::runtime_error("unknown design '" + req.design + "'");
+      }
+    }
+    const auto net = balsa::compile_source(source);
+    flow::FlowOptions options =
+        apply_options(req.options, this->options.default_work_budget);
+    options.cache_instance = &cache;
+    const auto result = flow::synthesize_control(net, options);
+
+    util::JsonWriter w;
+    w.begin_object();
+    if (!req.design.empty()) w.member("design", req.design);
+    w.member("controllers",
+             static_cast<std::uint64_t>(result.controllers.size()));
+    w.member("area", result.area);
+    w.member("degraded", static_cast<std::uint64_t>(result.failures.size()));
+    w.key("cache").begin_object();
+    w.member("hits", result.timings.cache_hits);
+    w.member("disk_hits", result.timings.cache_disk_hits);
+    w.member("misses", result.timings.cache_misses);
+    w.end_object();
+    w.member("report", flow::report(result));
+    if (req.options.verilog) {
+      w.member("verilog", netlist::to_verilog(result.gates));
+    }
+    w.key("timings").raw(result.timings.to_json());
+    w.end_object();
+    return w.str();
+  }
+
+  std::string execute_synthesize_bm(const Request& req) {
+    const bm::Spec spec = bm::parse_bms(req.bms);
+    const auto check = bm::validate(spec);
+    if (!check.ok) {
+      throw flow::FlowError(flow::FlowStage::kBmCompile, "FL001", spec.name,
+                            "BM validation failed: " + check.errors[0]);
+    }
+    const auto mode = req.mode == "area" ? minimalist::SynthMode::kArea
+                                         : minimalist::SynthMode::kSpeed;
+    const long long budget_ops = req.options.work_budget
+                                     ? *req.options.work_budget
+                                     : options.default_work_budget;
+    std::optional<util::WorkBudget> budget;
+    if (budget_ops > 0) {
+      budget.emplace(static_cast<std::uint64_t>(budget_ops));
+    }
+    minimalist::CacheTier tier = minimalist::CacheTier::kMiss;
+    const bool use_cache = req.options.cache.value_or(true);
+    const minimalist::SynthesizedController ctrl =
+        use_cache ? minimalist::synthesize_cached(
+                        spec, mode, cache, nullptr,
+                        budget ? &*budget : nullptr, &tier)
+                  : minimalist::synthesize(spec, mode,
+                                           budget ? &*budget : nullptr);
+
+    util::JsonWriter w;
+    w.begin_object();
+    w.member("name", ctrl.name);
+    w.member("products", static_cast<std::uint64_t>(ctrl.num_products()));
+    w.member("literals", static_cast<std::uint64_t>(ctrl.num_literals()));
+    w.member("cache", tier == minimalist::CacheTier::kMemory ? "hit"
+                      : tier == minimalist::CacheTier::kDisk ? "disk-hit"
+                      : use_cache                            ? "miss"
+                                                             : "off");
+    w.member("sol", ctrl.to_sol());
+    w.end_object();
+    return w.str();
+  }
+
+  // ---- per-connection reader ----
+
+  void handle_line(Conn& conn, const std::string& line) {
+    bump(&ServerStats::requests);
+    obs::Registry::global().counter("serve.requests").add();
+
+    Request req;
+    std::string error;
+    if (!parse_request(line, &req, &error)) {
+      bump(&ServerStats::bad_requests);
+      obs::Registry::global().counter("serve.bad_requests").add();
+      write_reply(conn, reply_bad_request(req.id, error));
+      return;
+    }
+    if (req.op == "ping") {
+      write_reply(conn, reply_ok_ping(req.id));
+      return;
+    }
+    if (req.op == "stats") {
+      write_reply(conn, reply_ok_stats(req.id, stats_json()));
+      return;
+    }
+    if (req.op == "shutdown") {
+      write_reply(conn, reply_ok_shutdown(req.id));
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    // Synthesis ops go through admission control onto the pool.
+    int expected = inflight.load(std::memory_order_relaxed);
+    do {
+      if (expected >= options.max_inflight) {
+        bump(&ServerStats::overloaded);
+        obs::Registry::global().counter("serve.overloaded").add();
+        write_reply(conn, reply_overloaded(req.id));
+        return;
+      }
+    } while (!inflight.compare_exchange_weak(expected, expected + 1,
+                                             std::memory_order_relaxed));
+
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      ++conn.outstanding;
+    }
+    const auto admitted = Clock::now();
+    // The task owns a copy of the request; `conn` outlives it because
+    // the reader thread waits for outstanding == 0 before closing.
+    pool->submit([this, &conn, req = std::move(req), admitted] {
+      const auto started = Clock::now();
+      ReplyTimings timings;
+      timings.queue_ms = ms_between(admitted, started);
+      Outcome out;
+      {
+        // The span adds its elapsed ms to run_ms at scope exit, before
+        // the reply (which embeds the timings) is rendered below.
+        obs::Span span("serve.request", obs::kCatFlow, &timings.run_ms);
+        span.arg("op", req.op);
+        if (!req.design.empty()) span.arg("design", req.design);
+        out = execute(req);
+      }
+      const std::string reply =
+          out.ok ? reply_ok_result(req.id, out.result_json, timings)
+                 : reply_error(req.id, out.stage, out.rule, out.message,
+                               &timings);
+      obs::Registry::global().histogram("serve.queue_us").record(
+          static_cast<std::uint64_t>(timings.queue_ms * 1000.0));
+      obs::Registry::global().histogram("serve.run_us").record(
+          static_cast<std::uint64_t>(timings.run_ms * 1000.0));
+      write_reply(conn, reply);
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      {
+        // Notify under the lock: the reader destroys `conn` as soon as
+        // outstanding hits 0, so the cv must not be touched after the
+        // mutex is released.
+        std::lock_guard<std::mutex> lock(conn.mu);
+        --conn.outstanding;
+        conn.cv.notify_all();
+      }
+    });
+  }
+
+  void serve_connection(int fd) {
+    Conn conn;
+    conn.fd = fd;
+    std::string buffer;
+    bool overflow = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kPollMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) continue;
+      char chunk[65536];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // EOF or error: client is done
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = buffer.find('\n', start);
+           nl != std::string::npos; nl = buffer.find('\n', start)) {
+        const std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty()) handle_line(conn, line);
+      }
+      buffer.erase(0, start);
+      if (buffer.size() > kMaxLineBytes) {
+        write_reply(conn, reply_bad_request("", "request line too large"));
+        overflow = true;
+        break;
+      }
+    }
+    // Drain: every admitted request must flush its reply before the
+    // socket closes, including during shutdown.
+    {
+      std::unique_lock<std::mutex> lock(conn.mu);
+      conn.cv.wait(lock, [&conn] { return conn.outstanding == 0; });
+    }
+    (void)overflow;
+    ::close(fd);
+  }
+
+  void run() {
+    obs::Registry::global()
+        .gauge("serve.max_inflight")
+        .set(options.max_inflight);
+    std::vector<std::thread> readers;
+    while (!stop.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kPollMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      bump(&ServerStats::connections);
+      obs::Registry::global().counter("serve.connections").add();
+      readers.emplace_back([this, fd] { serve_connection(fd); });
+    }
+    // Graceful drain: stop accepting, let every connection finish its
+    // in-flight work (readers wait on their own outstanding counts).
+    ::close(listen_fd);
+    listen_fd = -1;
+    for (std::thread& t : readers) t.join();
+    // Destroying the pool joins its workers after the queue drains; by
+    // now every task has already run (readers waited), so this is quick.
+    pool.reset();
+  }
+
+  std::string stats_json() const {
+    ServerStats s;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      s = stats;
+    }
+    const auto cache_stats = cache.stats();
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("server").begin_object();
+    w.member("connections", s.connections);
+    w.member("requests", s.requests);
+    w.member("completed", s.completed);
+    w.member("errors", s.errors);
+    w.member("bad_requests", s.bad_requests);
+    w.member("overloaded", s.overloaded);
+    w.member("max_inflight", options.max_inflight);
+    w.member("jobs", static_cast<std::uint64_t>(jobs));
+    w.end_object();
+    w.key("cache").begin_object();
+    w.member("hits", cache_stats.hits);
+    w.member("disk_hits", cache_stats.disk_hits);
+    w.member("misses", cache_stats.misses);
+    w.member("evictions", cache_stats.evictions);
+    w.member("entries", static_cast<std::uint64_t>(cache_stats.entries));
+    w.member("max_entries",
+             static_cast<std::uint64_t>(cache_stats.max_entries));
+    w.end_object();
+    if (disk != nullptr) {
+      const auto d = disk->stats();
+      w.key("disk_cache").begin_object();
+      w.member("root", disk->root());
+      w.member("hits", d.hits);
+      w.member("misses", d.misses);
+      w.member("stores", d.stores);
+      w.member("store_errors", d.store_errors);
+      w.member("corrupt_dropped", d.corrupt_dropped);
+      w.member("evictions", d.evictions);
+      w.member("entries", static_cast<std::uint64_t>(disk->entry_count()));
+      w.member("max_bytes", disk->max_bytes());
+      w.end_object();
+    }
+    w.end_object();
+    return w.str();
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() = default;
+
+void Server::run() { impl_->run(); }
+
+void Server::stop() noexcept {
+  impl_->stop.store(true, std::memory_order_relaxed);
+}
+
+bool Server::stopping() const noexcept {
+  return impl_->stop.load(std::memory_order_relaxed);
+}
+
+const ServerOptions& Server::options() const { return impl_->options; }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mu);
+  return impl_->stats;
+}
+
+std::string Server::stats_json() const { return impl_->stats_json(); }
+
+minimalist::SynthCache& Server::cache() { return impl_->cache; }
+
+DiskCache* Server::disk_cache() { return impl_->disk.get(); }
+
+}  // namespace bb::serve

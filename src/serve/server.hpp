@@ -1,0 +1,93 @@
+// The synthesis service daemon core: a Unix-domain-socket server that
+// executes flow requests on the shared util::ThreadPool, in front of the
+// tiered synthesis cache (in-memory minimalist::SynthCache backed by an
+// optional serve::DiskCache).
+//
+// Concurrency model: one lightweight reader thread per connection parses
+// newline-delimited requests; cheap ops (ping/stats/shutdown) are
+// answered inline, synthesis ops are admitted into a bounded in-flight
+// set and executed on the pool.  When the set is full the server sheds
+// load with an immediate "overloaded" reply instead of queueing without
+// bound.  Replies are written per-connection under a write mutex in
+// completion order (each carries the request id).
+//
+// Shutdown is graceful: stop() (async-signal-safe; the bb-served signal
+// handler calls it directly) makes the accept loop close the listener,
+// connection readers stop accepting new requests, in-flight work drains
+// through the pool, replies are flushed, and run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/minimalist/cache.hpp"
+#include "src/serve/disk_cache.hpp"
+
+namespace bb::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Worker threads executing synthesis requests; 0 = one per hardware
+  /// thread (BB_JOBS honored via util::ThreadPool::recommended_jobs()).
+  int jobs = 0;
+  /// Maximum synthesis requests in flight (queued + running) before the
+  /// server sheds load with "overloaded" replies.
+  int max_inflight = 64;
+  /// Persistent cache directory; empty = memory tier only.  (bb-served
+  /// defaults this from BB_CACHE_DIR.)
+  std::string cache_dir;
+  std::uint64_t cache_max_bytes = kDefaultCacheMaxBytes;
+  /// Work-budget deadline applied to requests that do not carry their
+  /// own (0 = unlimited).
+  long long default_work_budget = 0;
+  /// In-memory tier entry cap (SynthCache::set_max_entries).
+  std::size_t memory_cache_entries = minimalist::SynthCache::kDefaultMaxEntries;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;       ///< requests parsed (any op)
+  std::uint64_t completed = 0;      ///< synthesis requests answered "ok"
+  std::uint64_t errors = 0;         ///< synthesis requests answered "error"
+  std::uint64_t bad_requests = 0;   ///< unparseable / unsupported requests
+  std::uint64_t overloaded = 0;     ///< requests shed by admission control
+};
+
+class Server {
+ public:
+  /// Binds and listens on options.socket_path (an existing socket file
+  /// is replaced).  Throws std::runtime_error on bind failure.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until stop() is called (or a "shutdown" request arrives),
+  /// then drains in-flight work and returns.
+  void run();
+
+  /// Requests shutdown.  Only touches an atomic flag, so it is safe to
+  /// call from a signal handler; run() notices within its poll interval.
+  void stop() noexcept;
+
+  bool stopping() const noexcept;
+
+  const ServerOptions& options() const;
+
+  ServerStats stats() const;
+  /// Stats + cache tiers as a deterministic JSON object fragment (the
+  /// "stats" op reply body).
+  std::string stats_json() const;
+
+  minimalist::SynthCache& cache();
+  DiskCache* disk_cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bb::serve

@@ -32,6 +32,7 @@
 #include "src/netlist/verilog.hpp"
 #include "src/obs/session.hpp"
 #include "src/opt/cluster.hpp"
+#include "src/util/strings.hpp"
 
 namespace {
 
@@ -74,9 +75,11 @@ int main(int argc, char** argv) {
     if (flag == "--unoptimized") {
       options = bb::flow::FlowOptions::unoptimized();
     } else if (flag == "--max-states" && i + 1 < argc) {
-      options.max_states = std::stoi(argv[++i]);
+      options.max_states = static_cast<int>(
+          bb::util::parse_int("bbbc", "--max-states", argv[++i], 0, 1000000));
     } else if (flag == "--jobs" && i + 1 < argc) {
-      options.jobs = std::stoi(argv[++i]);
+      options.jobs = static_cast<int>(
+          bb::util::parse_int("bbbc", "--jobs", argv[++i], 0, 4096));
     } else if (flag == "--no-cache") {
       options.cache = false;
     } else if (flag == "--trace" && i + 1 < argc) {

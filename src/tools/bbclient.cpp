@@ -1,0 +1,151 @@
+// bb-client — one-shot client for the bb-served synthesis daemon.
+//
+// Builds one request from the command line, sends it over the daemon's
+// Unix-domain socket, and prints the reply JSON line on stdout.  Exit
+// status: 0 when the reply status is "ok", 1 otherwise (error,
+// overloaded, bad_request, transport failure), 2 on usage errors.
+//
+//   bb-client --socket /tmp/bb.sock --op synthesize --design systolic
+//   bb-client --socket /tmp/bb.sock --op synthesize_bm --bms spec.bms
+//   bb-client --socket /tmp/bb.sock --op stats
+//
+// Options:
+//   --socket PATH      daemon socket (required)
+//   --op OP            ping | stats | shutdown | synthesize |
+//                      synthesize_bm (default: ping)
+//   --design NAME      built-in design (synthesize)
+//   --source FILE      mini-Balsa source file, "-" = stdin (synthesize)
+//   --bms FILE         .bms file, "-" = stdin (synthesize_bm)
+//   --mode MODE        speed | area (synthesize_bm; default speed)
+//   --id ID            request id echoed in the reply
+//   --verilog          include mapped Verilog in the reply
+//   --unoptimized      template baseline flow options
+//   --no-cache         bypass the synthesis cache for this request
+//   --work-budget N    per-request work budget
+//   --timeout-ms N     reply deadline (default 120000; 0 = forever)
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "src/serve/client.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/json.hpp"
+#include "src/util/json_parse.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: bb-client --socket PATH [--op OP] [--design NAME]"
+               " [--source FILE] [--bms FILE] [--mode speed|area] [--id ID]"
+               " [--verilog] [--unoptimized] [--no-cache] [--work-budget N]"
+               " [--timeout-ms N]\n"
+               "ops: ping stats shutdown synthesize synthesize_bm\n";
+  std::exit(2);
+}
+
+std::string slurp_or_die(const std::string& path) {
+  std::ostringstream buf;
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "bb-client: cannot read '" << path << "'\n";
+      std::exit(2);
+    }
+    buf << in.rdbuf();
+  }
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string op = "ping";
+  std::string design;
+  std::string source_path;
+  std::string bms_path;
+  std::string mode = "speed";
+  std::string id;
+  bool verilog = false;
+  bool unoptimized = false;
+  bool no_cache = false;
+  long long work_budget = -1;
+  int timeout_ms = 120000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (flag == "--op" && i + 1 < argc) {
+      op = argv[++i];
+    } else if (flag == "--design" && i + 1 < argc) {
+      design = argv[++i];
+      if (op == "ping") op = "synthesize";
+    } else if (flag == "--source" && i + 1 < argc) {
+      source_path = argv[++i];
+      if (op == "ping") op = "synthesize";
+    } else if (flag == "--bms" && i + 1 < argc) {
+      bms_path = argv[++i];
+      if (op == "ping") op = "synthesize_bm";
+    } else if (flag == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (flag == "--id" && i + 1 < argc) {
+      id = argv[++i];
+    } else if (flag == "--verilog") {
+      verilog = true;
+    } else if (flag == "--unoptimized") {
+      unoptimized = true;
+    } else if (flag == "--no-cache") {
+      no_cache = true;
+    } else if (flag == "--work-budget" && i + 1 < argc) {
+      work_budget = bb::util::parse_int(
+          "bb-client", "--work-budget", argv[++i], 0,
+          std::numeric_limits<long long>::max());
+    } else if (flag == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = static_cast<int>(bb::util::parse_int(
+          "bb-client", "--timeout-ms", argv[++i], 0,
+          std::numeric_limits<int>::max()));
+    } else {
+      usage();
+    }
+  }
+  if (socket_path.empty()) usage();
+
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", bb::serve::kProtocolVersion);
+  if (!id.empty()) w.member("id", id);
+  w.member("op", op);
+  if (!design.empty()) w.member("design", design);
+  if (!source_path.empty()) w.member("source", slurp_or_die(source_path));
+  if (!bms_path.empty()) w.member("bms", slurp_or_die(bms_path));
+  if (mode != "speed") w.member("mode", mode);
+  if (verilog || unoptimized || no_cache || work_budget >= 0) {
+    w.key("options").begin_object();
+    if (verilog) w.member("verilog", true);
+    if (unoptimized) w.member("unoptimized", true);
+    if (no_cache) w.member("cache", false);
+    if (work_budget >= 0) {
+      w.member("work_budget", static_cast<std::int64_t>(work_budget));
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  try {
+    bb::serve::Client client(socket_path);
+    const std::string reply =
+        client.roundtrip(w.str(), timeout_ms == 0 ? -1 : timeout_ms);
+    std::cout << reply << "\n";
+    const auto doc = bb::util::parse_json(reply);
+    return doc && doc->get_string("status") == "ok" ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bb-client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -19,12 +19,14 @@
 //   --metrics FILE   metrics snapshot JSON (BB_METRICS env fallback)
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "src/flow/faultsim.hpp"
 #include "src/obs/session.hpp"
 #include "src/util/io.hpp"
+#include "src/util/strings.hpp"
 
 namespace {
 
@@ -49,13 +51,18 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
-      campaign.seed = std::strtoull(argv[++i], nullptr, 10);
+      campaign.seed = static_cast<std::uint64_t>(bb::util::parse_int(
+          "bb-faultsim", "--seed", argv[++i], 0,
+          std::numeric_limits<long long>::max()));
     } else if (arg == "--stuck-at" && i + 1 < argc) {
-      campaign.random_stuck_at = std::atoi(argv[++i]);
+      campaign.random_stuck_at = static_cast<int>(
+          bb::util::parse_int("bb-faultsim", "--stuck-at", argv[++i], 0, 1000000));
     } else if (arg == "--bit-flips" && i + 1 < argc) {
-      campaign.bit_flips = std::atoi(argv[++i]);
+      campaign.bit_flips = static_cast<int>(
+          bb::util::parse_int("bb-faultsim", "--bit-flips", argv[++i], 0, 1000000));
     } else if (arg == "--delay-runs" && i + 1 < argc) {
-      campaign.delay_runs = std::atoi(argv[++i]);
+      campaign.delay_runs = static_cast<int>(
+          bb::util::parse_int("bb-faultsim", "--delay-runs", argv[++i], 0, 1000000));
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--unoptimized") {

@@ -35,6 +35,7 @@
 #include "src/techmap/cells.hpp"
 #include "src/techmap/map.hpp"
 #include "src/techmap/templates.hpp"
+#include "src/util/strings.hpp"
 
 namespace {
 
@@ -129,9 +130,11 @@ int main(int argc, char** argv) {
       options = bb::flow::FlowOptions::unoptimized();
       json = keep_json;
     } else if (flag == "--max-states" && i + 1 < argc) {
-      options.max_states = std::stoi(argv[++i]);
+      options.max_states = static_cast<int>(
+          bb::util::parse_int("bb-lint", "--max-states", argv[++i], 0, 1000000));
     } else if (flag == "--fanout-limit" && i + 1 < argc) {
-      options.lint_options.fanout_limit = std::stoi(argv[++i]);
+      options.lint_options.fanout_limit = static_cast<int>(bb::util::parse_int(
+          "bb-lint", "--fanout-limit", argv[++i], 0, 1000000));
     } else if (flag == "--suppress" && i + 1 < argc) {
       std::stringstream rules(argv[++i]);
       std::string rule;

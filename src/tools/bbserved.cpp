@@ -1,0 +1,130 @@
+// bb-served — the synthesis service daemon.
+//
+// Listens on a Unix-domain socket for newline-delimited JSON requests
+// (src/serve/protocol.hpp) and executes them on a shared thread pool in
+// front of the tiered synthesis cache.  With --cache-dir (or
+// BB_CACHE_DIR) the cache gains a persistent on-disk second tier that
+// survives restarts and is shared between processes.
+//
+//   bb-served --socket /tmp/bb.sock [--cache-dir DIR]
+//
+// Options:
+//   --socket PATH       Unix-domain socket to listen on (required)
+//   --jobs N            synthesis worker threads (default: BB_JOBS, then
+//                       hardware concurrency)
+//   --max-inflight N    admission cap before shedding load (default 64)
+//   --cache-dir DIR     persistent cache directory (default: BB_CACHE_DIR;
+//                       unset = memory tier only)
+//   --cache-max-mb N    disk tier size cap (default: BB_CACHE_MAX_MB,
+//                       then 256)
+//   --memory-entries N  in-memory tier entry cap (default 65536)
+//   --work-budget N     default per-request work budget (default:
+//                       BB_WORK_BUDGET via the flow, 0 = unlimited)
+//   --trace FILE        Chrome trace-event JSON (BB_TRACE env fallback)
+//   --metrics FILE      metrics snapshot JSON (BB_METRICS env fallback)
+//
+// SIGINT/SIGTERM (or a "shutdown" request) drain in-flight work, flush
+// replies, and exit 0.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "src/obs/session.hpp"
+#include "src/serve/disk_cache.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+bb::serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // atomic flag only
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: bb-served --socket PATH [--jobs N] [--max-inflight N]"
+               " [--cache-dir DIR] [--cache-max-mb N] [--memory-entries N]"
+               " [--work-budget N] [--trace FILE] [--metrics FILE]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bb::serve::ServerOptions options;
+  std::string trace_path;
+  std::string metrics_path;
+  if (const char* dir = std::getenv("BB_CACHE_DIR")) options.cache_dir = dir;
+  if (const char* mb = std::getenv("BB_CACHE_MAX_MB")) {
+    const auto parsed = bb::util::parse_ll(mb);
+    if (parsed && *parsed > 0) {
+      options.cache_max_bytes = static_cast<std::uint64_t>(*parsed) << 20;
+    }
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--socket" && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<int>(
+          bb::util::parse_int("bb-served", "--jobs", argv[++i], 0, 4096));
+    } else if (flag == "--max-inflight" && i + 1 < argc) {
+      options.max_inflight = static_cast<int>(bb::util::parse_int(
+          "bb-served", "--max-inflight", argv[++i], 1, 1000000));
+    } else if (flag == "--cache-dir" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (flag == "--cache-max-mb" && i + 1 < argc) {
+      options.cache_max_bytes =
+          static_cast<std::uint64_t>(bb::util::parse_int(
+              "bb-served", "--cache-max-mb", argv[++i], 1, 1 << 20))
+          << 20;
+    } else if (flag == "--memory-entries" && i + 1 < argc) {
+      options.memory_cache_entries =
+          static_cast<std::size_t>(bb::util::parse_int(
+              "bb-served", "--memory-entries", argv[++i], 1, 100000000));
+    } else if (flag == "--work-budget" && i + 1 < argc) {
+      options.default_work_budget = bb::util::parse_int(
+          "bb-served", "--work-budget", argv[++i], 0,
+          std::numeric_limits<long long>::max());
+    } else if (flag == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      usage();
+    }
+  }
+  if (options.socket_path.empty()) usage();
+
+  bb::obs::Session session(bb::obs::env_or(trace_path, "BB_TRACE"),
+                           bb::obs::env_or(metrics_path, "BB_METRICS"));
+  try {
+    bb::serve::Server server(std::move(options));
+    g_server = &server;
+    struct sigaction sa {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    std::cerr << "bb-served: listening on " << server.options().socket_path
+              << (server.disk_cache() != nullptr
+                      ? " (cache-dir " + server.disk_cache()->root() + ")"
+                      : std::string(" (memory cache only)"))
+              << std::endl;
+    server.run();
+
+    const auto stats = server.stats();
+    std::cerr << "bb-served: drained; " << stats.requests << " request(s), "
+              << stats.completed << " completed, " << stats.errors
+              << " error(s), " << stats.overloaded << " shed" << std::endl;
+    g_server = nullptr;
+  } catch (const std::exception& e) {
+    std::cerr << "bb-served: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,34 +1,85 @@
 #include "src/util/io.hpp"
 
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace bb::util {
 
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("write_file_atomic: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable.  Failures are ignored: some filesystems refuse
+/// directory fsync, and the entry rename is already crash-atomic.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 void write_file_atomic(const std::string& path, const std::string& content) {
   // The temporary must live in the same directory as the target so the
-  // rename is a same-filesystem metadata operation.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("write_file_atomic: cannot open '" + tmp +
-                               "' for writing");
-    }
-    out << content;
-    out.flush();
-    if (!out) {
+  // rename is a same-filesystem metadata operation.  Its name must be
+  // unique per writer (pid + process-wide counter): concurrent writers
+  // of the same target — threads, or processes sharing a cache
+  // directory — must each rename their own complete file, never a temp
+  // another writer is still filling.
+  static std::atomic<std::uint64_t> serial{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(serial.fetch_add(1));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open", tmp);
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
-      throw std::runtime_error("write_file_atomic: short write to '" + tmp +
-                               "'");
+      fail("short write to", tmp);
     }
+    written += static_cast<std::size_t>(n);
+  }
+
+  // The data must be durable *before* the rename publishes it: without
+  // the fsync a crash after the rename can leave a correctly-named but
+  // truncated (even empty) artifact, which is exactly what atomicity is
+  // supposed to rule out.  The disk cache relies on this ordering.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    fail("cannot fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot close", tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw std::runtime_error("write_file_atomic: cannot rename '" + tmp +
-                             "' to '" + path + "'");
+    fail("cannot rename", tmp + "' to '" + path);
   }
+  sync_parent_dir(path);
 }
 
 }  // namespace bb::util

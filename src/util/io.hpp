@@ -5,12 +5,14 @@
 
 namespace bb::util {
 
-/// Writes `content` to `path` atomically: the data goes to a sibling
-/// temporary file first and is renamed over the target only after a
-/// successful write+close, so an interrupted run can never leave a
-/// truncated artifact behind (CI uploads these files directly).
-/// Throws std::runtime_error when the temporary cannot be written or the
-/// rename fails.
+/// Writes `content` to `path` atomically and durably: the data goes to a
+/// sibling temporary file first, is fsync'd, and is renamed over the
+/// target only after a successful write+close (the parent directory is
+/// then fsync'd best-effort), so neither an interrupted run nor a crash
+/// right after the rename can leave a truncated artifact behind (CI
+/// uploads these files directly and the disk cache trusts any file it
+/// finds to be complete).  Throws std::runtime_error when the temporary
+/// cannot be written or the rename fails.
 void write_file_atomic(const std::string& path, const std::string& content);
 
 }  // namespace bb::util

@@ -1,0 +1,58 @@
+// Minimal recursive-descent JSON parser, the read side of util/json.hpp.
+//
+// The service daemon's wire protocol is newline-delimited JSON, so the
+// parser only has to handle one value per call and keeps everything in a
+// plain tree (JsonValue).  Numbers are stored as both double and int64
+// views of the same token so callers can ask for whichever they mean;
+// object member order is preserved but lookup is by key.  Input limits
+// (nesting depth, total size) are enforced so a malicious request cannot
+// blow the stack of a server thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bb::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  /// The integer reading of a number token (valid when `is_integer`).
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+
+  /// Typed member accessors with defaults, for flat request decoding.
+  std::string get_string(std::string_view key,
+                         std::string_view fallback = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+};
+
+/// Parses one JSON document.  The whole input must be consumed (trailing
+/// whitespace is fine).  On failure returns nullopt and, when `error` is
+/// non-null, stores a one-line description with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace bb::util

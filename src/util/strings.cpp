@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
 
 namespace bb::util {
 
@@ -67,6 +70,31 @@ std::string replace_all(std::string_view s, std::string_view from,
     start = pos + from.size();
   }
   return out;
+}
+
+std::optional<long long> parse_ll(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // strtoll needs a NUL-terminated buffer; argv values are short.
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+long long parse_int(const char* tool, const char* flag, const char* value,
+                    long long min, long long max) {
+  const auto parsed = parse_ll(value != nullptr ? value : "");
+  if (!parsed || *parsed < min || *parsed > max) {
+    std::cerr << tool << ": " << flag << " expects an integer in [" << min
+              << ", " << max << "], got '" << (value != nullptr ? value : "")
+              << "'\n";
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 }  // namespace bb::util

@@ -1,6 +1,7 @@
 // String utilities shared across the back-end tools.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,5 +29,18 @@ std::string to_lower(std::string_view s);
 /// Replaces every occurrence of `from` in `s` with `to`.
 std::string replace_all(std::string_view s, std::string_view from,
                         std::string_view to);
+
+/// Parses the *whole* of `s` as a decimal integer (optional sign).
+/// Returns nullopt for empty input, garbage, trailing text, or values
+/// outside long long — unlike std::stoi/atoi, which throw or silently
+/// return 0.
+std::optional<long long> parse_ll(std::string_view s);
+
+/// argv helper for CLI tools: parses `value` as an integer in
+/// [min, max].  On garbage or out-of-range input it prints
+/// "<tool>: <flag> expects an integer in [min, max], got '<value>'" to
+/// stderr and exits with status 2 (the tools' usage-error status).
+long long parse_int(const char* tool, const char* flag, const char* value,
+                    long long min, long long max);
 
 }  // namespace bb::util

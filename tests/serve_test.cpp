@@ -1,0 +1,457 @@
+// The synthesis service tier: controller codec round-trips, the
+// persistent disk cache (corruption recovery, versioning, eviction,
+// shared directories), the bounded in-memory cache, the wire protocol,
+// and the daemon end to end over a real Unix-domain socket.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/bm/parse.hpp"
+#include "src/minimalist/cache.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/codec.hpp"
+#include "src/serve/disk_cache.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/json.hpp"
+#include "src/util/json_parse.hpp"
+
+namespace fs = std::filesystem;
+using namespace bb;
+
+namespace {
+
+/// A fresh directory under the system temp root, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag) {
+    path = fs::temp_directory_path() /
+           (std::string("bb_serve_test_") + tag + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+constexpr const char* kWireBms = R"(
+name wire
+input a_r 0
+output a_a 0
+0 1 a_r+ | a_a+
+1 0 a_r- | a_a-
+)";
+
+constexpr const char* kSeqBms = R"(
+name seq2
+input r 0
+output a1 0
+output a2 0
+0 1 r+ | a1+
+1 2 r- | a1-
+2 3 r+ | a2+
+3 0 r- | a2-
+)";
+
+minimalist::SynthesizedController wire_ctrl() {
+  return minimalist::synthesize(bm::parse_bms(kWireBms));
+}
+
+}  // namespace
+
+// ---- codec ----
+
+TEST(Codec, RoundTripIsByteIdentical) {
+  const auto ctrl = wire_ctrl();
+  const std::string text = serve::serialize_controller(ctrl);
+  std::string error;
+  const auto back = serve::deserialize_controller(text, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  // Serializing the deserialized controller reproduces the bytes, and
+  // the logic is behaviorally identical (.sol rendering included).
+  EXPECT_EQ(serve::serialize_controller(*back), text);
+  EXPECT_EQ(back->to_sol(), ctrl.to_sol());
+  EXPECT_EQ(back->name, ctrl.name);
+  EXPECT_EQ(back->inputs, ctrl.inputs);
+  EXPECT_EQ(back->outputs, ctrl.outputs);
+  EXPECT_EQ(back->initial_state_code, ctrl.initial_state_code);
+}
+
+TEST(Codec, RejectsTruncationAndGarbageWithoutThrowing) {
+  const std::string text = serve::serialize_controller(wire_ctrl());
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{5}, text.size() / 4, text.size() / 2}) {
+    EXPECT_FALSE(serve::deserialize_controller(text.substr(0, cut)))
+        << "accepted a prefix of " << cut << " bytes";
+  }
+  EXPECT_FALSE(serve::deserialize_controller("not a controller at all"));
+  EXPECT_FALSE(serve::deserialize_controller(text + "trailing"));
+  // Wrong codec version line.
+  std::string wrong = text;
+  wrong.replace(0, wrong.find('\n'), "bbctrl 999");
+  EXPECT_FALSE(serve::deserialize_controller(wrong));
+}
+
+// ---- disk cache ----
+
+TEST(DiskCache, RoundTripAcrossInstances) {
+  TempDir dir("roundtrip");
+  const auto ctrl = wire_ctrl();
+  {
+    serve::DiskCache cache(dir.str());
+    cache.store("key1", ctrl);
+    EXPECT_EQ(cache.stats().stores, 1u);
+  }
+  // A second instance on the same directory (a restarted daemon) sees
+  // the entry.
+  serve::DiskCache cache(dir.str());
+  const auto back = cache.load("key1");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(serve::serialize_controller(*back),
+            serve::serialize_controller(ctrl));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_FALSE(cache.load("other-key").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DiskCache, CorruptEntryIsDroppedAndFileRemoved) {
+  TempDir dir("corrupt");
+  serve::DiskCache cache(dir.str());
+  cache.store("key1", wire_ctrl());
+  const std::string path = cache.entry_path("key1");
+  ASSERT_TRUE(fs::exists(path));
+  // Flip bytes in the middle of the entry.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    f.write("XXXX", 4);
+  }
+  EXPECT_FALSE(cache.load("key1").has_value());
+  EXPECT_FALSE(fs::exists(path)) << "corrupt entry should be deleted";
+  EXPECT_EQ(cache.stats().corrupt_dropped, 1u);
+  // The next load is a clean miss, and the key is re-storable.
+  EXPECT_FALSE(cache.load("key1").has_value());
+  cache.store("key1", wire_ctrl());
+  EXPECT_TRUE(cache.load("key1").has_value());
+}
+
+TEST(DiskCache, VersionMismatchIsDroppedAndFileRemoved) {
+  TempDir dir("version");
+  serve::DiskCache cache(dir.str());
+  cache.store("key1", wire_ctrl());
+  const std::string path = cache.entry_path("key1");
+  std::string entry;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    entry = buf.str();
+  }
+  ASSERT_EQ(entry.rfind("bbdc 1\n", 0), 0u);
+  entry.replace(0, 6, "bbdc 2");  // a future format revision
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << entry;
+  }
+  EXPECT_FALSE(cache.load("key1").has_value());
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(cache.stats().corrupt_dropped, 1u);
+}
+
+TEST(DiskCache, KeyMismatchOnHashCollisionIsAMiss) {
+  TempDir dir("collide");
+  serve::DiskCache cache(dir.str());
+  cache.store("key1", wire_ctrl());
+  // Simulate a (astronomically unlikely) filename collision: copy the
+  // entry of key1 to where key2 would live.  The embedded key protects
+  // key2's load from returning key1's controller.
+  fs::copy_file(cache.entry_path("key1"), cache.entry_path("key2"));
+  EXPECT_FALSE(cache.load("key2").has_value());
+  EXPECT_TRUE(cache.load("key1").has_value());
+}
+
+TEST(DiskCache, EvictsLeastRecentlyUsedPastSizeCap) {
+  TempDir dir("evict");
+  const auto ctrl = wire_ctrl();
+  const std::uint64_t entry_size =
+      serve::serialize_controller(ctrl).size() + 64;  // + framing slack
+  // Cap fits roughly two entries, so the third store must evict.
+  serve::DiskCache cache(dir.str(), 2 * entry_size);
+  cache.store("old", ctrl);
+  // Backdate "old" so mtime order is unambiguous even on coarse clocks.
+  fs::last_write_time(cache.entry_path("old"),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(1));
+  cache.store("mid", ctrl);
+  fs::last_write_time(cache.entry_path("mid"),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::minutes(30));
+  cache.store("new", ctrl);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_FALSE(fs::exists(cache.entry_path("old")))
+      << "the oldest entry should be evicted first";
+  EXPECT_TRUE(fs::exists(cache.entry_path("new")));
+}
+
+TEST(DiskCache, ConcurrentSharedDirectory) {
+  TempDir dir("shared");
+  // Two independent DiskCache instances on one directory, as two daemon
+  // processes sharing BB_CACHE_DIR would be, hammered concurrently.
+  serve::DiskCache a(dir.str());
+  serve::DiskCache b(dir.str());
+  const auto ctrl = wire_ctrl();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      serve::DiskCache& cache = (t % 2 == 0) ? a : b;
+      for (int i = 0; i < 20; ++i) {
+        const std::string key = "key" + std::to_string(i % 5);
+        cache.store(key, ctrl);
+        const auto got = cache.load(key);
+        // A concurrent load may race a store of the same key, but the
+        // atomic rename means it sees a complete entry or none.
+        if (got) {
+          EXPECT_EQ(serve::serialize_controller(*got),
+                    serve::serialize_controller(ctrl));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(a.load("key" + std::to_string(i)).has_value());
+  }
+}
+
+// ---- tiered SynthCache ----
+
+TEST(SynthCacheTiers, DiskTierPersistsAcrossCacheInstances) {
+  TempDir dir("tiers");
+  const bm::Spec spec = bm::parse_bms(kWireBms);
+  serve::DiskCache disk(dir.str());
+  minimalist::CacheTier tier;
+  {
+    minimalist::SynthCache mem;
+    mem.set_backing_store(&disk);
+    minimalist::synthesize_cached(spec, minimalist::SynthMode::kSpeed, mem,
+                                  nullptr, nullptr, &tier);
+    EXPECT_EQ(tier, minimalist::CacheTier::kMiss);
+    minimalist::synthesize_cached(spec, minimalist::SynthMode::kSpeed, mem,
+                                  nullptr, nullptr, &tier);
+    EXPECT_EQ(tier, minimalist::CacheTier::kMemory);
+  }
+  // A fresh memory tier (daemon restart) hits the disk tier, and the
+  // result is byte-identical to a fresh synthesis.
+  minimalist::SynthCache mem;
+  mem.set_backing_store(&disk);
+  const auto cached = minimalist::synthesize_cached(
+      spec, minimalist::SynthMode::kSpeed, mem, nullptr, nullptr, &tier);
+  EXPECT_EQ(tier, minimalist::CacheTier::kDisk);
+  EXPECT_EQ(cached.to_sol(), wire_ctrl().to_sol());
+  EXPECT_EQ(mem.stats().disk_hits, 1u);
+  // The disk hit was promoted into memory.
+  minimalist::synthesize_cached(spec, minimalist::SynthMode::kSpeed, mem,
+                                nullptr, nullptr, &tier);
+  EXPECT_EQ(tier, minimalist::CacheTier::kMemory);
+}
+
+TEST(SynthCacheTiers, MemoryTierEvictsLruAtCap) {
+  const bm::Spec wire = bm::parse_bms(kWireBms);
+  const bm::Spec seq = bm::parse_bms(kSeqBms);
+  const bm::Spec wire_area = wire;  // same spec, distinct (spec, mode) key
+  minimalist::SynthCache cache;
+  cache.set_max_entries(2);
+  minimalist::synthesize_cached(wire, minimalist::SynthMode::kSpeed, cache);
+  minimalist::synthesize_cached(seq, minimalist::SynthMode::kSpeed, cache);
+  // Touch `wire` so `seq` is the least recently used...
+  minimalist::CacheTier tier;
+  minimalist::synthesize_cached(wire, minimalist::SynthMode::kSpeed, cache,
+                                nullptr, nullptr, &tier);
+  EXPECT_EQ(tier, minimalist::CacheTier::kMemory);
+  // ...and a third entry evicts `seq`, not `wire`.
+  minimalist::synthesize_cached(wire_area, minimalist::SynthMode::kArea,
+                                cache);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  minimalist::synthesize_cached(wire, minimalist::SynthMode::kSpeed, cache,
+                                nullptr, nullptr, &tier);
+  EXPECT_EQ(tier, minimalist::CacheTier::kMemory);
+  minimalist::synthesize_cached(seq, minimalist::SynthMode::kSpeed, cache,
+                                nullptr, nullptr, &tier);
+  EXPECT_EQ(tier, minimalist::CacheTier::kMiss) << "seq should be evicted";
+}
+
+// ---- protocol ----
+
+TEST(Protocol, ParsesSynthesizeRequestWithOptions) {
+  serve::Request req;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"schema_version":1,"id":"r1","op":"synthesize","design":"systolic",)"
+      R"("options":{"jobs":2,"cache":false,"work_budget":1000}})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.design, "systolic");
+  ASSERT_TRUE(req.options.jobs.has_value());
+  EXPECT_EQ(*req.options.jobs, 2);
+  ASSERT_TRUE(req.options.cache.has_value());
+  EXPECT_FALSE(*req.options.cache);
+  const auto options = serve::apply_options(req.options, 0);
+  EXPECT_EQ(options.jobs, 2);
+  EXPECT_FALSE(options.cache);
+  EXPECT_EQ(options.work_budget, 1000);
+}
+
+TEST(Protocol, RejectsDefectiveRequests) {
+  serve::Request req;
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("not json", &req, &error));
+  EXPECT_FALSE(serve::parse_request("{}", &req, &error));  // no version
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":99,"op":"ping"})", &req, &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"frobnicate"})", &req, &error));
+  // synthesize needs exactly one input.
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize"})", &req, &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize","design":"a","source":"b"})",
+      &req, &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize_bm"})", &req, &error));
+  // Typed option members reject wrong types.
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize","design":"a",)"
+      R"("options":{"jobs":"two"}})",
+      &req, &error));
+}
+
+// ---- daemon end to end ----
+
+namespace {
+
+struct RunningServer {
+  serve::Server server;
+  std::thread thread;
+  explicit RunningServer(serve::ServerOptions options)
+      : server(std::move(options)) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~RunningServer() {
+    server.stop();
+    thread.join();
+  }
+};
+
+std::string bm_request(const std::string& id, const char* bms) {
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", serve::kProtocolVersion);
+  w.member("id", id);
+  w.member("op", "synthesize_bm");
+  w.member("bms", bms);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+TEST(Server, AnswersOverSocketAndPersistsAcrossRestarts) {
+  TempDir dir("e2e");
+  const std::string socket_path = (dir.path / "bb.sock").string();
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.jobs = 2;
+  options.cache_dir = (dir.path / "cache").string();
+  {
+    RunningServer running(options);
+    serve::Client client(socket_path);
+    // Liveness and a bad request on the same connection.
+    auto doc = util::parse_json(client.roundtrip(
+        R"({"schema_version":1,"op":"ping"})", 10000));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get_string("status"), "ok");
+    doc = util::parse_json(client.roundtrip("this is not json", 10000));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get_string("status"), "bad_request");
+    // First synthesis misses every tier.
+    doc = util::parse_json(
+        client.roundtrip(bm_request("r1", kWireBms), 60000));
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->get_string("status"), "ok");
+    const util::JsonValue* result = doc->get("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->get_string("cache"), "miss");
+    EXPECT_NE(result->get_string("sol").find(".fn"), std::string::npos);
+    // Structured errors carry stage and rule.
+    doc = util::parse_json(client.roundtrip(
+        R"({"schema_version":1,"id":"bad","op":"synthesize_bm",)"
+        R"("bms":"name x\n0 1 bogus | a+\n"})",
+        60000));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get_string("status"), "error");
+    ASSERT_NE(doc->get("error"), nullptr);
+    EXPECT_EQ(doc->get("error")->get_string("stage"), "parse");
+  }
+  // A new daemon on the same cache directory serves the disk tier.
+  {
+    RunningServer running(options);
+    serve::Client client(socket_path);
+    const auto doc = util::parse_json(
+        client.roundtrip(bm_request("r2", kWireBms), 60000));
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->get_string("status"), "ok");
+    EXPECT_EQ(doc->get("result")->get_string("cache"), "disk-hit");
+    // The stats op reports the tiered counters.
+    const auto stats = util::parse_json(client.roundtrip(
+        R"({"schema_version":1,"op":"stats"})", 10000));
+    ASSERT_TRUE(stats.has_value());
+    const util::JsonValue* cache = stats->get("stats")->get("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->get_int("disk_hits", -1), 1);
+  }
+}
+
+TEST(Server, ShedsLoadWhenAdmissionIsFull) {
+  TempDir dir("shed");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  options.max_inflight = 0;  // everything sheds, deterministically
+  RunningServer running(options);
+  serve::Client client(options.socket_path);
+  const auto doc = util::parse_json(
+      client.roundtrip(bm_request("r1", kWireBms), 10000));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("status"), "overloaded");
+  EXPECT_EQ(running.server.stats().overloaded, 1u);
+}
+
+TEST(Server, ShutdownOpDrainsAndExits) {
+  TempDir dir("shutdown");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  serve::Server server(options);
+  std::thread thread([&server] { server.run(); });
+  {
+    serve::Client client(options.socket_path);
+    const auto doc = util::parse_json(client.roundtrip(
+        R"({"schema_version":1,"op":"shutdown"})", 10000));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get_string("status"), "ok");
+  }
+  thread.join();  // run() must return on its own
+  EXPECT_TRUE(server.stopping());
+}

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/util/io.hpp"
+#include "src/util/json_parse.hpp"
 #include "src/util/prng.hpp"
 #include "src/util/workbudget.hpp"
 
@@ -132,6 +133,57 @@ TEST(AtomicWrite, WritesAndOverwrites) {
 TEST(AtomicWrite, ThrowsOnUnwritablePath) {
   EXPECT_THROW(write_file_atomic("/nonexistent-dir/sub/x.json", "data"),
                std::runtime_error);
+}
+
+TEST(ParseLl, AcceptsWholeIntegersOnly) {
+  EXPECT_EQ(parse_ll("42"), 42);
+  EXPECT_EQ(parse_ll("-7"), -7);
+  EXPECT_EQ(parse_ll("  19 "), 19);  // surrounding whitespace is fine
+  EXPECT_EQ(parse_ll("0"), 0);
+  EXPECT_FALSE(parse_ll(""));
+  EXPECT_FALSE(parse_ll("  "));
+  EXPECT_FALSE(parse_ll("12x"));
+  EXPECT_FALSE(parse_ll("x12"));
+  EXPECT_FALSE(parse_ll("1 2"));
+  EXPECT_FALSE(parse_ll("3.5"));
+  EXPECT_FALSE(parse_ll("99999999999999999999999"));  // out of range
+}
+
+TEST(ParseJson, RoundTripsScalarsAndContainers) {
+  std::string error;
+  const auto doc = parse_json(
+      R"({"s":"a\"bé","n":-3.5,"i":42,"b":true,"z":null,)"
+      R"("a":[1,2,3],"o":{"k":"v"}})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->get_string("s"), "a\"b\xc3\xa9");
+  EXPECT_DOUBLE_EQ(doc->get("n")->number, -3.5);
+  EXPECT_FALSE(doc->get("n")->is_integer);
+  EXPECT_EQ(doc->get_int("i", -1), 42);
+  EXPECT_TRUE(doc->get_bool("b", false));
+  EXPECT_TRUE(doc->get("z")->is_null());
+  ASSERT_EQ(doc->get("a")->array.size(), 3u);
+  EXPECT_EQ(doc->get("a")->array[1].integer, 2);
+  EXPECT_EQ(doc->get("o")->get_string("k"), "v");
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "nan", "+1"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ParseJson, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(parse_json(deep).has_value());
+  std::string ok = "[[[[[[1]]]]]]";
+  EXPECT_TRUE(parse_json(ok).has_value());
 }
 
 }  // namespace
