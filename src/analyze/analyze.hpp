@@ -1,0 +1,77 @@
+// Whole-program semantic analysis passes (the deep end of the lint
+// engine).  Where src/lint checks per-layer well-formedness, these passes
+// prove or refute semantic properties:
+//
+//   analyze_bm      fundamental-mode legality of a Burst-Mode machine
+//                   beyond bm::validate: entry-point uniqueness projected
+//                   onto the signals each state actually monitors (AN001),
+//                   level-sensitive distinguishability of sibling input
+//                   bursts (AN002), output-burst consistency (AN003), and
+//                   dead / single-polarity behaviour (AN004).
+//
+//   analyze_petri   structural Petri-net checks computed WITHOUT building
+//                   the reachability graph: dead transitions via the
+//                   coverability fixpoint (PN001), unmarked siphons =
+//                   structural deadlock (PN002), the Commoner liveness
+//                   hint "no initially marked trap" (PN003), and empty
+//                   pre-set transitions that break 1-safety (PN004).
+//
+//   analyze_mapped  a semantic audit of the technology-mapped netlist
+//                   against its synthesized two-level controller: every
+//                   combinational cone net must compute a (complemented)
+//                   sub-cube or a (complemented) union of cover products
+//                   — the hazard-non-increasing decompositions (NL005) —
+//                   and the cone roots must equal the two-level functions
+//                   exactly (NL006).  Cones too large to evaluate
+//                   exhaustively are skipped with an NL007 note.
+//
+// All passes report through lint::Report and honour LintOptions
+// (suppression, severity overrides, baseline).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/bm/spec.hpp"
+#include "src/lint/lint.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/netlist/gates.hpp"
+#include "src/petri/net.hpp"
+
+namespace bb::analyze {
+
+/// One registered pass, for documentation and driver enumeration.
+struct PassInfo {
+  std::string_view name;    ///< e.g. "bm-legality"
+  std::string_view layer;   ///< the IR it runs on
+  std::string_view rules;   ///< rule ids it can emit, comma separated
+  std::string_view summary;
+};
+
+/// The registry of semantic passes, in pipeline order.
+const std::vector<PassInfo>& all_passes();
+
+/// Deep Burst-Mode legality (AN001-AN004).  Assumes the spec already
+/// passed bm::validate; findings here are conditions validate cannot see
+/// (level-sensitive effective bursts, projected entry valuations).
+lint::Report analyze_bm(const bm::Spec& spec,
+                        const lint::LintOptions& options = {});
+
+/// Structural Petri-net passes (PN001-PN004).  `name` labels the net in
+/// diagnostics (e.g. the controller it models).  Runs in time polynomial
+/// in places + transitions; never enumerates markings.
+lint::Report analyze_petri(const petri::PetriNet& net, std::string_view name,
+                           const lint::LintOptions& options = {});
+
+/// Semantic netlist audit (NL005-NL007) of the gates `prefix`/... mapped
+/// from `ctrl` inside `net` (the techmap naming convention: output nets
+/// are named after ctrl.outputs, state feedback nets
+/// "<prefix>/<state_bit>").  Pass an empty prefix for netlists whose nets
+/// carry the controller's own signal names.
+lint::Report analyze_mapped(const netlist::GateNetlist& net,
+                            const minimalist::SynthesizedController& ctrl,
+                            std::string_view prefix,
+                            const lint::LintOptions& options = {});
+
+}  // namespace bb::analyze

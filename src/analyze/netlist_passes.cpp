@@ -1,0 +1,293 @@
+// Semantic audit of technology-mapped netlists (NL005-NL007).
+//
+// The tech mapper may only apply hazard-non-increasing decompositions to
+// the hazard-free two-level covers (AND/OR associativity and De Morgan
+// re-expression, Section 5).  Such networks have a checkable structural
+// invariant: every internal net of an output/state-bit cone computes
+// either
+//   (a) a partial product of ONE cover cube — as a function, a cube c
+//       with c ⊇ q for some cover product q — possibly complemented
+//       (AND/NAND trees, shared literal inverters), or
+//   (b) the union of a SUBSET of the cover's products, possibly
+//       complemented (OR accumulation, NAND-of-NANDs planes),
+// and the cone root must equal the two-level function exactly.
+//
+// NL005 reports nets violating the invariant (an algebraically factored
+// or otherwise re-synthesized decomposition can reintroduce hazards the
+// two-level cover was built to avoid); NL006 reports cones whose root
+// function differs from the synthesized cover (a mapping bug, caught
+// with a concrete counterexample minterm); NL007 notes cones too large
+// to evaluate exhaustively under LintOptions::cone_eval_limit.
+//
+// The exhaustive sweep runs over the cone's SUPPORT — the variables the
+// cover fixes plus the variables the cone actually reads — not the full
+// variable space, so one-hot machines with dozens of state bits stay
+// well inside the evaluation limit.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/analyze/analyze.hpp"
+#include "src/logic/cover.hpp"
+#include "src/netlist/analysis.hpp"
+
+namespace bb::analyze {
+
+namespace {
+
+/// True when `table` (indexed by enumeration row) is a cube function
+/// over the support; `rows_bits[row]` is the full variable assignment of
+/// the row (non-support variables held at 0).  On success `*out` is the
+/// cube, with non-support variables left unconstrained.
+bool is_cube_function(const std::vector<bool>& table,
+                      const std::vector<std::vector<bool>>& rows_bits,
+                      const std::vector<std::size_t>& support,
+                      logic::Cube* out) {
+  bool any = false;
+  logic::Cube cube;
+  for (std::size_t row = 0; row < table.size(); ++row) {
+    if (!table[row]) continue;
+    const logic::Cube m = logic::Cube::from_minterm(rows_bits[row]);
+    cube = any ? cube.supercube(m) : m;
+    any = true;
+  }
+  if (!any) return false;  // constant 0: handled by the caller
+  // The sweep held non-support variables at 0, which the supercube then
+  // fixes; the cone cannot depend on them, so they are really free.
+  std::vector<char> in_support(cube.size(), 0);
+  for (const std::size_t v : support) in_support[v] = 1;
+  for (std::size_t v = 0; v < cube.size(); ++v) {
+    if (!in_support[v]) cube.set(v, logic::Lit::kDash);
+  }
+  for (std::size_t row = 0; row < table.size(); ++row) {
+    if (cube.contains_minterm(rows_bits[row]) !=
+        static_cast<bool>(table[row])) {
+      return false;
+    }
+  }
+  *out = cube;
+  return true;
+}
+
+/// True when `table` is exactly the union of a subset of the cover's
+/// products: collect the products fully inside the ON-set, then check
+/// they cover every ON row.
+bool is_union_of_products(const std::vector<bool>& table,
+                          const std::vector<std::vector<bool>>& rows_bits,
+                          const logic::Cover& cover) {
+  std::vector<const logic::Cube*> inside;
+  for (const logic::Cube& q : cover.cubes()) {
+    bool contained = true;
+    for (std::size_t row = 0; row < table.size() && contained; ++row) {
+      if (table[row]) continue;
+      contained = !q.contains_minterm(rows_bits[row]);
+    }
+    if (contained) inside.push_back(&q);
+  }
+  for (std::size_t row = 0; row < table.size(); ++row) {
+    if (!table[row]) continue;
+    bool covered = false;
+    for (const logic::Cube* q : inside) {
+      covered = covered || q->contains_minterm(rows_bits[row]);
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::vector<bool> complemented(const std::vector<bool>& table) {
+  std::vector<bool> c(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) c[i] = !table[i];
+  return c;
+}
+
+std::string minterm_string(const std::vector<bool>& bits) {
+  std::string s;
+  for (const bool b : bits) s += b ? '1' : '0';
+  return s;
+}
+
+bool is_constant(const std::vector<bool>& table) {
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    if (table[i] != table[0]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+lint::Report analyze_mapped(const netlist::GateNetlist& net,
+                            const minimalist::SynthesizedController& ctrl,
+                            std::string_view prefix,
+                            const lint::LintOptions& options) {
+  lint::Report report = lint::make_report(options);
+  const std::vector<int> driver = net.driver_table();
+  const std::string pfx(prefix);
+
+  // Variable nets in the controller's order (inputs..., state bits...).
+  std::vector<int> var_net(ctrl.num_vars, -1);
+  for (std::size_t i = 0; i < ctrl.inputs.size(); ++i) {
+    var_net[i] = net.net(ctrl.inputs[i]);
+  }
+  for (std::size_t s = 0; s < ctrl.state_bits.size(); ++s) {
+    const std::string fb =
+        pfx.empty() ? ctrl.state_bits[s] : pfx + "/" + ctrl.state_bits[s];
+    var_net[ctrl.inputs.size() + s] = net.net(fb);
+  }
+
+  for (std::size_t fi = 0; fi < ctrl.functions.size(); ++fi) {
+    const auto& f = ctrl.functions[fi];
+    const std::string fn_label =
+        "function '" + f.name + "'" + (pfx.empty() ? "" : " of " + pfx);
+
+    // Locate the cone root: the net feeding the DOUT output-commit cell
+    // (outputs) or the DEL feedback element (state bits); netlists built
+    // without the commit/delay cells are audited from the named net
+    // itself.
+    const std::string root_name =
+        fi < ctrl.outputs.size()
+            ? ctrl.outputs[fi]
+            : (pfx.empty() ? ctrl.state_bits[fi - ctrl.outputs.size()]
+                           : pfx + "/" + ctrl.state_bits[fi -
+                                                         ctrl.outputs.size()]);
+    const int named = net.net(root_name);
+    if (named < 0) {
+      report.add("NL006", fn_label,
+                 "net '" + root_name + "' not found in the netlist; the "
+                 "mapped controller does not drive this function");
+      continue;
+    }
+    int root = named;
+    const int g = driver[named];
+    if (g >= 0 && netlist::is_cycle_breaker(net.gates()[g]) &&
+        !net.gates()[g].fanins.empty()) {
+      root = net.gates()[g].fanins[0];
+    }
+
+    const netlist::Cone cone = netlist::extract_cone(net, root);
+    if (cone.truncated) {
+      report.add("NL007", fn_label,
+                 "cone exceeds the extraction gate limit; NL005/NL006 "
+                 "were not checked");
+      continue;
+    }
+
+    // Every leaf must be one of the controller's variable nets; the
+    // sweep's support is the union of the cover's fixed variables and
+    // the cone's leaf variables.
+    std::vector<char> in_support(ctrl.num_vars, 0);
+    for (const logic::Cube& q : f.products.cubes()) {
+      for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
+        if (q[v] != logic::Lit::kDash) in_support[v] = 1;
+      }
+    }
+    bool leaves_ok = true;
+    std::vector<int> leaf_var(cone.leaves.size(), -1);
+    for (std::size_t li = 0; li < cone.leaves.size(); ++li) {
+      for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
+        if (var_net[v] == cone.leaves[li]) {
+          leaf_var[li] = static_cast<int>(v);
+          in_support[v] = 1;
+          break;
+        }
+      }
+      if (leaf_var[li] < 0) {
+        report.add("NL006", fn_label,
+                   "cone reads net '" + net.net_name(cone.leaves[li]) +
+                       "' which is not an input or state-feedback net of "
+                       "the controller");
+        leaves_ok = false;
+      }
+    }
+    if (!leaves_ok) continue;
+
+    std::vector<std::size_t> support;
+    for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
+      if (in_support[v]) support.push_back(v);
+    }
+    if (support.size() >= 8 * sizeof(std::size_t) - 1 ||
+        (std::size_t{1} << support.size()) > options.cone_eval_limit) {
+      report.add("NL007", fn_label,
+                 "exhaustive audit needs 2^" +
+                     std::to_string(support.size()) +
+                     " evaluations over the cone support, above the "
+                     "configured limit of " +
+                     std::to_string(options.cone_eval_limit) +
+                     "; NL005/NL006 were not checked for this cone");
+      continue;
+    }
+    const std::size_t rows = std::size_t{1} << support.size();
+
+    // One sweep over the support assignments: record the root and every
+    // intermediate gate-output table, plus the reference cover value.
+    std::vector<char> value(net.num_nets(), 0);
+    std::vector<bool> root_table(rows, false);
+    std::vector<std::vector<bool>> gate_tables(
+        cone.gates.size(), std::vector<bool>(rows, false));
+    std::vector<bool> ref_table(rows, false);
+    std::vector<std::vector<bool>> rows_bits(
+        rows, std::vector<bool>(ctrl.num_vars, false));
+    for (std::size_t row = 0; row < rows; ++row) {
+      std::vector<bool>& bits = rows_bits[row];
+      for (std::size_t si = 0; si < support.size(); ++si) {
+        bits[support[si]] = (row >> si) & 1u;
+        value[var_net[support[si]]] = bits[support[si]] ? 1 : 0;
+      }
+      for (std::size_t gi = 0; gi < cone.gates.size(); ++gi) {
+        const netlist::Gate& gate = net.gates()[cone.gates[gi]];
+        const bool out = netlist::eval_gate(gate, value);
+        value[gate.output] = out ? 1 : 0;
+        gate_tables[gi][row] = out;
+      }
+      root_table[row] = value[root] != 0;
+      ref_table[row] = logic::eval_cover(f.products, bits);
+    }
+
+    // NL006: the root must equal the synthesized two-level function.
+    bool equal = true;
+    for (std::size_t row = 0; row < rows && equal; ++row) {
+      if (root_table[row] != ref_table[row]) {
+        report.add("NL006", fn_label,
+                   "mapped cone disagrees with the synthesized cover at "
+                   "minterm " + minterm_string(rows_bits[row]) +
+                       " (cone=" + (root_table[row] ? "1" : "0") +
+                       ", cover=" + (ref_table[row] ? "1" : "0") +
+                       "); the mapping changed the logic function");
+        equal = false;
+      }
+    }
+
+    // NL005: every intermediate net must fit a hazard-non-increasing
+    // shape relative to this function's cover.
+    for (std::size_t gi = 0; gi < cone.gates.size(); ++gi) {
+      const std::vector<bool>& table = gate_tables[gi];
+      if (is_constant(table)) continue;
+      const std::vector<bool> comp = complemented(table);
+      bool ok = false;
+      logic::Cube cube;
+      for (const std::vector<bool>* t : {&table, &comp}) {
+        if (ok) break;
+        if (is_cube_function(*t, rows_bits, support, &cube)) {
+          for (const logic::Cube& q : f.products.cubes()) {
+            ok = ok || cube.contains(q);
+          }
+        }
+        ok = ok || is_union_of_products(*t, rows_bits, f.products);
+      }
+      if (!ok) {
+        const int out_net = net.gates()[cone.gates[gi]].output;
+        report.add("NL005",
+                   fn_label + ", net '" + net.net_name(out_net) + "'",
+                   "computes neither a (complemented) partial product of a "
+                   "single cover cube nor a (complemented) union of cover "
+                   "products; this decomposition is not "
+                   "hazard-non-increasing and can reintroduce hazards the "
+                   "two-level cover avoided");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bb::analyze

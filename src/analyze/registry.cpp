@@ -1,0 +1,26 @@
+#include "src/analyze/analyze.hpp"
+
+namespace bb::analyze {
+
+const std::vector<PassInfo>& all_passes() {
+  static const std::vector<PassInfo> passes = {
+      {"bm-legality", "Burst-Mode specification (bm::Spec)",
+       "AN001,AN002,AN003,AN004",
+       "fundamental-mode legality under the level-sensitive reading: "
+       "projected entry-point uniqueness, effective-burst "
+       "distinguishability, output-burst consistency, dead behaviour"},
+      {"petri-structural", "Petri net (petri::PetriNet)",
+       "PN001,PN002,PN003,PN004",
+       "structural liveness/safety without reachability: dead "
+       "transitions, unmarked siphons, the marked-trap liveness hint, "
+       "empty pre-sets"},
+      {"netlist-semantic", "mapped gate netlist (netlist::GateNetlist)",
+       "NL005,NL006,NL007",
+       "exhaustive cone audit against the synthesized two-level cover: "
+       "hazard-non-increasing decomposition shapes and functional "
+       "equivalence"},
+  };
+  return passes;
+}
+
+}  // namespace bb::analyze

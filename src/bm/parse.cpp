@@ -44,12 +44,16 @@ Spec parse_bms(std::string_view text) {
     // Arc line: <from> <to> <in burst> | <out burst>
     if (tokens.size() < 3) throw BmsParseError("bad arc line: " + line);
     Arc arc;
-    try {
-      arc.from = std::stoi(tokens[0]);
-      arc.to = std::stoi(tokens[1]);
-    } catch (const std::exception&) {
-      throw BmsParseError("bad state number in: " + line);
-    }
+    const auto state_number = [&](const std::string& token) {
+      const auto value = util::parse_ll(token);
+      if (!value || *value < 0 || *value > 1000000) {
+        throw BmsParseError("bad state number '" + token +
+                            "' (expected 0..1000000) in: " + line);
+      }
+      return static_cast<int>(*value);
+    };
+    arc.from = state_number(tokens[0]);
+    arc.to = state_number(tokens[1]);
     bool after_bar = false;
     for (std::size_t i = 2; i < tokens.size(); ++i) {
       if (tokens[i] == "|") {

@@ -196,8 +196,12 @@ ExprPtr build(const Sexp& s) {
     if (n != 4 || !s.list[2].is_atom || !s.list[3].is_atom) {
       throw ParseError("CH: " + kw + " wants (" + kw + " activity name n)");
     }
-    const int wires = std::stoi(s.list[3].atom);
-    if (wires < 1) throw ParseError("CH: " + kw + " needs n >= 1");
+    const auto wires_value = util::parse_ll(s.list[3].atom);
+    if (!wires_value || *wires_value < 1 || *wires_value > 4096) {
+      throw ParseError("CH: " + kw + " wire count '" + s.list[3].atom +
+                       "' must be an integer in 1..4096");
+    }
+    const int wires = static_cast<int>(*wires_value);
     return kw == "mult-ack"
                ? mult_ack(parse_activity(s.list[1]), s.list[2].atom, wires)
                : mult_req(parse_activity(s.list[1]), s.list[2].atom, wires);

@@ -9,10 +9,12 @@
 #include <optional>
 #include <stdexcept>
 
+#include "src/analyze/analyze.hpp"
 #include "src/bm/compile.hpp"
 #include "src/bm/validate.hpp"
 #include "src/hsnet/to_ch.hpp"
 #include "src/lint/diag.hpp"
+#include "src/petri/from_ch.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/session.hpp"
 #include "src/obs/trace.hpp"
@@ -374,6 +376,18 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
         local_absorb("BM spec of controller '" + program.name + "'",
                      lint::lint_bm(spec, options.lint_options));
       }
+      if (options.lint && options.analyze) {
+        stage = FlowStage::kLint;
+        obs::Span span("flow.analyze.bm", obs::kCatFlow,
+                       &unit.timing.lint_ms);
+        span.arg("controller", program.name);
+        local_absorb("BM semantics of controller '" + program.name + "'",
+                     analyze::analyze_bm(spec, options.lint_options));
+        local_absorb("Petri net of controller '" + program.name + "'",
+                     analyze::analyze_petri(petri::from_ch(*program.body),
+                                            program.name,
+                                            options.lint_options));
+      }
 
       stage = FlowStage::kSynthesis;
       minimalist::SynthesizedController ctrl = [&] {
@@ -416,6 +430,16 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
                        &unit.timing.techmap_ms);
         span.arg("controller", program.name);
         unit.gates = techmap::map_controller(ctrl, lib, mopts, unit.prefix);
+      }
+      if (options.lint && options.analyze) {
+        stage = FlowStage::kLint;
+        obs::Span span("flow.analyze.netlist", obs::kCatFlow,
+                       &unit.timing.lint_ms);
+        span.arg("controller", program.name);
+        local_absorb(
+            "mapped netlist of controller '" + program.name + "'",
+            analyze::analyze_mapped(*unit.gates, ctrl, unit.prefix,
+                                    options.lint_options));
       }
 
       unit.info.name = program.name;

@@ -39,6 +39,14 @@ struct FlowOptions {
   /// representation.  Error-severity findings abort the flow with a
   /// LintError; warnings are collected in ControlResult::lint_report.
   bool lint = true;
+  /// Additionally run the deep semantic passes (src/analyze): Burst-Mode
+  /// legality under the level-sensitive reading (AN), structural
+  /// Petri-net deadlock/liveness (PN), and the exhaustive mapped-cone
+  /// audit (NL005-NL007).  Off by default — the passes cost real time on
+  /// large controllers; bb-lint and the serve `analyze` op turn them on.
+  /// Requires lint == true; findings gate the flow exactly like lint
+  /// findings (errors abort with LintError).
+  bool analyze = false;
   /// Suppression list and thresholds forwarded to the lint passes.
   lint::LintOptions lint_options;
   /// Worker threads for the per-controller synthesis loop.  0 = auto

@@ -60,6 +60,43 @@ const std::vector<RuleInfo>& all_rules() {
       {"NL003", Severity::kError,
        "combinational cycle not broken by a DEL or state-holding cell"},
       {"NL004", Severity::kWarning, "net fanout exceeds the configured limit"},
+      {"NL005", Severity::kError,
+       "hazard-increasing decomposition: a mapped cone net computes "
+       "neither a (complemented) sub-cube nor a (complemented) sum of "
+       "cover products"},
+      {"NL006", Severity::kError,
+       "mapped cone function differs from the synthesized two-level "
+       "logic"},
+      {"NL007", Severity::kNote,
+       "netlist semantic audit skipped (cone exceeds the exhaustive "
+       "evaluation limit)"},
+      // --- deep Burst-Mode legality passes (src/analyze) ---
+      {"AN001", Severity::kError,
+       "unique-entry-point violation: a state is entered with conflicting "
+       "valuations of the signals its outgoing arcs depend on"},
+      {"AN002", Severity::kError,
+       "input-burst distinguishability violation between sibling arcs "
+       "(subset, effective-subset, or opposite edges of one wire)"},
+      {"AN003", Severity::kError,
+       "output-burst inconsistency: an output edge that does not toggle "
+       "at its firing point, or equal input bursts with diverging "
+       "responses"},
+      {"AN004", Severity::kWarning,
+       "dead or incomplete behaviour: an arc that can never fire, or a "
+       "cyclic wire that only ever moves in one direction"},
+      // --- Petri-net structural passes (src/analyze) ---
+      {"PN001", Severity::kError,
+       "dead transition: no token flow can ever enable it (coverability "
+       "fixpoint, no reachability)"},
+      {"PN002", Severity::kError,
+       "unmarked siphon: a place set that can never acquire a token, "
+       "structurally deadlocking its consumers"},
+      {"PN003", Severity::kWarning,
+       "no initially marked trap: every token can drain, so the net can "
+       "halt (Commoner liveness hint)"},
+      {"PN004", Severity::kError,
+       "transition with an empty pre-set fires unboundedly and breaks "
+       "1-safety"},
       // --- synthesis-flow failures (src/flow, reported via FlowError) ---
       {"FL001", Severity::kError,
        "controller failed Burst-Mode validation during the flow"},
@@ -83,6 +120,23 @@ const RuleInfo* find_rule(std::string_view id) {
   return nullptr;
 }
 
+std::vector<BaselineEntry> parse_baseline(std::string_view text) {
+  std::vector<BaselineEntry> entries;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) continue;
+    entries.push_back(BaselineEntry{std::string(line.substr(0, tab)),
+                                    std::string(line.substr(tab + 1))});
+  }
+  return entries;
+}
+
 void Report::suppress(std::string rule_id) {
   if (!is_suppressed(rule_id)) suppressed_.push_back(std::move(rule_id));
 }
@@ -90,6 +144,41 @@ void Report::suppress(std::string rule_id) {
 bool Report::is_suppressed(std::string_view rule_id) const {
   return std::find(suppressed_.begin(), suppressed_.end(), rule_id) !=
          suppressed_.end();
+}
+
+void Report::override_severity(std::string rule_id, Severity severity) {
+  for (auto& [rule, sev] : overrides_) {
+    if (rule == rule_id) {
+      sev = severity;
+      return;
+    }
+  }
+  overrides_.emplace_back(std::move(rule_id), severity);
+}
+
+void Report::baseline(BaselineEntry entry) {
+  if (!is_baselined(entry.rule, entry.object)) {
+    baseline_.push_back(std::move(entry));
+  }
+}
+
+bool Report::is_baselined(std::string_view rule_id,
+                          std::string_view object) const {
+  for (const BaselineEntry& e : baseline_) {
+    if (e.rule == rule_id && e.object == object) return true;
+  }
+  return false;
+}
+
+std::string Report::to_baseline() const {
+  std::string s = "# bb-lint baseline: one accepted finding per line "
+                  "(<rule>\\t<object>)\n";
+  for (const Diagnostic& d : diags_) {
+    // Deduplicate: several findings may share a (rule, object) pair.
+    const std::string line = d.rule + "\t" + d.object + "\n";
+    if (s.find("\n" + line) == std::string::npos) s += line;
+  }
+  return s;
 }
 
 void Report::add(std::string_view rule_id, std::string object,
@@ -109,6 +198,13 @@ void Report::add(std::string_view rule_id, Severity severity,
                                 std::string(rule_id) + "'");
   }
   if (is_suppressed(rule_id)) return;
+  if (is_baselined(rule_id, object)) return;
+  for (const auto& [rule, sev] : overrides_) {
+    if (rule == rule_id) {
+      severity = sev;
+      break;
+    }
+  }
   diags_.push_back(Diagnostic{std::string(rule_id), severity,
                               std::move(object), std::move(message)});
 }
@@ -116,7 +212,16 @@ void Report::add(std::string_view rule_id, Severity severity,
 void Report::merge(const Report& other) {
   for (const Diagnostic& d : other.diags_) {
     if (is_suppressed(d.rule)) continue;
-    diags_.push_back(d);
+    if (is_baselined(d.rule, d.object)) continue;
+    Severity severity = d.severity;
+    for (const auto& [rule, sev] : overrides_) {
+      if (rule == d.rule) {
+        severity = sev;
+        break;
+      }
+    }
+    diags_.push_back(
+        Diagnostic{d.rule, severity, d.object, d.message});
   }
 }
 
@@ -151,6 +256,7 @@ std::string Report::to_text() const {
 std::string Report::to_json() const {
   util::JsonWriter w;
   w.begin_object();
+  w.member("schema_version", kDiagSchemaVersion);
   w.key("diagnostics").begin_array();
   for (const Diagnostic& d : diags_) {
     w.begin_object()

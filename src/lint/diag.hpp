@@ -3,10 +3,12 @@
 //
 // Every finding carries a stable rule id (e.g. "NL001"), a severity, the
 // object it refers to (a channel, arc, state, net, ...) and an explanatory
-// message.  Rules are registered centrally (see diag.cpp) so reporters and
-// suppression work uniformly across all four intermediate representations
-// of the flow: handshake netlists (HS...), Burst-Mode machines (BM...),
-// two-level logic (MN...), and gate netlists (NL...).
+// message.  Rules are registered centrally (see diag.cpp) so reporters,
+// suppression, severity overrides and baselines work uniformly across
+// every intermediate representation of the flow: handshake netlists
+// (HS...), Burst-Mode machines (BM...), two-level logic (MN...), gate
+// netlists (NL...), and the deep semantic passes of src/analyze (AN...
+// over Burst-Mode machines, PN... over Petri nets).
 #pragma once
 
 #include <cstddef>
@@ -46,17 +48,45 @@ struct Diagnostic {
   std::string message;  ///< human-oriented explanation
 };
 
-/// An ordered collection of diagnostics with per-rule suppression.
+/// One accepted (baselined) finding: an exact (rule, object) pair that
+/// should not be reported again.  The object must match byte-for-byte,
+/// so a baseline pins known findings without hiding new ones on the
+/// same rule.
+struct BaselineEntry {
+  std::string rule;
+  std::string object;
+};
+
+/// Parses a baseline file: one "<rule>\t<object>" per line, '#' comments
+/// and blank lines ignored.  Malformed lines (no tab) are skipped.
+std::vector<BaselineEntry> parse_baseline(std::string_view text);
+
+/// An ordered collection of diagnostics with per-rule suppression,
+/// per-rule severity overrides, and baseline (per-finding) suppression.
 ///
-/// Suppressed rules are dropped at add() time, so a Report constructed
-/// with suppressions never contains findings for those rules (merge()
-/// re-applies the receiver's suppressions to incoming diagnostics).
+/// Suppressed rules and baselined findings are dropped at add() time, so
+/// a Report constructed with suppressions never contains findings for
+/// those rules (merge() re-applies the receiver's suppressions and
+/// baseline to incoming diagnostics).
 class Report {
  public:
   /// Suppresses a rule id.  Unknown ids are accepted (and simply never
   /// match), so suppression lists survive rule renames.
   void suppress(std::string rule_id);
   bool is_suppressed(std::string_view rule_id) const;
+
+  /// Overrides the severity every subsequent add() of `rule_id` uses
+  /// (explicit-severity add() calls are overridden too, so a config
+  /// demotion wins over a pass's own escalation).  Unknown ids are
+  /// accepted and never match.
+  void override_severity(std::string rule_id, Severity severity);
+
+  /// Drops future findings that match the entry exactly (rule + object).
+  void baseline(BaselineEntry entry);
+  bool is_baselined(std::string_view rule_id, std::string_view object) const;
+
+  /// The current findings rendered as a baseline file accepting them all.
+  std::string to_baseline() const;
 
   /// Adds a finding with the rule's registered default severity.
   /// Throws std::invalid_argument for unregistered rule ids.
@@ -84,14 +114,20 @@ class Report {
   std::string to_text() const;
 
   /// Stable machine-readable rendering:
-  ///   {"diagnostics":[{"rule":...,"severity":...,"object":...,
-  ///    "message":...},...],"errors":N,"warnings":N,"notes":N}
+  ///   {"schema_version":1,"diagnostics":[{"rule":...,"severity":...,
+  ///    "object":...,"message":...},...],"errors":N,"warnings":N,
+  ///    "notes":N}
   std::string to_json() const;
 
  private:
   std::vector<Diagnostic> diags_;
   std::vector<std::string> suppressed_;
+  std::vector<std::pair<std::string, Severity>> overrides_;
+  std::vector<BaselineEntry> baseline_;
 };
+
+/// Version tag of the lint JSON and baseline renderings.
+inline constexpr int kDiagSchemaVersion = 1;
 
 /// Escapes a string for inclusion in a JSON string literal (quotes,
 /// backslashes, control characters).

@@ -8,6 +8,7 @@
 #include "src/bm/validate.hpp"
 #include "src/minimalist/funcspec.hpp"
 #include "src/minimalist/hfmin.hpp"
+#include "src/netlist/analysis.hpp"
 
 namespace bb::lint {
 
@@ -23,6 +24,12 @@ std::string quoted(const std::string& name) { return "'" + name + "'"; }
 Report make_report(const LintOptions& options) {
   Report report;
   for (const std::string& rule : options.suppress) report.suppress(rule);
+  for (const auto& [rule, severity] : options.severity) {
+    report.override_severity(rule, severity);
+  }
+  for (const BaselineEntry& entry : options.baseline) {
+    report.baseline(entry);
+  }
   return report;
 }
 
@@ -315,92 +322,25 @@ Report lint_gates(const netlist::GateNetlist& net,
   // NL003: combinational cycles.  DEL/DOUT delay cells and state-holding
   // C-elements are legal cycle breakers (the Huffman feedback
   // discipline); any cycle made only of ordinary combinational gates
-  // oscillates or latches unpredictably.  Find strongly connected
-  // components of the combinational-gate graph (iterative Tarjan).
-  const auto is_breaker = [&](const netlist::Gate& g) {
-    return g.cell == "DEL" || g.cell == "DOUT" ||
-           g.fn == netlist::CellFn::kCelem;
-  };
-  const int num_gates = static_cast<int>(gates.size());
-  // consumers[g]: combinational gates fed by g's output.
-  std::vector<std::vector<int>> consumers(num_gates);
-  for (int g = 0; g < num_gates; ++g) {
-    if (is_breaker(gates[g])) continue;
-    for (const int f : gates[g].fanins) {
-      for (const int d : drivers[f]) {
-        if (!is_breaker(gates[d])) consumers[d].push_back(g);
+  // oscillates or latches unpredictably.
+  for (const std::vector<int>& scc : netlist::combinational_cycles(net)) {
+    std::string nets;
+    std::size_t shown = 0;
+    for (const int g : scc) {
+      if (shown == 8) {
+        nets += ", ...";
+        break;
       }
+      if (!nets.empty()) nets += ", ";
+      nets += net_label(gates[g].output);
+      ++shown;
     }
-  }
-  std::vector<int> index(num_gates, -1), lowlink(num_gates, 0);
-  std::vector<char> on_stack(num_gates, 0);
-  std::vector<int> stack;
-  int next_index = 0;
-  struct Frame {
-    int gate;
-    std::size_t child;
-  };
-  for (int root = 0; root < num_gates; ++root) {
-    if (index[root] >= 0 || is_breaker(gates[root])) continue;
-    std::vector<Frame> call_stack{{root, 0}};
-    index[root] = lowlink[root] = next_index++;
-    stack.push_back(root);
-    on_stack[root] = 1;
-    while (!call_stack.empty()) {
-      Frame& frame = call_stack.back();
-      const int v = frame.gate;
-      if (frame.child < consumers[v].size()) {
-        const int w = consumers[v][frame.child++];
-        if (index[w] < 0) {
-          index[w] = lowlink[w] = next_index++;
-          stack.push_back(w);
-          on_stack[w] = 1;
-          call_stack.push_back(Frame{w, 0});
-        } else if (on_stack[w]) {
-          lowlink[v] = std::min(lowlink[v], index[w]);
-        }
-        continue;
-      }
-      call_stack.pop_back();
-      if (!call_stack.empty()) {
-        const int parent = call_stack.back().gate;
-        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
-      }
-      if (lowlink[v] == index[v]) {
-        std::vector<int> scc;
-        int w;
-        do {
-          w = stack.back();
-          stack.pop_back();
-          on_stack[w] = 0;
-          scc.push_back(w);
-        } while (w != v);
-        const bool self_loop =
-            scc.size() == 1 &&
-            std::find(consumers[v].begin(), consumers[v].end(), v) !=
-                consumers[v].end();
-        if (scc.size() > 1 || self_loop) {
-          std::string nets;
-          std::size_t shown = 0;
-          for (const int g : scc) {
-            if (shown == 8) {
-              nets += ", ...";
-              break;
-            }
-            if (!nets.empty()) nets += ", ";
-            nets += net_label(gates[g].output);
-            ++shown;
-          }
-          report.add("NL003",
-                     "cycle through " + std::to_string(scc.size()) +
-                         " gate(s)",
-                     "combinational feedback loop (" + nets +
-                         ") contains no DEL/DOUT delay cell and no "
-                         "state-holding cell; it can oscillate or latch "
-                         "an undefined value");
-        }
-      }
-    }
+    report.add("NL003",
+               "cycle through " + std::to_string(scc.size()) + " gate(s)",
+               "combinational feedback loop (" + nets +
+                   ") contains no DEL/DOUT delay cell and no "
+                   "state-holding cell; it can oscillate or latch "
+                   "an undefined value");
   }
 
   // NL004: fanout limits.

@@ -12,7 +12,9 @@
 // standalone on any design.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/bm/spec.hpp"
@@ -26,11 +28,23 @@ namespace bb::lint {
 struct LintOptions {
   /// Rule ids to drop (per-rule suppression).
   std::vector<std::string> suppress;
+  /// Per-rule severity overrides (rule id -> severity); they win over
+  /// both registered defaults and pass-side escalations.
+  std::vector<std::pair<std::string, Severity>> severity;
+  /// Accepted findings (exact rule + object pairs) that should not be
+  /// reported again; usually loaded from a baseline file.
+  std::vector<BaselineEntry> baseline;
   /// NL004 threshold: maximum gate inputs one net may drive.
   int fanout_limit = 48;
+  /// NL005/NL006 cap: the semantic netlist audit evaluates each mapped
+  /// cone exhaustively over its variables; cones needing more than this
+  /// many evaluations are skipped with an NL007 note instead of burning
+  /// exponential time.
+  std::size_t cone_eval_limit = 1u << 16;
 };
 
-/// Seeds a report with the options' suppressions.
+/// Seeds a report with the options' suppressions, severity overrides and
+/// baseline.
 Report make_report(const LintOptions& options);
 
 /// Handshake layer: dangling/unconnected channels (HS001/HS002),

@@ -1,0 +1,93 @@
+#include "src/lint/sarif.hpp"
+
+#include "src/util/json.hpp"
+
+namespace bb::lint {
+
+namespace {
+
+/// SARIF "level" for a severity ("note" / "warning" / "error").
+std::string_view sarif_level(Severity severity) {
+  return severity_name(severity);
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<SarifInput>& inputs,
+                     std::string_view tool_name,
+                     std::string_view tool_version) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("$schema",
+           "https://json.schemastore.org/sarif-2.1.0.json");
+  w.member("version", "2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.member("name", tool_name);
+  w.member("version", tool_version);
+  w.member("informationUri",
+           "https://github.com/balsa-bm-backend/balsa-bm-backend");
+  w.key("rules").begin_array();
+  for (const RuleInfo& rule : all_rules()) {
+    w.begin_object();
+    w.member("id", rule.id);
+    w.key("shortDescription").begin_object();
+    w.member("text", rule.title);
+    w.end_object();
+    w.key("defaultConfiguration").begin_object();
+    w.member("level", sarif_level(rule.severity));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();  // rules
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  w.key("results").begin_array();
+  for (const SarifInput& input : inputs) {
+    for (const Diagnostic& d : input.report->diagnostics()) {
+      w.begin_object();
+      w.member("ruleId", d.rule);
+      w.member("level", sarif_level(d.severity));
+      w.key("message").begin_object();
+      w.member("text", d.message);
+      w.end_object();
+      w.key("locations").begin_array();
+      w.begin_object();
+      w.key("logicalLocations").begin_array();
+      w.begin_object();
+      w.member("fullyQualifiedName",
+               input.design.empty() ? d.object
+                                    : input.design + "::" + d.object);
+      w.member("name", d.object);
+      w.end_object();
+      w.end_array();  // logicalLocations
+      w.end_object();
+      w.end_array();  // locations
+      if (!input.design.empty()) {
+        w.key("properties").begin_object();
+        w.member("design", input.design);
+        w.end_object();
+      }
+      w.end_object();  // result
+    }
+  }
+  w.end_array();  // results
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  return w.str();
+}
+
+std::string to_sarif(const Report& report, std::string_view design,
+                     std::string_view tool_name,
+                     std::string_view tool_version) {
+  return to_sarif({SarifInput{std::string(design), &report}}, tool_name,
+                  tool_version);
+}
+
+}  // namespace bb::lint

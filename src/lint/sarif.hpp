@@ -1,0 +1,36 @@
+// SARIF 2.1.0 export for lint/analysis reports, so findings load into
+// standard viewers (GitHub code scanning, VS Code SARIF viewer, ...).
+//
+// The flow's diagnostics are attached to logical objects (a channel, an
+// arc, a net), not source lines, so results carry logicalLocations with
+// the object's fully-qualified name; the design each report came from is
+// recorded as the location's decoratedName and in the result properties.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/diag.hpp"
+
+namespace bb::lint {
+
+/// One analyzed design and its findings, for a multi-design SARIF run.
+struct SarifInput {
+  std::string design;    ///< design name or file path ("" for anonymous)
+  const Report* report;  ///< must outlive the to_sarif call
+};
+
+/// Renders one SARIF 2.1.0 document with a single run.  The tool driver
+/// lists every registered rule (with its default severity) so viewers can
+/// show titles for rules with no findings in this run.
+std::string to_sarif(const std::vector<SarifInput>& inputs,
+                     std::string_view tool_name = "bb-lint",
+                     std::string_view tool_version = "1.0.0");
+
+/// Single-report convenience wrapper.
+std::string to_sarif(const Report& report, std::string_view design = "",
+                     std::string_view tool_name = "bb-lint",
+                     std::string_view tool_version = "1.0.0");
+
+}  // namespace bb::lint

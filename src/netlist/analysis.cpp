@@ -44,6 +44,227 @@ NetlistStats analyze(const GateNetlist& netlist) {
   return stats;
 }
 
+bool is_cycle_breaker(const Gate& gate) {
+  return gate.cell == "DEL" || gate.cell == "DOUT" ||
+         gate.fn == CellFn::kCelem;
+}
+
+std::vector<std::vector<int>> combinational_cycles(const GateNetlist& net) {
+  const std::vector<Gate>& gates = net.gates();
+  const int num_gates = static_cast<int>(gates.size());
+  // Per-net driver lists (a malformed netlist can have several drivers on
+  // one net; NL001 reports that separately but the cycle finder should
+  // still terminate on it).
+  std::vector<std::vector<int>> drivers(net.num_nets());
+  for (int g = 0; g < num_gates; ++g) {
+    if (gates[g].output >= 0) drivers[gates[g].output].push_back(g);
+  }
+  // consumers[g]: combinational gates fed by g's output.
+  std::vector<std::vector<int>> consumers(num_gates);
+  for (int g = 0; g < num_gates; ++g) {
+    if (is_cycle_breaker(gates[g])) continue;
+    for (const int f : gates[g].fanins) {
+      for (const int d : drivers[f]) {
+        if (!is_cycle_breaker(gates[d])) consumers[d].push_back(g);
+      }
+    }
+  }
+
+  // Iterative Tarjan over the combinational subgraph.
+  std::vector<std::vector<int>> cycles;
+  std::vector<int> index(num_gates, -1), lowlink(num_gates, 0);
+  std::vector<char> on_stack(num_gates, 0);
+  std::vector<int> stack;
+  int next_index = 0;
+  struct Frame {
+    int gate;
+    std::size_t child;
+  };
+  for (int root = 0; root < num_gates; ++root) {
+    if (index[root] >= 0 || is_cycle_breaker(gates[root])) continue;
+    std::vector<Frame> call_stack{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const int v = frame.gate;
+      if (frame.child < consumers[v].size()) {
+        const int w = consumers[v][frame.child++];
+        if (index[w] < 0) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const int parent = call_stack.back().gate;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<int> scc;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc.push_back(w);
+        } while (w != v);
+        const bool self_loop =
+            scc.size() == 1 &&
+            std::find(consumers[v].begin(), consumers[v].end(), v) !=
+                consumers[v].end();
+        if (scc.size() > 1 || self_loop) cycles.push_back(std::move(scc));
+      }
+    }
+  }
+  return cycles;
+}
+
+Cone extract_cone(const GateNetlist& net, int root, std::size_t max_gates) {
+  Cone cone;
+  cone.root = root;
+  const std::vector<Gate>& gates = net.gates();
+  const std::vector<int> driver = net.driver_table();
+
+  // Iterative post-order DFS over nets so fanins land in cone.gates
+  // before their consumers.  state: 0 unvisited, 1 in progress, 2 done.
+  std::vector<char> state(net.num_nets(), 0);
+  std::vector<char> is_leaf(net.num_nets(), 0);
+  struct Frame {
+    int net;
+    std::size_t child;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  state[root] = 1;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const int n = frame.net;
+    const int g = driver[n];
+    const bool leaf = g < 0 || net.is_input(n) || is_cycle_breaker(gates[g]) ||
+                      (cone.truncated && state[n] != 2);
+    if (leaf) {
+      if (!is_leaf[n]) {
+        is_leaf[n] = 1;
+        cone.leaves.push_back(n);
+      }
+      state[n] = 2;
+      stack.pop_back();
+      continue;
+    }
+    if (frame.child < gates[g].fanins.size()) {
+      const int f = gates[g].fanins[frame.child++];
+      if (state[f] == 0) {
+        state[f] = 1;
+        stack.push_back(Frame{f, 0});
+      } else if (state[f] == 1 && !is_leaf[f]) {
+        // Combinational cycle inside the cone (an NL003 condition of its
+        // own); cut it here so extraction terminates.
+        is_leaf[f] = 1;
+        cone.leaves.push_back(f);
+      }
+      continue;
+    }
+    state[n] = 2;
+    stack.pop_back();
+    if (cone.gates.size() >= max_gates) {
+      cone.truncated = true;
+    } else {
+      cone.gates.push_back(g);
+    }
+  }
+  return cone;
+}
+
+bool eval_gate(const Gate& gate, const std::vector<char>& value) {
+  const auto in = [&](std::size_t i) {
+    return value[gate.fanins[i]] != 0;
+  };
+  switch (gate.fn) {
+    case CellFn::kInv:
+      return !in(0);
+    case CellFn::kBuf:
+      return gate.fanins.empty() ? false : in(0);
+    case CellFn::kAnd:
+    case CellFn::kNand: {
+      bool all = true;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) all = all && in(i);
+      return gate.fn == CellFn::kAnd ? all : !all;
+    }
+    case CellFn::kOr:
+    case CellFn::kNor: {
+      bool any = false;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) any = any || in(i);
+      return gate.fn == CellFn::kOr ? any : !any;
+    }
+    case CellFn::kXor: {
+      bool parity = false;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) parity ^= in(i);
+      return parity;
+    }
+    case CellFn::kCelem: {
+      // State-holding cells never sit inside an extracted cone (they cut
+      // it); evaluate combinationally as all-inputs-high for robustness.
+      bool all = true;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) all = all && in(i);
+      return all;
+    }
+    case CellFn::kConst0:
+      return false;
+    case CellFn::kConst1:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Fills `value` (indexed by net id) for one leaf assignment.
+void eval_cone_nets(const GateNetlist& net, const Cone& cone,
+                    const std::vector<bool>& leaf_values,
+                    std::vector<char>& value) {
+  for (std::size_t i = 0; i < cone.leaves.size(); ++i) {
+    value[cone.leaves[i]] = leaf_values[i] ? 1 : 0;
+  }
+  for (const int g : cone.gates) {
+    const Gate& gate = net.gates()[g];
+    value[gate.output] = eval_gate(gate, value) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+bool eval_cone(const GateNetlist& net, const Cone& cone,
+               const std::vector<bool>& leaf_values) {
+  std::vector<char> value(net.num_nets(), 0);
+  eval_cone_nets(net, cone, leaf_values, value);
+  return value[cone.root] != 0;
+}
+
+std::vector<bool> cone_truth_table(const GateNetlist& net, const Cone& cone,
+                                   int target, std::size_t limit) {
+  const std::size_t vars = cone.leaves.size();
+  if (vars >= 8 * sizeof(std::size_t) - 1) return {};
+  const std::size_t rows = std::size_t{1} << vars;
+  if (rows > limit) return {};
+  std::vector<bool> table(rows, false);
+  std::vector<bool> leaf_values(vars, false);
+  std::vector<char> value(net.num_nets(), 0);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t i = 0; i < vars; ++i) {
+      leaf_values[i] = (row >> i) & 1u;
+    }
+    eval_cone_nets(net, cone, leaf_values, value);
+    table[row] = value[target] != 0;
+  }
+  return table;
+}
+
 std::string histogram_string(const NetlistStats& stats) {
   std::vector<std::pair<std::string, int>> entries(
       stats.cell_histogram.begin(), stats.cell_histogram.end());

@@ -1,10 +1,13 @@
-// Static analysis of gate netlists: cell histograms and worst-case
-// combinational depth (for reports and for checking the timing-discipline
-// assumptions of the mapped controllers).
+// Static analysis of gate netlists: cell histograms, worst-case
+// combinational depth, combinational-cycle detection, and logic-cone
+// extraction/evaluation (the machinery behind the NL003/NL005/NL006
+// semantic passes).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/netlist/gates.hpp"
 
@@ -23,5 +26,46 @@ NetlistStats analyze(const GateNetlist& netlist);
 
 /// Formats the histogram as "NAND2 x12, INV x9, ...".
 std::string histogram_string(const NetlistStats& stats);
+
+/// True for cells that legally break combinational feedback: DEL/DOUT
+/// delay elements and state-holding cells (the Huffman discipline).
+bool is_cycle_breaker(const Gate& gate);
+
+/// Strongly connected components of the combinational-gate graph
+/// (cycle-breaker cells excluded) that form feedback loops: every
+/// returned component either has more than one gate or is a true
+/// self-loop.  Gate indices within a component and the components
+/// themselves are in deterministic (Tarjan discovery) order.
+std::vector<std::vector<int>> combinational_cycles(const GateNetlist& net);
+
+/// The combinational cone that computes net `root`: every gate reachable
+/// backwards from `root` without crossing a cycle-breaker cell.  Leaves
+/// are the nets the cone reads from outside itself (primary inputs,
+/// breaker-cell outputs, undriven nets).
+struct Cone {
+  int root = -1;               ///< the net the cone drives
+  std::vector<int> leaves;     ///< leaf net ids, in first-visit order
+  std::vector<int> gates;      ///< topologically ordered gate indices
+  bool truncated = false;      ///< hit max_gates; contents incomplete
+};
+
+Cone extract_cone(const GateNetlist& net, int root,
+                  std::size_t max_gates = 4096);
+
+/// Combinationally evaluates one gate from net values indexed by net id
+/// (non-zero = high).  C-elements evaluate as all-inputs-high.
+bool eval_gate(const Gate& gate, const std::vector<char>& net_values);
+
+/// Evaluates every gate of the cone for one assignment of its leaves
+/// (leaf_values aligned with cone.leaves) and returns the root value.
+bool eval_cone(const GateNetlist& net, const Cone& cone,
+               const std::vector<bool>& leaf_values);
+
+/// Truth table of one cone net over all 2^leaves assignments (leaf 0 is
+/// the least significant index bit).  `target` is the net to sample —
+/// the root or any intermediate gate output inside the cone.  Returns an
+/// empty vector when 2^leaves would exceed `limit`.
+std::vector<bool> cone_truth_table(const GateNetlist& net, const Cone& cone,
+                                   int target, std::size_t limit);
 
 }  // namespace bb::netlist

@@ -75,7 +75,8 @@ bool parse_request(const std::string& line, Request* request,
   req.id = doc->get_string("id");
   req.op = doc->get_string("op");
   if (req.op != "ping" && req.op != "stats" && req.op != "shutdown" &&
-      req.op != "synthesize" && req.op != "synthesize_bm") {
+      req.op != "synthesize" && req.op != "synthesize_bm" &&
+      req.op != "analyze") {
     *error = "unknown op '" + req.op + "'";
     return false;
   }
@@ -87,8 +88,9 @@ bool parse_request(const std::string& line, Request* request,
     *error = "mode must be \"speed\" or \"area\"";
     return false;
   }
-  if (req.op == "synthesize" && req.design.empty() == req.source.empty()) {
-    *error = "synthesize needs exactly one of 'design' or 'source'";
+  if ((req.op == "synthesize" || req.op == "analyze") &&
+      req.design.empty() == req.source.empty()) {
+    *error = req.op + " needs exactly one of 'design' or 'source'";
     return false;
   }
   if (req.op == "synthesize_bm" && req.bms.empty()) {
@@ -116,6 +118,8 @@ bool parse_request(const std::string& line, Request* request,
       }
     }
     req.options.verilog = opts->get_bool("verilog", false);
+    req.options.sarif = opts->get_bool("sarif", false);
+    req.options.no_analyze = opts->get_bool("no_analyze", false);
     if (!member_error.empty()) {
       *error = member_error;
       return false;

@@ -10,6 +10,8 @@
 //   synthesize     full flow over "source" (mini-     -> report, area,
 //                  Balsa text) or "design" (built-in)    timings, cache
 //   synthesize_bm  one Burst-Mode spec ("bms" text)   -> .sol logic
+//   analyze        every lint + semantic pass over    -> lint JSON (and
+//                  "source"/"design", never aborting     SARIF on request)
 //
 // Replies echo the request "id" (when given) and carry one of the
 // statuses: "ok", "error" (structured stage/rule/message), "overloaded"
@@ -44,11 +46,18 @@ struct RequestOptions {
   /// Include structural Verilog of the mapped control netlist in the
   /// reply (synthesize only).
   bool verilog = false;
+  /// Include a SARIF 2.1.0 rendering of the findings in the reply
+  /// (analyze only).
+  bool sarif = false;
+  /// Skip the deep semantic passes (AN/PN/NL005+) and run only the
+  /// per-layer lint passes (analyze only).
+  bool no_analyze = false;
 };
 
 struct Request {
   std::string id;      ///< echoed verbatim in the reply; may be empty
-  std::string op;      ///< ping / stats / shutdown / synthesize / synthesize_bm
+  std::string op;      ///< ping / stats / shutdown / synthesize /
+                       ///< synthesize_bm / analyze
   std::string design;  ///< built-in design name (synthesize)
   std::string source;  ///< inline mini-Balsa text (synthesize)
   std::string bms;     ///< inline .bms text (synthesize_bm)

@@ -19,7 +19,9 @@
 #include "src/bm/parse.hpp"
 #include "src/bm/validate.hpp"
 #include "src/designs/designs.hpp"
+#include "src/flow/analyze.hpp"
 #include "src/flow/flow.hpp"
+#include "src/lint/sarif.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -154,8 +156,9 @@ struct Server::Impl {
   Outcome execute(const Request& req) {
     Outcome out;
     try {
-      out.result_json = req.op == "synthesize" ? execute_synthesize(req)
-                                               : execute_synthesize_bm(req);
+      out.result_json = req.op == "synthesize"      ? execute_synthesize(req)
+                        : req.op == "synthesize_bm" ? execute_synthesize_bm(req)
+                                                    : execute_analyze(req);
       out.ok = true;
       bump(&ServerStats::completed);
       return out;
@@ -255,6 +258,40 @@ struct Server::Impl {
                       : use_cache                            ? "miss"
                                                              : "off");
     w.member("sol", ctrl.to_sol());
+    w.end_object();
+    return w.str();
+  }
+
+  std::string execute_analyze(const Request& req) {
+    std::string source = req.source;
+    std::string name = req.design;
+    if (!req.design.empty()) {
+      try {
+        source = designs::design(req.design).source;
+      } catch (const std::out_of_range&) {
+        throw std::runtime_error("unknown design '" + req.design + "'");
+      }
+    }
+    const auto net = balsa::compile_source(source);
+    flow::FlowOptions options =
+        apply_options(req.options, this->options.default_work_budget);
+    options.analyze = !req.options.no_analyze;
+    const flow::AnalyzeResult analyzed = flow::analyze_control(net, options);
+
+    util::JsonWriter w;
+    w.begin_object();
+    if (!name.empty()) w.member("design", name);
+    w.member("errors", static_cast<std::uint64_t>(
+                           analyzed.report.count(lint::Severity::kError)));
+    w.member("warnings", static_cast<std::uint64_t>(
+                             analyzed.report.count(lint::Severity::kWarning)));
+    w.key("skipped").begin_array();
+    for (const std::string& s : analyzed.skipped) w.value(s);
+    w.end_array();
+    w.key("lint").raw(analyzed.report.to_json());
+    if (req.options.sarif) {
+      w.member("sarif", lint::to_sarif(analyzed.report, name));
+    }
     w.end_object();
     return w.str();
   }

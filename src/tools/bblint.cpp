@@ -1,22 +1,33 @@
 // bb-lint — standalone static analysis for any design in the flow.
 //
 // Compiles a mini-Balsa source (or a built-in evaluation design) and runs
-// every lint pass over every intermediate representation it produces:
+// every lint AND semantic-analysis pass over every intermediate
+// representation it produces:
 //
 //   handshake netlist      HS001-HS005  (dangling channels, direction
 //                                        mismatches, unreachable parts)
 //   Burst-Mode machines    BM001-BM007  (well-formedness, determinism,
 //                                        polarity alternation)
+//                          AN001-AN004  (level-sensitive legality,
+//                                        entry-point uniqueness, dead
+//                                        behaviour)
+//   Petri nets             PN001-PN004  (structural deadlock/liveness,
+//                                        no reachability graph)
 //   two-level logic        MN001-MN003  (function-hazard screen)
 //   mapped gate netlist    NL001-NL004  (drivers, floating inputs,
 //                                        combinational cycles, fanout)
+//                          NL005-NL007  (hazard-non-increasing mapping
+//                                        audit against the covers)
 //
 // Usage:
-//   bb-lint <file.balsa|design|all> [--json] [--unoptimized]
-//           [--max-states N] [--fanout-limit N] [--suppress ID[,ID...]]
+//   bb-lint <file.balsa|design|all> [--json] [--sarif FILE]
+//           [--severity RULE=SEV[,...]] [--baseline FILE]
+//           [--write-baseline FILE] [--max-warnings N] [--no-analyze]
+//           [--unoptimized] [--max-states N] [--fanout-limit N]
+//           [--suppress ID[,ID...]]
 //
-// Exit status: 0 no errors, 1 Error-severity findings (or a stage
-// crashed), 2 usage.
+// Exit status: 0 clean, 1 Error-severity findings (or warnings above
+// --max-warnings, or a stage crashed), 2 usage.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -24,26 +35,25 @@
 #include <vector>
 
 #include "src/balsa/compile.hpp"
-#include "src/bm/compile.hpp"
 #include "src/designs/designs.hpp"
+#include "src/flow/analyze.hpp"
 #include "src/flow/flow.hpp"
-#include "src/hsnet/to_ch.hpp"
 #include "src/lint/lint.hpp"
-#include "src/minimalist/synth.hpp"
+#include "src/lint/sarif.hpp"
 #include "src/obs/session.hpp"
-#include "src/opt/cluster.hpp"
-#include "src/techmap/cells.hpp"
-#include "src/techmap/map.hpp"
-#include "src/techmap/templates.hpp"
 #include "src/util/strings.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: bb-lint <file.balsa|design|all> [--json] "
-               "[--unoptimized] [--max-states N] [--fanout-limit N] "
-               "[--suppress ID[,ID...]]\n"
-               "built-in designs: systolic wagging stack ssem (or 'all')\n";
+  std::cerr
+      << "usage: bb-lint <file.balsa|design|all> [--json] [--sarif FILE]\n"
+         "               [--severity RULE=SEV[,...]] [--baseline FILE]\n"
+         "               [--write-baseline FILE] [--max-warnings N]\n"
+         "               [--no-analyze] [--unoptimized] [--max-states N]\n"
+         "               [--fanout-limit N] [--suppress ID[,ID...]]\n"
+         "built-in designs: systolic wagging stack ssem (or 'all')\n"
+         "SEV is one of: note, warning, error\n";
   std::exit(2);
 }
 
@@ -62,55 +72,22 @@ std::string load_source(const std::string& arg) {
   return text.str();
 }
 
-/// Runs every lint stage over one design, mirroring the flow's IR
-/// sequence but never aborting: all findings end up in one report.
-bb::lint::Report lint_design(const std::string& source,
-                             const bb::flow::FlowOptions& options) {
-  const auto& lopts = options.lint_options;
-  bb::lint::Report report = bb::lint::make_report(lopts);
-  const auto net = bb::balsa::compile_source(source);
-  report.merge(bb::lint::lint_handshake(net, lopts));
+bb::lint::Severity parse_severity(const std::string& name) {
+  if (name == "note") return bb::lint::Severity::kNote;
+  if (name == "warning") return bb::lint::Severity::kWarning;
+  if (name == "error") return bb::lint::Severity::kError;
+  std::cerr << "bb-lint: unknown severity '" << name
+            << "' (expected note, warning or error)\n";
+  std::exit(2);
+}
 
-  const auto& lib = bb::techmap::CellLibrary::ams035();
-  bb::netlist::GateNetlist gates("control");
-
-  std::vector<bb::ch::Program> programs;
-  for (const int id : net.control_ids()) {
-    const auto& component = net.component(id);
-    if (!options.cluster && options.templates &&
-        bb::techmap::has_template(component.kind)) {
-      gates.merge(*bb::techmap::template_circuit(component, lib));
-      continue;
-    }
-    programs.push_back(bb::hsnet::to_ch(component));
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bb-lint: cannot write '" << path << "'\n";
+    std::exit(1);
   }
-  bb::opt::ClusterOptions copts;
-  copts.max_states = options.max_states;
-  const auto clustered =
-      options.cluster
-          ? bb::opt::optimize(std::move(programs), copts, nullptr)
-          : bb::opt::wrap(std::move(programs));
-
-  bb::techmap::MapOptions mopts;
-  mopts.level_separated = options.level_separated;
-  for (std::size_t i = 0; i < clustered.size(); ++i) {
-    const auto& program = clustered[i].program;
-    const auto spec = bb::bm::compile(*program.body, program.name);
-    report.merge(bb::lint::lint_bm(spec, lopts));
-    try {
-      const auto ctrl = bb::minimalist::synthesize(spec, options.mode);
-      report.merge(bb::lint::lint_two_level(ctrl, spec, lopts));
-      gates.merge(bb::techmap::map_controller(
-          ctrl, lib, mopts, "ctl" + std::to_string(i)));
-    } catch (const std::exception& e) {
-      // An invalid machine was already reported above; note the
-      // downstream consequence and keep linting the other controllers.
-      std::cerr << "bb-lint: controller '" << program.name
-                << "' could not be synthesized: " << e.what() << "\n";
-    }
-  }
-  report.merge(bb::lint::lint_gates(gates, lopts));
-  return report;
+  out << content;
 }
 
 }  // namespace
@@ -120,15 +97,43 @@ int main(int argc, char** argv) {
   const std::string target = argv[1];
 
   bool json = false;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  long long max_warnings = -1;  // -1 = unlimited
   bb::flow::FlowOptions options = bb::flow::FlowOptions::optimized();
+  options.analyze = true;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--json") {
       json = true;
+    } else if (flag == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (flag == "--severity" && i + 1 < argc) {
+      std::stringstream entries(argv[++i]);
+      std::string entry;
+      while (std::getline(entries, entry, ',')) {
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) usage();
+        options.lint_options.severity.emplace_back(
+            entry.substr(0, eq), parse_severity(entry.substr(eq + 1)));
+      }
+    } else if (flag == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (flag == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (flag == "--max-warnings" && i + 1 < argc) {
+      max_warnings =
+          bb::util::parse_int("bb-lint", "--max-warnings", argv[++i], 0,
+                              1000000000);
+    } else if (flag == "--no-analyze") {
+      options.analyze = false;
     } else if (flag == "--unoptimized") {
-      const bool keep_json = json;
+      const bool keep_analyze = options.analyze;
+      auto keep_lint_options = options.lint_options;
       options = bb::flow::FlowOptions::unoptimized();
-      json = keep_json;
+      options.analyze = keep_analyze;
+      options.lint_options = std::move(keep_lint_options);
     } else if (flag == "--max-states" && i + 1 < argc) {
       options.max_states = static_cast<int>(
           bb::util::parse_int("bb-lint", "--max-states", argv[++i], 0, 1000000));
@@ -146,8 +151,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::cerr << "bb-lint: cannot open baseline '" << baseline_path
+                << "'\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    options.lint_options.baseline = bb::lint::parse_baseline(text.str());
+  }
+
   // Tracing/metrics are env-only here (BB_TRACE/BB_METRICS); the lint
-  // flow reuses synthesize_control, so the spans are the same as bbbc's.
+  // flow mirrors synthesize_control's IR chain, so the spans line up
+  // with bbbc's.
   bb::obs::Session session(bb::obs::env_or("", "BB_TRACE"),
                            bb::obs::env_or("", "BB_METRICS"));
 
@@ -159,19 +177,50 @@ int main(int argc, char** argv) {
   }
 
   bool errors = false;
+  std::size_t warnings = 0;
+  std::vector<std::pair<std::string, bb::lint::Report>> reports;
   try {
     for (const std::string& name : names) {
-      const bb::lint::Report report = lint_design(load_source(name), options);
+      const auto net = bb::balsa::compile_source(load_source(name));
+      auto analyzed = bb::flow::analyze_control(net, options);
       if (json) {
-        std::cout << report.to_json() << "\n";
+        std::cout << analyzed.report.to_json() << "\n";
       } else {
         if (names.size() > 1) std::cout << "== " << name << " ==\n";
-        std::cout << report.to_text();
+        std::cout << analyzed.report.to_text();
       }
-      errors = errors || report.has_errors();
+      errors = errors || analyzed.report.has_errors();
+      warnings += analyzed.report.count(bb::lint::Severity::kWarning);
+      reports.emplace_back(name, std::move(analyzed.report));
     }
   } catch (const std::exception& e) {
     std::cerr << "bb-lint: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!sarif_path.empty()) {
+    std::vector<bb::lint::SarifInput> inputs;
+    for (const auto& [name, report] : reports) {
+      inputs.push_back(bb::lint::SarifInput{name, &report});
+    }
+    const std::string sarif = bb::lint::to_sarif(inputs);
+    if (sarif_path == "-") {
+      std::cout << sarif << "\n";
+    } else {
+      write_file(sarif_path, sarif);
+    }
+  }
+
+  if (!write_baseline_path.empty()) {
+    bb::lint::Report merged;
+    for (const auto& [name, report] : reports) merged.merge(report);
+    write_file(write_baseline_path, merged.to_baseline());
+  }
+
+  if (max_warnings >= 0 &&
+      warnings > static_cast<std::size_t>(max_warnings)) {
+    std::cerr << "bb-lint: " << warnings << " warning(s) exceed the "
+              << "--max-warnings threshold of " << max_warnings << "\n";
     return 1;
   }
   return errors ? 1 : 0;

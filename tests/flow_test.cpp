@@ -10,6 +10,7 @@
 
 #include "src/balsa/compile.hpp"
 #include "src/designs/designs.hpp"
+#include "src/flow/analyze.hpp"
 #include "src/flow/system.hpp"
 #include "src/flow/testbench.hpp"
 #include "src/util/strings.hpp"
@@ -113,6 +114,31 @@ TEST(Flow, SsemStoresExpectedValues) {
   const auto r = run_benchmark("ssem", FlowOptions::optimized());
   EXPECT_TRUE(r.ok) << r.detail;
   EXPECT_NE(r.detail.find("stores 0..4"), std::string::npos);
+}
+
+TEST(Flow, AnalyzeGateRunsDeepPassesCleanOnSystolic) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  // The in-flow gate: analyze=true runs the AN/PN/NL semantic passes on
+  // every controller and aborts on errors; the paper designs are clean,
+  // so synthesis must succeed with the gate enabled.
+  FlowOptions options = FlowOptions::optimized();
+  options.analyze = true;
+  const auto result = synthesize_control(net, options);
+  EXPECT_EQ(result.controllers.size(), 1u);
+}
+
+TEST(Flow, AnalyzeControlCollectsFindingsWithoutAborting) {
+  const auto net =
+      balsa::compile_source(designs::systolic_counter().source);
+  FlowOptions options = FlowOptions::optimized();
+  options.analyze = true;
+  const AnalyzeResult analyzed = analyze_control(net, options);
+  EXPECT_EQ(analyzed.report.count(lint::Severity::kError), 0u)
+      << analyzed.report.to_text();
+  EXPECT_EQ(analyzed.report.count(lint::Severity::kWarning), 0u)
+      << analyzed.report.to_text();
+  EXPECT_TRUE(analyzed.skipped.empty());
 }
 
 TEST(Flow, UnknownDesignThrows) {

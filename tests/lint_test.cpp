@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "src/balsa/compile.hpp"
 #include "src/bm/compile.hpp"
@@ -15,6 +18,7 @@
 #include "src/designs/designs.hpp"
 #include "src/flow/flow.hpp"
 #include "src/lint/diag.hpp"
+#include "src/lint/sarif.hpp"
 #include "src/minimalist/synth.hpp"
 
 namespace bb::lint {
@@ -134,7 +138,7 @@ TEST(Diag, JsonReporterGolden) {
   report.add("NL004", "net 'y'", "drives 9 gate inputs (limit \"8\")");
   EXPECT_EQ(
       report.to_json(),
-      "{\"diagnostics\":["
+      "{\"schema_version\":1,\"diagnostics\":["
       "{\"rule\":\"BM002\",\"severity\":\"error\",\"object\":\"arc 0->1\","
       "\"message\":\"input burst is empty\"},"
       "{\"rule\":\"NL004\",\"severity\":\"warning\",\"object\":\"net 'y'\","
@@ -145,6 +149,107 @@ TEST(Diag, JsonReporterGolden) {
 TEST(Diag, JsonEscapesControlCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Diag, SeverityOverrideAppliesAtAddAndMergeTime) {
+  Report report;
+  report.override_severity("BM002", Severity::kWarning);
+  report.add("BM002", "arc 0->1", "demoted at add time");
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.count(Severity::kWarning), 1u);
+
+  Report other;
+  other.add("BM002", "arc 1->2", "demoted at merge time");
+  report.merge(other);
+  EXPECT_EQ(report.count(Severity::kWarning), 2u);
+  EXPECT_FALSE(report.has_errors());
+
+  // An override wins over a pass's explicit-severity add too.
+  report.add("BM002", Severity::kError, "arc 2->3", "escalation overridden");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(Diag, BaselineSuppressesTheExactFindingOnly) {
+  Report report;
+  report.baseline({"NL004", "net 'y'"});
+  report.add("NL004", "net 'y'", "accepted finding");
+  EXPECT_TRUE(report.empty());
+  report.add("NL004", "net 'z'", "a new finding on the same rule");
+  EXPECT_EQ(report.count(Severity::kWarning), 1u);
+  EXPECT_TRUE(report.is_baselined("NL004", "net 'y'"));
+  EXPECT_FALSE(report.is_baselined("NL004", "net 'z'"));
+}
+
+TEST(Diag, BaselineRoundTripsThroughRenderAndParse) {
+  Report report;
+  report.add("BM002", "arc 0->1", "x");
+  report.add("NL004", "net 'y'", "y");
+  const auto entries = parse_baseline(report.to_baseline());
+  ASSERT_EQ(entries.size(), 2u);
+  Report filtered;
+  for (const auto& e : entries) filtered.baseline(e);
+  filtered.merge(report);
+  EXPECT_TRUE(filtered.empty());
+}
+
+TEST(Diag, ParseBaselineSkipsCommentsAndMalformedLines) {
+  const auto entries =
+      parse_baseline("# comment\n\nBM002\tarc 0->1\nno-tab-here\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "BM002");
+  EXPECT_EQ(entries[0].object, "arc 0->1");
+}
+
+// ---- SARIF reporter ------------------------------------------------
+
+TEST(Sarif, RendersRulesAndResultsWithLogicalLocations) {
+  Report report;
+  report.add("BM002", "arc 0->1", "input burst is empty");
+  const std::string sarif = to_sarif(report, "demo");
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"BM002\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\":\"demo::arc 0->1\""),
+            std::string::npos);
+  // The tool.driver.rules table carries every registered rule, including
+  // the semantic pass families.
+  EXPECT_NE(sarif.find("\"id\":\"AN001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\":\"PN002\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\":\"NL005\""), std::string::npos);
+}
+
+/// Writes `content` to a temp file and round-trips it through
+/// `python3 -m json.tool` (a strict JSON parser).  Skips when python3 is
+/// unavailable.
+void expect_valid_json(const std::string& content, const char* tag) {
+  if (std::system("python3 -c '' >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  const std::string path =
+      testing::TempDir() + "lint_json_" + tag + ".json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << content;
+  }
+  const std::string cmd = "python3 -m json.tool '" + path + "' >/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "invalid JSON in " << tag;
+  std::remove(path.c_str());
+}
+
+TEST(Sarif, OutputIsStrictlyValidJson) {
+  Report report;
+  report.add("BM002", "arc 0->1", "quote \" backslash \\ newline \n done");
+  report.add("NL004", "net 'y'", "warning finding");
+  expect_valid_json(to_sarif(report, "demo"), "sarif");
+}
+
+TEST(Diag, JsonReportIsStrictlyValidJsonWithSchemaVersion) {
+  Report report;
+  report.add("BM002", "arc 0->1", "quote \" backslash \\ newline \n done");
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.find("{\"schema_version\":1,"), 0u);
+  expect_valid_json(json, "diag");
 }
 
 // ---- handshake layer ------------------------------------------------

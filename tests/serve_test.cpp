@@ -315,6 +315,25 @@ TEST(Protocol, ParsesSynthesizeRequestWithOptions) {
   EXPECT_EQ(options.work_budget, 1000);
 }
 
+TEST(Protocol, ParsesAnalyzeRequestWithSarifOption) {
+  serve::Request req;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"schema_version":1,"id":"a1","op":"analyze","design":"systolic",)"
+      R"("options":{"sarif":true,"no_analyze":true}})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, "analyze");
+  EXPECT_TRUE(req.options.sarif);
+  EXPECT_TRUE(req.options.no_analyze);
+  // analyze needs exactly one of design/source, like synthesize.
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"analyze"})", &req, &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"analyze","design":"a","source":"b"})",
+      &req, &error));
+}
+
 TEST(Protocol, RejectsDefectiveRequests) {
   serve::Request req;
   std::string error;
@@ -423,6 +442,39 @@ TEST(Server, AnswersOverSocketAndPersistsAcrossRestarts) {
     ASSERT_NE(cache, nullptr);
     EXPECT_EQ(cache->get_int("disk_hits", -1), 1);
   }
+}
+
+TEST(Server, AnalyzeOpReportsLintAndSarif) {
+  TempDir dir("analyze");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  RunningServer running(options);
+  serve::Client client(options.socket_path);
+
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", serve::kProtocolVersion);
+  w.member("id", "a1");
+  w.member("op", "analyze");
+  w.member("source",
+           "procedure tick (sync t) is begin loop sync t end end");
+  w.key("options").begin_object();
+  w.member("sarif", true);
+  w.end_object();
+  w.end_object();
+
+  const auto doc = util::parse_json(client.roundtrip(w.str(), 60000));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->get_string("status"), "ok");
+  const util::JsonValue* result = doc->get("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get_int("errors", -1), 0);
+  EXPECT_EQ(result->get_int("warnings", -1), 0);
+  const util::JsonValue* lint = result->get("lint");
+  ASSERT_NE(lint, nullptr);
+  EXPECT_EQ(lint->get_int("schema_version", -1), 1);
+  EXPECT_NE(result->get_string("sarif").find("\"2.1.0\""),
+            std::string::npos);
 }
 
 TEST(Server, ShedsLoadWhenAdmissionIsFull) {
