@@ -1,0 +1,49 @@
+#include "src/balsa/ast.hpp"
+
+namespace bb::balsa {
+
+ExprPtr clone(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->var = e.var;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  out->slice_hi = e.slice_hi;
+  out->slice_lo = e.slice_lo;
+  if (e.lhs) out->lhs = clone(*e.lhs);
+  if (e.rhs) out->rhs = clone(*e.rhs);
+  return out;
+}
+
+CommandPtr clone(const Command& c) {
+  auto out = std::make_unique<Command>();
+  out->kind = c.kind;
+  for (const CommandPtr& child : c.children) {
+    out->children.push_back(clone(*child));
+  }
+  if (c.body) out->body = clone(*c.body);
+  if (c.else_body) out->else_body = clone(*c.else_body);
+  for (const CaseAlt& alt : c.alts) {
+    CaseAlt copy;
+    copy.labels = alt.labels;
+    copy.body = clone(*alt.body);
+    out->alts.push_back(std::move(copy));
+  }
+  if (c.guard) out->guard = clone(*c.guard);
+  out->channel = c.channel;
+  out->var = c.var;
+  if (c.value) out->value = clone(*c.value);
+  return out;
+}
+
+Procedure clone(const Procedure& p) {
+  Procedure out;
+  out.name = p.name;
+  out.ports = p.ports;
+  out.variables = p.variables;
+  if (p.body) out.body = clone(*p.body);
+  return out;
+}
+
+}  // namespace bb::balsa

@@ -92,4 +92,10 @@ struct Procedure {
   CommandPtr body;
 };
 
+// ---- deep copies (the fuzz shrinker mutates throw-away clones) ----
+
+ExprPtr clone(const Expr& e);
+CommandPtr clone(const Command& c);
+Procedure clone(const Procedure& p);
+
 }  // namespace bb::balsa

@@ -1,0 +1,23 @@
+// Mini-Balsa source rendering: the inverse of parser.hpp.
+//
+// to_source produces text that parse_procedure maps back onto the same
+// AST (round-trip stable), which is what makes fuzz reproducers in
+// tests/regressions/ self-contained: a minimized Procedure is committed
+// as plain source and replayed through the ordinary parse + compile
+// path.
+#pragma once
+
+#include <string>
+
+#include "src/balsa/ast.hpp"
+
+namespace bb::balsa {
+
+/// The whole procedure as parseable mini-Balsa text.
+std::string to_source(const Procedure& p);
+
+/// One command / expression, for diagnostics.
+std::string to_source(const Command& c);
+std::string to_source(const Expr& e);
+
+}  // namespace bb::balsa

@@ -187,4 +187,189 @@ ValidationResult validate(const Spec& spec) {
   return result;
 }
 
+namespace {
+
+/// signal+polarity, ordered so it can key a std::set.
+using Edge = std::pair<std::string, bool>;
+
+/// The input edge a 4-phase environment is *forced* to produce in
+/// response to an emitted output edge: `c_r±` forces the matching ack
+/// `c_a±`, and `c_a+` forces the return-to-zero `c_r-`.  The fourth
+/// pairing — `c_a-` re-enabling `c_r+` — is deliberately excluded: the
+/// falling ack only *permits* the next transaction, and the partner
+/// starts it when its own program reaches that point, which a Burst-Mode
+/// choice state is allowed to wait for.  Returns false for the excluded
+/// pairing and for signals outside the `_r`/`_a` convention.
+bool complement_input(const ch::Transition& out, Edge& in) {
+  const std::string& s = out.signal;
+  if (s.size() < 2 || s[s.size() - 2] != '_') return false;
+  const char role = s.back();
+  const std::string base = s.substr(0, s.size() - 2);
+  if (role == 'r') {
+    in = {base + "_a", out.rising};
+    return true;
+  }
+  if (role == 'a' && out.rising) {
+    in = {base + "_r", false};
+    return true;
+  }
+  return false;
+}
+
+/// Forward pending-edge fixpoint over the reachable states.
+struct PendingAnalysis {
+  /// Edges pending at the state but consumed by no arc leaving it.
+  std::vector<std::set<Edge>> stuck;
+  /// Edges already pending when the state was entered (carried over from
+  /// a predecessor rather than forced by the entering arc's own outputs).
+  /// These race the handoff and every trigger of the state, so they are
+  /// early-capable even when an arc from the state consumes them.
+  std::vector<std::set<Edge>> carried;
+  std::vector<bool> reachable;
+};
+
+PendingAnalysis pending_analysis(const Spec& spec) {
+  PendingAnalysis out;
+  if (spec.num_states <= 0) return out;
+  std::vector<std::set<Edge>> pending(
+      static_cast<std::size_t>(spec.num_states));
+  out.stuck.resize(static_cast<std::size_t>(spec.num_states));
+  out.carried.resize(static_cast<std::size_t>(spec.num_states));
+  out.reachable.assign(static_cast<std::size_t>(spec.num_states), false);
+  out.reachable[static_cast<std::size_t>(spec.initial_state)] = true;
+
+  std::deque<int> work{spec.initial_state};
+  while (!work.empty()) {
+    const int s = work.front();
+    work.pop_front();
+    for (const Arc* arc : spec.arcs_from(s)) {
+      // Survivors of the burst were pending before the arc fired and are
+      // still pending after: carried into `to`.  Complements of the out
+      // burst are freshly forced: pending, but on fundamental-mode timing
+      // (the environment answers no faster than the feedback settles).
+      std::set<Edge> survivors = pending[static_cast<std::size_t>(s)];
+      for (const ch::Transition& t : arc->in_burst.transitions) {
+        survivors.erase({t.signal, t.rising});
+      }
+      std::set<Edge> next = survivors;
+      for (const ch::Transition& t : arc->out_burst.transitions) {
+        Edge enabled;
+        if (!complement_input(t, enabled) ||
+            !spec.is_input.count(enabled.first)) {
+          continue;
+        }
+        next.insert(enabled);
+      }
+      std::set<Edge>& to = pending[static_cast<std::size_t>(arc->to)];
+      std::set<Edge>& to_carried = out.carried[static_cast<std::size_t>(arc->to)];
+      const std::size_t before = to.size();
+      const std::size_t before_carried = to_carried.size();
+      to.insert(next.begin(), next.end());
+      to_carried.insert(survivors.begin(), survivors.end());
+      if (!out.reachable[static_cast<std::size_t>(arc->to)] ||
+          to.size() != before || to_carried.size() != before_carried) {
+        out.reachable[static_cast<std::size_t>(arc->to)] = true;
+        work.push_back(arc->to);
+      }
+    }
+  }
+
+  const auto consumable = [&spec](int s, const Edge& p) {
+    for (const Arc* arc : spec.arcs_from(s)) {
+      for (const ch::Transition& t : arc->in_burst.transitions) {
+        if (t.signal == p.first && t.rising == p.second) return true;
+      }
+    }
+    return false;
+  };
+  for (int s = 0; s < spec.num_states; ++s) {
+    if (!out.reachable[static_cast<std::size_t>(s)]) {
+      out.carried[static_cast<std::size_t>(s)].clear();
+      continue;
+    }
+    for (const Edge& p : pending[static_cast<std::size_t>(s)]) {
+      if (!consumable(s, p)) out.stuck[static_cast<std::size_t>(s)].insert(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> adjacency_violations(const Spec& spec) {
+  const PendingAnalysis pa = pending_analysis(spec);
+  if (pa.stuck.empty()) return {};
+
+  // One state of earliness is tolerated: an edge that arrives one burst
+  // ahead of its consuming state is the ordinary input-burst overlap a
+  // Burst-Mode implementation already absorbs.  The hazard is an edge
+  // that can linger unconsumed across two consecutive states — the logic
+  // then sits in a state whose cover never mentioned the edge, with
+  // another full transition still to go (the fuzzer's gate-level witness
+  // is a doubled handshake).
+  std::vector<std::string> out;
+  for (int s = 0; s < spec.num_states; ++s) {
+    for (const Edge& p : pa.stuck[static_cast<std::size_t>(s)]) {
+      for (const Arc* arc : spec.arcs_from(s)) {
+        if (pa.stuck[static_cast<std::size_t>(arc->to)].count(p)) {
+          out.push_back("state " + std::to_string(s) +
+                        ": pending input edge '" + p.first +
+                        (p.second ? "+" : "-") +
+                        "' is not consumed by any leaving arc and is still "
+                        "unconsumed after " +
+                        arc_name(*arc));
+          break;
+        }
+      }
+    }
+  }
+
+  // An arc whose whole input burst is early-capable has no compulsory
+  // trigger: every consumed edge may already be on the wires when the
+  // state is entered, so the implementation cannot pin the transition to
+  // a freshly forced edge and fundamental mode gives it no timing anchor.
+  for (int s = 0; s < spec.num_states; ++s) {
+    if (!pa.reachable[static_cast<std::size_t>(s)]) continue;
+    const std::set<Edge>& stuck = pa.stuck[static_cast<std::size_t>(s)];
+    const std::set<Edge>& carried = pa.carried[static_cast<std::size_t>(s)];
+    for (const Arc* arc : spec.arcs_from(s)) {
+      if (arc->in_burst.transitions.empty()) continue;
+      bool all_early = true;
+      for (const ch::Transition& t : arc->in_burst.transitions) {
+        const Edge e{t.signal, t.rising};
+        if (!stuck.count(e) && !carried.count(e)) {
+          all_early = false;
+          break;
+        }
+      }
+      if (all_early) {
+        out.push_back("state " + std::to_string(s) + ": every input edge of " +
+                      arc_name(*arc) +
+                      " may arrive early; no compulsory trigger remains");
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::set<std::pair<std::string, bool>>> early_edges(
+    const Spec& spec) {
+  const PendingAnalysis pa = pending_analysis(spec);
+  std::vector<std::set<Edge>> out(pa.stuck.size());
+  for (std::size_t s = 0; s < pa.stuck.size(); ++s) {
+    out[s] = pa.stuck[s];
+    out[s].insert(pa.carried[s].begin(), pa.carried[s].end());
+  }
+  return out;
+}
+
+std::vector<std::set<std::string>> early_inputs(const Spec& spec) {
+  const auto edges = early_edges(spec);
+  std::vector<std::set<std::string>> out(edges.size());
+  for (std::size_t s = 0; s < edges.size(); ++s) {
+    for (const Edge& p : edges[s]) out[s].insert(p.first);
+  }
+  return out;
+}
+
 }  // namespace bb::bm

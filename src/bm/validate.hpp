@@ -23,7 +23,9 @@
 //   BM007  state unreachable from the initial state (warning)
 #pragma once
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/bm/spec.hpp"
@@ -43,5 +45,62 @@ struct ValidationResult {
 };
 
 ValidationResult validate(const Spec& spec);
+
+/// Environment-adjacency analysis (BM008, the "delayed acknowledgment"
+/// condition).  A 4-phase environment answers every request the machine
+/// emits as soon as it likes: after output `c_r+` the input `c_a+` is
+/// *pending* and may arrive in any later state.  Plain (non-extended)
+/// Burst-Mode machines only tolerate input edges listed in the current
+/// state's input bursts, so a pending input edge that can linger
+/// unconsumed across two consecutive reachable states breaks the
+/// fundamental-mode contract — the synthesized logic is free to misread
+/// the early edge and, e.g., run a handshake twice.  A single state of
+/// earliness (the edge is consumed by the next state's bursts) is the
+/// ordinary input-burst overlap an implementation absorbs and is not
+/// flagged.  Returns one description per (state, edge) violation, empty
+/// when the machine is adjacency-clean.
+///
+/// Only *causally forced* responses count as pending: `X_r±` forces the
+/// ack `X_a±`, and `X_a+` forces the return-to-zero `X_r-`.  A falling
+/// ack `X_a-` merely permits the partner's next request `X_r+`, which
+/// arrives when the partner's own program reaches that point — waiting
+/// for it in a later choice state is exactly how Burst-Mode machines
+/// express input choice, so it is never flagged.  Signals that do not
+/// pair up under the `_r`/`_a` naming convention are skipped.
+///
+/// This is deliberately not part of validate(): stand-alone controller
+/// templates are adjacency-clean by construction, and the check exists
+/// to let the clusterer reject enclosure substitutions that push an
+/// acknowledgment arbitrarily far from its request.
+///
+/// Two shapes are flagged:
+///   - an edge stuck (pending, unconsumable) at a state *and* still stuck
+///     at a successor — it lingers across two states;
+///   - an arc whose entire input burst is early-capable — with no
+///     compulsory (freshly forced) trigger left, the implementation has
+///     no edge to pin the transition to.
+std::vector<std::string> adjacency_violations(const Spec& spec);
+
+/// Per-state sets of input edges (signal, rising) that are *early-capable*:
+/// while the machine sits in state `s` the edge may arrive at any moment,
+/// not just as the fundamental-mode response to the arc that entered `s`.
+/// An edge is early-capable when it is
+///   - stuck: pending at `s` but consumed by no arc leaving `s` (the
+///     environment answers while the state's logic never mentioned it), or
+///   - carried: already pending when `s` was entered (forced two or more
+///     arcs ago), so it races the handoff into `s` and any trigger of `s`,
+///     even when an arc from `s` does consume it.
+/// The synthesis back-end must treat such signals as don't-cares in every
+/// cube anchored at `s`, and must pin dynamic transitions that consume
+/// them to the remaining compulsory triggers — pinning the signal to the
+/// state's entry valuation leaves the circuit uncovered (and free to
+/// glitch) the moment the edge arrives early.  Indexed by state;
+/// unreachable states get empty sets.
+std::vector<std::set<std::pair<std::string, bool>>> early_edges(
+    const Spec& spec);
+
+/// Signal-name projection of early_edges(), for callers that only dash
+/// input variables.
+std::vector<std::set<std::string>> early_inputs(const Spec& spec);
 
 }  // namespace bb::bm

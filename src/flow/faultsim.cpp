@@ -515,7 +515,7 @@ std::string CampaignResult::to_text() const {
 std::string CampaignResult::to_json() const {
   util::JsonWriter w;
   w.begin_object();
-  w.member("schema_version", obs::kSchemaVersion);
+  w.member("schema_version", kFaultCampaignSchemaVersion);
   w.member("seed", seed);
   w.key("designs").begin_array();
   for (const DesignCampaign& d : designs) {

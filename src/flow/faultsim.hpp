@@ -35,6 +35,11 @@
 
 namespace bb::flow {
 
+/// Schema of CampaignResult::to_json.  Version 2: util::SplitMix64::below
+/// switched from modulo reduction to unbiased rejection sampling, so the
+/// PRNG-sampled fault list for a given seed differs from version 1.
+inline constexpr int kFaultCampaignSchemaVersion = 2;
+
 /// Verdict for one injected fault.
 enum class FaultOutcome {
   kTolerated,            ///< run completed correctly; no monitor objected

@@ -1,0 +1,71 @@
+// Random design generation for the differential fuzzer.
+//
+// Two generators, both driven by the deterministic util::SplitMix64
+// stream so one seed reproduces one design forever:
+//
+//   * generate_procedure — a random mini-Balsa procedure that is legal
+//     and terminating *by construction*: every read variable is
+//     definitely written first, resources (ports and variables) are
+//     partitioned across parallel arms so no channel or variable is
+//     raced, `loop` is never emitted and `while` only appears as the
+//     bounded-counter idiom, so the program always finishes and the
+//     activation handshake completes.
+//
+//   * generate_recipe — a random control-only handshake-component
+//     netlist, expressed as a tiny S-expression ("recipe") over
+//     sequence / concur / sync-leaf / skip.  Reusing a channel name in
+//     sequential positions exercises Call sharing; names are
+//     partitioned across parallel arms for the same race-freedom
+//     argument.  The textual recipe round-trips through parse_recipe,
+//     which is what makes netlist-mode reproducers self-contained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/balsa/ast.hpp"
+#include "src/hsnet/netlist.hpp"
+#include "src/util/prng.hpp"
+
+namespace bb::fuzz {
+
+struct GenOptions {
+  /// Rough budget on generated command nodes (the "size" knob).
+  int max_commands = 12;
+  /// Data width for every port and variable, bits (1..8 keeps the
+  /// datapath small while still exercising real arithmetic).
+  int max_width = 8;
+};
+
+/// A random legal, terminating mini-Balsa procedure.
+balsa::Procedure generate_procedure(util::SplitMix64& rng,
+                                    const GenOptions& options);
+
+// ---- netlist recipes ----
+
+/// One node of a recipe tree.
+struct RecipeNode {
+  enum class Kind { kSeq, kPar, kSync, kSkip };
+  Kind kind = Kind::kSkip;
+  std::string channel;               ///< kSync: external channel name
+  std::vector<RecipeNode> children;  ///< kSeq, kPar
+};
+
+/// A random recipe tree.
+RecipeNode generate_recipe(util::SplitMix64& rng, const GenOptions& options);
+
+/// "(seq (sync a) (par (sync b) (skip)))" — parseable rendering.
+std::string recipe_to_text(const RecipeNode& node);
+
+/// Inverse of recipe_to_text.  Throws std::runtime_error on malformed
+/// input.
+RecipeNode parse_recipe(const std::string& text);
+
+/// Builds the control netlist a recipe denotes.  The root is activated
+/// through the external sync channel "activate"; every named sync leaf
+/// becomes an external channel, shared through a Call component when
+/// used more than once.
+hsnet::Netlist build_recipe(const RecipeNode& root,
+                            const std::string& name = "recipe");
+
+}  // namespace bb::fuzz

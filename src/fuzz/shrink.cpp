@@ -1,0 +1,320 @@
+#include "src/fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace bb::fuzz {
+
+namespace {
+
+using balsa::Command;
+using balsa::CommandPtr;
+using balsa::Expr;
+using balsa::ExprPtr;
+
+CommandPtr make_continue() {
+  auto c = std::make_unique<Command>();
+  c->kind = Command::Kind::kContinue;
+  return c;
+}
+
+ExprPtr make_literal(std::uint64_t value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = value;
+  return e;
+}
+
+/// Every owning CommandPtr slot in the tree, parents before children,
+/// so structural replacements try the biggest cuts first.
+void collect_command_slots(CommandPtr& slot, std::vector<CommandPtr*>& out) {
+  out.push_back(&slot);
+  Command& c = *slot;
+  for (CommandPtr& child : c.children) collect_command_slots(child, out);
+  if (c.body) collect_command_slots(c.body, out);
+  if (c.else_body) collect_command_slots(c.else_body, out);
+  for (balsa::CaseAlt& alt : c.alts) collect_command_slots(alt.body, out);
+}
+
+void collect_expr_slots(ExprPtr& slot, std::vector<ExprPtr*>& out) {
+  out.push_back(&slot);
+  if (slot->lhs) collect_expr_slots(slot->lhs, out);
+  if (slot->rhs) collect_expr_slots(slot->rhs, out);
+}
+
+void guard_vars(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == Expr::Kind::kVar) out.insert(e.var);
+  if (e.lhs) guard_vars(*e.lhs, out);
+  if (e.rhs) guard_vars(*e.rhs, out);
+}
+
+/// Collects expression slots that are safe to mutate.  While guards
+/// and updates of variables an enclosing while guard reads are left
+/// alone: collapsing either to a constant can turn a bounded loop into
+/// an infinite one, and a shrink step must never manufacture a
+/// non-termination the original design did not have.
+void collect_command_exprs(Command& c, const std::set<std::string>& counters,
+                           std::vector<ExprPtr*>& out) {
+  if (c.guard && c.kind != Command::Kind::kWhile) {
+    collect_expr_slots(c.guard, out);
+  }
+  if (c.value &&
+      !(c.kind == Command::Kind::kAssign && counters.count(c.var))) {
+    collect_expr_slots(c.value, out);
+  }
+  std::set<std::string> inner = counters;
+  if (c.kind == Command::Kind::kWhile && c.guard) guard_vars(*c.guard, inner);
+  for (CommandPtr& child : c.children) {
+    collect_command_exprs(*child, inner, out);
+  }
+  if (c.body) collect_command_exprs(*c.body, inner, out);
+  if (c.else_body) collect_command_exprs(*c.else_body, inner, out);
+  for (balsa::CaseAlt& alt : c.alts) {
+    collect_command_exprs(*alt.body, inner, out);
+  }
+}
+
+/// Folds single-child compositions so the result stays printer
+/// round-trip clean.
+void normalize(CommandPtr& slot) {
+  Command& c = *slot;
+  for (CommandPtr& child : c.children) normalize(child);
+  if (c.body) normalize(c.body);
+  if (c.else_body) normalize(c.else_body);
+  for (balsa::CaseAlt& alt : c.alts) normalize(alt.body);
+  if ((c.kind == Command::Kind::kSeq || c.kind == Command::Kind::kPar) &&
+      c.children.size() == 1) {
+    slot = std::move(c.children.front());
+  }
+}
+
+void used_names(const Command& c, std::set<std::string>& channels,
+                std::set<std::string>& vars) {
+  if (!c.channel.empty()) channels.insert(c.channel);
+  if (!c.var.empty()) vars.insert(c.var);
+  const auto scan_expr = [&vars](const Expr& e, const auto& self) -> void {
+    if (e.kind == Expr::Kind::kVar) vars.insert(e.var);
+    if (e.lhs) self(*e.lhs, self);
+    if (e.rhs) self(*e.rhs, self);
+  };
+  if (c.guard) scan_expr(*c.guard, scan_expr);
+  if (c.value) scan_expr(*c.value, scan_expr);
+  for (const CommandPtr& child : c.children) used_names(*child, channels, vars);
+  if (c.body) used_names(*c.body, channels, vars);
+  if (c.else_body) used_names(*c.else_body, channels, vars);
+  for (const balsa::CaseAlt& alt : c.alts) used_names(*alt.body, channels, vars);
+}
+
+class ProcedureShrinker {
+ public:
+  ProcedureShrinker(const ProcedurePredicate& predicate, int max_tests)
+      : predicate_(predicate), budget_(max_tests) {}
+
+  balsa::Procedure run(const balsa::Procedure& seed) {
+    balsa::Procedure best = balsa::clone(seed);
+    bool progress = true;
+    while (progress && budget_ > 0) {
+      progress =
+          shrink_commands(best) || shrink_exprs(best) || shrink_decls(best);
+    }
+    normalize(best.body);
+    return best;
+  }
+
+ private:
+  bool test(const balsa::Procedure& candidate) {
+    if (budget_ <= 0) return false;
+    --budget_;
+    return predicate_(candidate);
+  }
+
+  /// Every reduction of one command node, as a fresh replacement
+  /// subtree.  Candidates are round-trip clean by construction: a
+  /// composition that would drop to a single child is folded into it.
+  static std::vector<CommandPtr> candidates_for(const Command& node) {
+    std::vector<CommandPtr> out;
+    if (node.kind != Command::Kind::kContinue) out.push_back(make_continue());
+    // Hoist any descendant body over the node.
+    for (const CommandPtr& child : node.children) {
+      out.push_back(balsa::clone(*child));
+    }
+    if (node.body) out.push_back(balsa::clone(*node.body));
+    if (node.else_body) out.push_back(balsa::clone(*node.else_body));
+    for (const balsa::CaseAlt& alt : node.alts) {
+      out.push_back(balsa::clone(*alt.body));
+    }
+    // Drop one composition child.
+    if ((node.kind == Command::Kind::kSeq ||
+         node.kind == Command::Kind::kPar) &&
+        node.children.size() > 2) {
+      for (std::size_t skip = 0; skip < node.children.size(); ++skip) {
+        CommandPtr reduced = balsa::clone(node);
+        reduced->children.erase(reduced->children.begin() +
+                                static_cast<std::ptrdiff_t>(skip));
+        out.push_back(std::move(reduced));
+      }
+    }
+    // Drop the else branch.
+    if (node.else_body) {
+      CommandPtr reduced = balsa::clone(node);
+      reduced->else_body.reset();
+      out.push_back(std::move(reduced));
+    }
+    // Drop one case alternative.
+    if (node.kind == Command::Kind::kCase && node.alts.size() >= 2) {
+      for (std::size_t skip = 0; skip < node.alts.size(); ++skip) {
+        CommandPtr reduced = balsa::clone(node);
+        reduced->alts.erase(reduced->alts.begin() +
+                            static_cast<std::ptrdiff_t>(skip));
+        out.push_back(std::move(reduced));
+      }
+    }
+    return out;
+  }
+
+  bool shrink_commands(balsa::Procedure& best) {
+    std::vector<CommandPtr*> slots;
+    collect_command_slots(best.body, slots);
+    for (CommandPtr* slot : slots) {
+      std::vector<CommandPtr> candidates = candidates_for(**slot);
+      for (CommandPtr& candidate : candidates) {
+        if (budget_ <= 0) return false;
+        CommandPtr saved = std::move(*slot);
+        *slot = std::move(candidate);
+        if (test(best)) return true;  // slots are stale; restart
+        *slot = std::move(saved);
+      }
+    }
+    return false;
+  }
+
+  bool shrink_exprs(balsa::Procedure& best) {
+    std::vector<ExprPtr*> slots;
+    collect_command_exprs(*best.body, {}, slots);
+    for (ExprPtr* slot : slots) {
+      if ((*slot)->kind == Expr::Kind::kLiteral) continue;
+      for (const std::uint64_t value : {0ull, 1ull}) {
+        if (budget_ <= 0) return false;
+        ExprPtr saved = std::move(*slot);
+        *slot = make_literal(value);
+        if (test(best)) return true;
+        *slot = std::move(saved);
+      }
+    }
+    return false;
+  }
+
+  bool shrink_decls(balsa::Procedure& best) {
+    std::set<std::string> channels, vars;
+    used_names(*best.body, channels, vars);
+    for (std::size_t i = 0; i < best.ports.size(); ++i) {
+      if (channels.count(best.ports[i].name)) continue;
+      if (budget_ <= 0) return false;
+      balsa::Port saved = best.ports[i];
+      best.ports.erase(best.ports.begin() + static_cast<std::ptrdiff_t>(i));
+      if (test(best)) return true;
+      best.ports.insert(best.ports.begin() + static_cast<std::ptrdiff_t>(i),
+                        saved);
+    }
+    for (std::size_t i = 0; i < best.variables.size(); ++i) {
+      if (vars.count(best.variables[i].name)) continue;
+      if (budget_ <= 0) return false;
+      balsa::VariableDecl saved = best.variables[i];
+      best.variables.erase(best.variables.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      if (test(best)) return true;
+      best.variables.insert(
+          best.variables.begin() + static_cast<std::ptrdiff_t>(i), saved);
+    }
+    return false;
+  }
+
+  const ProcedurePredicate& predicate_;
+  int budget_;
+};
+
+// ---- recipes ----
+
+void collect_recipe_slots(RecipeNode& node, std::vector<RecipeNode*>& out) {
+  out.push_back(&node);
+  for (RecipeNode& child : node.children) collect_recipe_slots(child, out);
+}
+
+class RecipeShrinker {
+ public:
+  RecipeShrinker(const RecipePredicate& predicate, int max_tests)
+      : predicate_(predicate), budget_(max_tests) {}
+
+  RecipeNode run(const RecipeNode& seed) {
+    RecipeNode best = seed;
+    bool progress = true;
+    while (progress && budget_ > 0) {
+      progress = step(best);
+    }
+    return best;
+  }
+
+ private:
+  bool test(const RecipeNode& candidate) {
+    if (budget_ <= 0) return false;
+    --budget_;
+    return predicate_(candidate);
+  }
+
+  bool step(RecipeNode& best) {
+    std::vector<RecipeNode*> slots;
+    collect_recipe_slots(best, slots);
+    for (RecipeNode* slot : slots) {
+      // Replace the subtree with skip or with one of its children.
+      std::vector<RecipeNode> candidates;
+      if (slot->kind != RecipeNode::Kind::kSkip) {
+        RecipeNode skip;
+        skip.kind = RecipeNode::Kind::kSkip;
+        candidates.push_back(std::move(skip));
+      }
+      for (const RecipeNode& child : slot->children) {
+        candidates.push_back(child);
+      }
+      for (RecipeNode& candidate : candidates) {
+        if (budget_ <= 0) return false;
+        RecipeNode saved = std::move(*slot);
+        *slot = std::move(candidate);
+        if (test(best)) return true;  // slots stale; restart
+        *slot = std::move(saved);
+      }
+      // Drop one child, folding single-child compositions.
+      if (slot->children.size() >= 2) {
+        for (std::size_t i = 0; i < slot->children.size(); ++i) {
+          if (budget_ <= 0) return false;
+          RecipeNode saved = std::move(slot->children[i]);
+          slot->children.erase(slot->children.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+          if (test(best)) return true;
+          slot->children.insert(slot->children.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                std::move(saved));
+        }
+      }
+    }
+    return false;
+  }
+
+  const RecipePredicate& predicate_;
+  int budget_;
+};
+
+}  // namespace
+
+balsa::Procedure shrink_procedure(const balsa::Procedure& seed,
+                                  const ProcedurePredicate& still_fails,
+                                  int max_tests) {
+  return ProcedureShrinker(still_fails, max_tests).run(seed);
+}
+
+RecipeNode shrink_recipe(const RecipeNode& seed,
+                         const RecipePredicate& still_fails, int max_tests) {
+  return RecipeShrinker(still_fails, max_tests).run(seed);
+}
+
+}  // namespace bb::fuzz

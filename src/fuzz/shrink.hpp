@@ -1,0 +1,38 @@
+// Greedy delta-debugging minimizers for fuzz counterexamples.
+//
+// Given a failing design and a predicate "does this candidate still
+// fail the same way", the shrinkers repeatedly apply structure-reducing
+// mutations (drop a composition child, hoist a loop/branch body,
+// replace a command with `continue`, collapse an expression to a
+// literal, drop unused declarations) and keep every mutation the
+// predicate confirms.  The result is a local minimum: no single
+// remaining reduction preserves the failure.  Predicate calls are the
+// expensive part (each one typically runs the full differential
+// oracle), so both shrinkers take a hard call budget.
+#pragma once
+
+#include <functional>
+
+#include "src/balsa/ast.hpp"
+#include "src/fuzz/gen.hpp"
+
+namespace bb::fuzz {
+
+/// Returns true when the candidate still exhibits the original failure.
+using ProcedurePredicate = std::function<bool(const balsa::Procedure&)>;
+
+/// Minimizes a failing procedure.  The returned procedure satisfies the
+/// predicate and is printer-round-trip clean (no single-child
+/// compositions).  `max_tests` bounds predicate invocations.
+balsa::Procedure shrink_procedure(const balsa::Procedure& seed,
+                                  const ProcedurePredicate& still_fails,
+                                  int max_tests = 400);
+
+using RecipePredicate = std::function<bool(const RecipeNode&)>;
+
+/// Minimizes a failing netlist recipe the same way.
+RecipeNode shrink_recipe(const RecipeNode& seed,
+                         const RecipePredicate& still_fails,
+                         int max_tests = 200);
+
+}  // namespace bb::fuzz

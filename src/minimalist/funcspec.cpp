@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/bm/validate.hpp"
+
 namespace bb::minimalist {
 
 namespace {
@@ -90,6 +92,24 @@ class CubeFactory {
     return c;
   }
 
+  /// Dashes the named input variables.
+  Cube dash_inputs(Cube c, const std::set<std::string>& names) const {
+    for (const std::string& name : names) {
+      const auto it = input_index_.find(name);
+      if (it != input_index_.end()) c.set(it->second, Lit::kDash);
+    }
+    return c;
+  }
+
+  /// Sets one named input variable to a concrete value.
+  Cube set_input(Cube c, const std::string& name, bool value) const {
+    const auto it = input_index_.find(name);
+    if (it != input_index_.end()) {
+      c.set(it->second, value ? Lit::kOne : Lit::kZero);
+    }
+    return c;
+  }
+
   /// Dashes the state bit of `state`.
   Cube dash_state(Cube c, int state) const {
     c.set(state_var(state), Lit::kDash);
@@ -148,6 +168,28 @@ MachineSpec extract(const bm::Spec& spec) {
 
   const StateValuations vals = compute_valuations(spec);
 
+  // Input edges that may arrive early per state (pending edges that are
+  // stuck or carried over from a predecessor — see bm::early_edges).
+  // Pinning such an input to the state's entry valuation would leave the
+  // circuit uncovered — hence free to glitch — the moment the edge
+  // arrives early, so every cube anchored at the state treats the signal
+  // as a don't-care instead (the extended-burst-mode "directed
+  // don't-care" treatment), and arcs that consume an early edge pin
+  // their dynamic transitions to the remaining compulsory triggers.
+  // Only machines within the one-burst-earliness class get this
+  // treatment: an edge that can linger across two states cannot be
+  // absorbed this way (see bm::adjacency_violations), and such machines
+  // keep the classic strict-fundamental-mode cubes.
+  std::vector<std::set<std::pair<std::string, bool>>> early_edges(
+      spec.num_states);
+  std::vector<std::set<std::string>> early(spec.num_states);
+  if (bm::adjacency_violations(spec).empty()) {
+    early_edges = bm::early_edges(spec);
+    for (int s = 0; s < spec.num_states; ++s) {
+      for (const auto& e : early_edges[s]) early[s].insert(e.first);
+    }
+  }
+
   // Predecessors per state: while the machine hands off p -> s, bit p is
   // still high when s's next input burst may already arrive (the peer can
   // answer faster than the feedback settles).  Transition cubes therefore
@@ -203,22 +245,67 @@ MachineSpec extract(const bm::Spec& spec) {
       val_e[t.signal] = t.rising;
     }
 
+    // Early signals that survive the burst: a surviving early signal can
+    // flip during the output burst and the handoff just as freely as
+    // while the machine sat in s, so every post-burst cube of this arc
+    // dashes it too.
+    std::set<std::string> early_after = early[s];
+    for (const ch::Transition& t : arc.in_burst.transitions) {
+      early_after.erase(t.signal);
+    }
+
     // Trigger/transition cubes tolerate a stale predecessor bit (the
     // p -> s handoff may still be completing when this arc's burst
     // arrives); hold cubes stay strict one-hot pairs so specifications of
     // different arcs cannot claim conflicting values for the same codes.
+    // Cubes anchored at s additionally dash the inputs that may arrive a
+    // burst early while the machine sits in s.
     const Cube strict_end = cubes.at(val_mid, s);
-    const Cube start_point = dash_preds(cubes.at(val_s, s), s);
-    const Cube end_point = dash_preds(strict_end, s);
+    const Cube start_point = cubes.dash_inputs(
+        dash_preds(cubes.at(val_s, s), s), early[s]);
+    const Cube end_point =
+        cubes.dash_inputs(dash_preds(strict_end, s), early_after);
     const Cube t_in = cubes.dash_burst(start_point, arc.in_burst);
 
+    // "Burst incomplete" pin cubes for multiple-input bursts, one per
+    // member: the region where that member still sits at its pre-burst
+    // value, whatever the other burst inputs do.  Classic hazard-free
+    // theory leaves the intermediate points of a dynamic transition as
+    // don't-cares, which lets the minimizer drop a slow member's literal
+    // and fire outputs (or advance the state) as soon as the fast
+    // members arrive.  In a flat composition each output edge goes to a
+    // *different* peer that answers it individually, so a partial output
+    // burst is immediately acted upon — the machine must change nothing
+    // until the whole burst has genuinely arrived.  The same pinning
+    // keeps functions put when an early-capable member completes ahead
+    // of the compulsory triggers.
+    // Pins are anchored strictly one-hot (no stale-predecessor dash):
+    // a compulsory trigger cannot arrive while a handoff is still
+    // settling (one-sided timing assumption), and in a 2-state cycle a
+    // pred-dashed pin of one arc would overlap the other arc's
+    // post-burst cubes, which describe the opposite output value.
+    std::vector<Cube> incomplete;
+    if (arc.in_burst.transitions.size() > 1) {
+      const Cube strict_t_in = cubes.dash_burst(
+          cubes.dash_inputs(cubes.at(val_s, s), early[s]), arc.in_burst);
+      for (const ch::Transition& t : arc.in_burst.transitions) {
+        incomplete.push_back(
+            cubes.set_input(strict_t_in, t.signal, val_s.at(t.signal)));
+      }
+    }
+
     // Hold cubes for the two-step one-hot handoff (s raises s', then s
-    // falls), both at the post-burst input valuation.
+    // falls), both at the post-burst input valuation.  hold1 is still
+    // anchored at s (s'=don't-care); hold2 is anchored at s'.  Burst
+    // members just transitioned and hold their new values, but early
+    // signals that survive the burst stay dashed through the handoff.
     Cube hold1, hold2;
     if (s2 != s) {
-      hold1 = cubes.dash_state(strict_end, s2);                   // s=1, s'=-
-      hold2 = cubes.set_state(cubes.dash_state(strict_end, s), s2,
-                              true);                              // s=-, s'=1
+      hold1 = cubes.dash_inputs(cubes.dash_state(strict_end, s2),
+                                early_after);                     // s=1, s'=-
+      hold2 = cubes.dash_inputs(
+          cubes.set_state(cubes.dash_state(strict_end, s), s2, true),
+          early_after);                                           // s=-, s'=1
     }
 
     // --- output functions ---
@@ -240,13 +327,19 @@ MachineSpec extract(const bm::Spec& spec) {
       } else if (!old_v && new_v) {
         // Dynamic 0->1: fires when the burst completes; intermediates are
         // don't-care but any intersecting product must contain the end.
+        // With early burst members the pre-completion region is reachable
+        // out of burst order, so it is pinned OFF explicitly.
         add_on(fi, end_point, /*required=*/false);
         add_off(fi, start_point);
+        for (const Cube& c : incomplete) add_off(fi, c);
         add_priv(fi, t_in, end_point);
       } else {
-        // Dynamic 1->0.
+        // Dynamic 1->0: must likewise hold its old value until every
+        // early member has arrived, or the handshake it drives completes
+        // before the state change latches.
         add_on(fi, start_point, /*required=*/false);
         add_off(fi, end_point);
+        for (const Cube& c : incomplete) add_on(fi, c, /*required=*/true);
         add_priv(fi, t_in, start_point);
       }
       if (s2 != s) {
@@ -274,9 +367,14 @@ MachineSpec extract(const bm::Spec& spec) {
       } else if (t == s && s2 == s) {
         add_on(fi, t_in, /*required=*/true);
       } else if (t == s2 && s2 != s) {
-        // Rises with the output burst, holds through the handoff.
+        // Rises with the output burst, holds through the handoff.  Early
+        // burst members make pre-completion points reachable: the bit
+        // must not rise while any of them still sits at its old value.
         add_on(fi, end_point, /*required=*/false);
         add_off(fi, start_point);
+        for (const Cube& c : incomplete) {
+          add_off(fi, cubes.set_state(c, s2, false));
+        }
         add_priv(fi, t_in, end_point);
         add_on(fi, hold1, /*required=*/true);
         add_on(fi, hold2, /*required=*/true);
@@ -294,7 +392,8 @@ MachineSpec extract(const bm::Spec& spec) {
   // output values stably.
   for (int s = 0; s < spec.num_states; ++s) {
     if (has_arc[s]) continue;
-    const Cube stable = cubes.at(vals.at_state[s], s);
+    const Cube stable =
+        cubes.dash_inputs(cubes.at(vals.at_state[s], s), early[s]);
     for (const std::string& z : outputs) {
       const std::size_t fi = func_index.at(z);
       if (vals.at_state[s].at(z)) {

@@ -125,6 +125,12 @@ bool bm_synthesizable(const ch::Expr& expr, int max_states) {
     const bm::Spec spec = bm::compile(expr);
     if (!bm::validate(spec).ok) return false;
     if (max_states > 0 && spec.num_states > max_states) return false;
+    // Enclosure substitution can push an acknowledgment arbitrarily far
+    // from its request; a machine that lets an input edge dangle
+    // unconsumed breaks fundamental mode under a speed-independent
+    // environment (the fuzzer catches this as a doubled handshake at
+    // gate level).  Such merges are rejected, not repaired.
+    if (!bm::adjacency_violations(spec).empty()) return false;
     return true;
   } catch (const ch::BmAwareError&) {
     return false;

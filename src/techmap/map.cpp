@@ -1,5 +1,6 @@
 #include "src/techmap/map.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -34,7 +35,11 @@ class Mapper {
   }
 
   /// n-ary NAND: groups of inputs collapse through AND subtrees first
-  /// (associativity), then a single NAND at the top.
+  /// (associativity), then a single NAND at the top.  The collapse is
+  /// breadth-first (collapsed subtrees rejoin the queue at the back), so
+  /// every input sits within one level of every other: a releasing
+  /// product can never outrun an asserting one by more than a single
+  /// gate delay, which the state-feedback DEL element absorbs.
   int nand_of(std::vector<int> nets, int target = -1) {
     if (nets.size() == 1) {
       const Cell& inv = lib_.pick(CellFn::kInv, 1);
@@ -43,10 +48,9 @@ class Mapper {
     }
     const int max = lib_.max_fanin(CellFn::kNand);
     while (static_cast<int>(nets.size()) > max) {
-      // Collapse the first `max` inputs into one AND subtree.
       std::vector<int> group(nets.begin(), nets.begin() + max);
       nets.erase(nets.begin(), nets.begin() + max);
-      nets.insert(nets.begin(), and_tree(std::move(group)));
+      nets.push_back(and_tree(std::move(group)));
     }
     return emit(CellFn::kNand, nets, target);
   }
@@ -136,13 +140,38 @@ netlist::GateNetlist map_controller(
       continue;
     }
 
-    // Gather literal nets per product.
+    // Gather literal nets per product.  For a state bit, products holding
+    // the bit's own positive literal are the latch terms that must keep
+    // the feedback loop closed across a state handoff; they go last so
+    // the breadth-first NAND collapse leaves them nearest the output, and
+    // the own literal goes last inside its product for the same reason.
+    // Otherwise a trigger product releasing through a shallow path can
+    // beat the hold assert still climbing a deep AND subtree, and the
+    // momentary plane dropout re-opens the feedback loop (an essential
+    // hazard the two-level cover is free of by construction).
+    const int own_var =
+        fi < ctrl.outputs.size()
+            ? -1
+            : static_cast<int>(ctrl.inputs.size() +
+                               (fi - ctrl.outputs.size()));
+    const auto& f_cubes = f.products.cubes();
+    std::vector<std::size_t> order(f_cubes.size());
+    for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::stable_partition(order.begin(), order.end(), [&](std::size_t p) {
+      return own_var < 0 || f_cubes[p][own_var] != logic::Lit::kOne;
+    });
+
     std::vector<std::vector<int>> product_lits;
     bool constant_one = false;
-    for (const auto& cube : f.products.cubes()) {
+    for (const std::size_t p : order) {
+      const auto& cube = f_cubes[p];
       std::vector<int> lits;
       for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
+        if (static_cast<int>(v) == own_var) continue;
         if (cube[v] != logic::Lit::kDash) lits.push_back(literal(v, cube[v]));
+      }
+      if (own_var >= 0 && cube[own_var] != logic::Lit::kDash) {
+        lits.push_back(literal(own_var, cube[own_var]));
       }
       if (lits.empty()) constant_one = true;
       product_lits.push_back(std::move(lits));
@@ -175,7 +204,7 @@ netlist::GateNetlist map_controller(
         for (std::size_t p = 0; p < product_lits.size(); ++p) {
           if (product_lits[p].size() == 1) {
             // NAND(lit) == the complementary literal; reuse it directly.
-            const auto& cube = f.products.cubes()[p];
+            const auto& cube = f_cubes[order[p]];
             for (std::size_t v = 0; v < ctrl.num_vars; ++v) {
               if (cube[v] == logic::Lit::kDash) continue;
               plane.push_back(literal(v, cube[v] == logic::Lit::kOne
@@ -184,7 +213,7 @@ netlist::GateNetlist map_controller(
               break;
             }
           } else {
-            const std::string key = f.products.cubes()[p].to_string();
+            const std::string key = f_cubes[order[p]].to_string();
             const auto it = product_cache.find(key);
             if (it != product_cache.end()) {
               plane.push_back(it->second);

@@ -28,4 +28,23 @@ VerifyResult verify_clustering(const ch::Expr& x, const ch::Expr& y,
                                const std::string& channel,
                                const ch::Expr& clustered);
 
+/// Generalization of verify_clustering to arbitrarily many member
+/// programs and hidden (internalized) channels: checks that `clustered`
+/// conforms to (compose(members...) hide channels).  This is the shape
+/// the fuzz oracle needs, where T1/T2 clustering can fold several
+/// controllers and eliminate several activation channels in one step.
+///
+/// Unlike verify_clustering this is one-directional: the clustered
+/// controller may legally reduce concurrency relative to the
+/// composition (enclosure substitution serializes output bursts), so
+/// the check is trace containment L(clustered) ⊆ L(composed) and the
+/// counterexample, when present, is a minimal rejecting prefix — a
+/// shortest trace of the clustered controller the composition refuses.
+/// `state_limit` bounds each reachability exploration; exceeding it
+/// throws std::runtime_error (callers record the case as skipped).
+VerifyResult verify_composition(const std::vector<const ch::Expr*>& members,
+                                const std::vector<std::string>& hidden_channels,
+                                const ch::Expr& clustered,
+                                std::size_t state_limit = 1u << 20);
+
 }  // namespace bb::trace

@@ -22,9 +22,26 @@ class SplitMix64 {
     return z ^ (z >> 31);
   }
 
-  /// Uniform in [0, n); n must be positive.  Modulo bias is negligible
-  /// for the small ranges fault plans draw from (gate counts, windows).
-  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  /// Uniform in [0, n), exactly (Lemire's multiply-with-rejection): the
+  /// fuzzer draws from ranges large enough that `next() % n` bias would
+  /// matter, and rejection sampling costs one 128-bit multiply on the
+  /// common path.  n == 0 returns 0 (the old `% 0` was UB).
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      // threshold = 2^64 mod n, computed without 128-bit division.
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) *
+            static_cast<unsigned __int128>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform double in [0, 1).
   double uniform() {

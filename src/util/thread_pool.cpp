@@ -1,9 +1,12 @@
 #include "src/util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <string>
+
+#include "src/util/strings.hpp"
 
 namespace bb::util {
 
@@ -66,15 +69,18 @@ void ThreadPool::worker_loop() {
 }
 
 std::size_t ThreadPool::recommended_jobs() {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw > 0 ? hw_raw : 1;
   if (const char* env = std::getenv("BB_JOBS")) {
-    char* end = nullptr;
-    const long n = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && n > 0) {
-      return static_cast<std::size_t>(n);
+    // Structured parse (no bare strtol): garbage or trailing text falls
+    // through to the hardware default, values are clamped to
+    // [1, hardware_concurrency] — a BB_JOBS beyond the machine only adds
+    // contention to the synthesis loop.
+    if (const auto n = parse_ll(env); n.has_value() && *n > 0) {
+      return std::min(static_cast<std::size_t>(*n), hw);
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return hw;
 }
 
 void parallel_for_index(ThreadPool& pool, std::size_t count,

@@ -234,5 +234,63 @@ TEST(Compile, SignalDirectory) {
   EXPECT_EQ(outputs.size(), 3u);  // p_a, a1_r, a2_r
 }
 
+// ---- BM008 adjacency analysis (delayed acknowledgments) ----
+
+// The paper's Fig. 4 merged machine (DW + SEQ): the only edges that
+// outlive their state are next-transaction requests after falling acks,
+// which the analysis deliberately never counts as pending.
+constexpr const char* kFig4Merged =
+    "(rep (enc-early (p-to-p passive a1)"
+    "  (mutex (enc-early (p-to-p passive i1) (p-to-p active o1))"
+    "         (enc-early (p-to-p passive i2)"
+    "           (enc-early void (seq (p-to-p active c1)"
+    "                                (p-to-p active c2)))))))";
+
+TEST(Adjacency, Fig4MergedMachineIsClean) {
+  const Spec spec = compile_source(kFig4Merged, "merged");
+  EXPECT_TRUE(adjacency_violations(spec).empty());
+}
+
+TEST(Adjacency, SequencerAndTemplatesAreClean) {
+  EXPECT_TRUE(adjacency_violations(compile_source(kSequencer)).empty());
+}
+
+// A Concur-shaped cluster: a_r+ is emitted at 2->3 but a_a+ is consumed
+// only leaving state 4 — one state of earliness.  That is tolerated by
+// the grace window, but the state must report a_a as an early input so
+// synthesis can treat it as a don't-care there.
+constexpr const char* kOneStateEarly =
+    "(rep (enc-early (p-to-p passive activate)"
+    "  (seq (enc-early void (seq (enc-early void (p-to-p active d))"
+    "         (enc-middle void (enc-middle (p-to-p active a)"
+    "           (enc-early void (p-to-p active d))))))"
+    "       (enc-early void (p-to-p active d)))))";
+
+TEST(Adjacency, OneStateOfEarlinessIsToleratedButReported) {
+  const Spec spec = compile_source(kOneStateEarly, "cluster");
+  EXPECT_TRUE(adjacency_violations(spec).empty());
+  const auto early = early_inputs(spec);
+  ASSERT_EQ(early.size(), static_cast<std::size_t>(spec.num_states));
+  EXPECT_TRUE(early[3].count("a_a")) << "a_a+ can arrive early in state 3";
+}
+
+// A pipeline where c2_a+ can linger across states 1 AND 2 before its
+// consuming burst leaves state 3 — outside the one-state grace window,
+// so both states are flagged.
+constexpr const char* kTwoStateLinger =
+    "(rep (enc-early (p-to-p passive go)"
+    "  (enc-middle (p-to-p active c2)"
+    "    (seq (p-to-p active c1) (p-to-p active c0)))))";
+
+TEST(Adjacency, TwoStateLingerIsAViolation) {
+  const Spec spec = compile_source(kTwoStateLinger, "pipe");
+  // c2_a+ is stuck at both state 1 and state 2; the violation is
+  // reported once, at the state that starts the two-state linger.
+  const auto violations = adjacency_violations(spec);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("c2_a+"), std::string::npos) << violations[0];
+  EXPECT_NE(violations[0].find("state 1"), std::string::npos) << violations[0];
+}
+
 }  // namespace
 }  // namespace bb::bm

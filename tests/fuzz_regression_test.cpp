@@ -1,0 +1,82 @@
+// Replays the minimized-counterexample corpus under tests/regressions/.
+//
+// Every file is a self-contained bb-fuzz reproducer: "--" headers naming
+// the mode and the expectation, then the design body.  "expect: clean"
+// files are fixed bugs and must pass every oracle now — a failure means
+// a regression of the original fix.  "expect: known-bad" files document
+// open bugs and must still fail — a pass means the note is stale and the
+// file should be flipped to clean.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/balsa/compile.hpp"
+#include "src/balsa/parser.hpp"
+#include "src/fuzz/campaign.hpp"
+#include "src/fuzz/gen.hpp"
+
+#ifndef BB_REGRESSION_DIR
+#error "BB_REGRESSION_DIR must point at the reproducer corpus"
+#endif
+
+namespace bb::fuzz {
+namespace {
+
+std::vector<Reproducer> load_corpus() {
+  std::vector<Reproducer> corpus;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(BB_REGRESSION_DIR)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".balsa" && ext != ".recipe") continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    std::ostringstream content;
+    content << in.rdbuf();
+    corpus.push_back(parse_reproducer(path.filename().string(),
+                                      content.str()));
+  }
+  return corpus;
+}
+
+hsnet::Netlist build_design(const Reproducer& repro) {
+  if (repro.mode == "balsa") {
+    return balsa::compile(balsa::parse_procedure(repro.design));
+  }
+  return build_recipe(parse_recipe(repro.design));
+}
+
+TEST(FuzzRegressions, CorpusIsNotEmpty) {
+  EXPECT_FALSE(load_corpus().empty())
+      << "no reproducers under " << BB_REGRESSION_DIR;
+}
+
+TEST(FuzzRegressions, EveryReproducerMeetsItsExpectation) {
+  for (const Reproducer& repro : load_corpus()) {
+    SCOPED_TRACE(repro.path);
+    ASSERT_TRUE(repro.expect == "clean" || repro.expect == "known-bad")
+        << "unknown expectation '" << repro.expect << "'";
+
+    FuzzOptions options;
+    const OracleResult result = check_design(build_design(repro), options, 1);
+    if (repro.expect == "clean") {
+      EXPECT_EQ(result.verdict, Verdict::kPass)
+          << verdict_name(result.verdict) << " (" << result.oracle
+          << "): " << result.detail;
+    } else {
+      EXPECT_EQ(result.verdict, Verdict::kDiscrepancy)
+          << "known-bad reproducer no longer fails; flip it to "
+             "'expect: clean' and drop the note (" << repro.note << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bb::fuzz

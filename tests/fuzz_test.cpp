@@ -1,0 +1,191 @@
+// Unit tests for the differential fuzzer: generators, shrinkers, the
+// oracle plumbing, and campaign determinism.
+#include <gtest/gtest.h>
+
+#include "src/balsa/compile.hpp"
+#include "src/balsa/parser.hpp"
+#include "src/balsa/printer.hpp"
+#include "src/fuzz/campaign.hpp"
+#include "src/fuzz/gen.hpp"
+#include "src/fuzz/oracle.hpp"
+#include "src/fuzz/shrink.hpp"
+#include "src/hsnet/to_ch.hpp"
+#include "src/util/prng.hpp"
+
+namespace bb::fuzz {
+namespace {
+
+GenOptions small_gen() {
+  GenOptions g;
+  g.max_commands = 10;
+  return g;
+}
+
+// ---- generators ----
+
+TEST(Gen, ProcedureIsDeterministic) {
+  util::SplitMix64 a(42), b(42);
+  const balsa::Procedure pa = generate_procedure(a, small_gen());
+  const balsa::Procedure pb = generate_procedure(b, small_gen());
+  EXPECT_EQ(balsa::to_source(pa), balsa::to_source(pb));
+
+  util::SplitMix64 c(43);
+  const balsa::Procedure pc = generate_procedure(c, small_gen());
+  EXPECT_NE(balsa::to_source(pa), balsa::to_source(pc));
+}
+
+TEST(Gen, RecipeIsDeterministic) {
+  util::SplitMix64 a(42), b(42);
+  EXPECT_EQ(recipe_to_text(generate_recipe(a, small_gen())),
+            recipe_to_text(generate_recipe(b, small_gen())));
+}
+
+TEST(Gen, GeneratedProceduresCompile) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::SplitMix64 rng(seed);
+    const balsa::Procedure p = generate_procedure(rng, small_gen());
+    const hsnet::Netlist netlist = balsa::compile(p);
+    EXPECT_FALSE(netlist.components().empty())
+        << "seed " << seed << ":\n" << balsa::to_source(p);
+  }
+}
+
+TEST(Gen, GeneratedProceduresRoundTripThroughPrinter) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::SplitMix64 rng(seed);
+    const balsa::Procedure p = generate_procedure(rng, small_gen());
+    const std::string source = balsa::to_source(p);
+    const balsa::Procedure reparsed = balsa::parse_procedure(source);
+    EXPECT_EQ(source, balsa::to_source(reparsed)) << source;
+  }
+}
+
+TEST(Gen, RecipeRoundTripsThroughText) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::SplitMix64 rng(seed);
+    const RecipeNode r = generate_recipe(rng, small_gen());
+    const std::string text = recipe_to_text(r);
+    EXPECT_EQ(text, recipe_to_text(parse_recipe(text))) << text;
+  }
+}
+
+TEST(Gen, ParseRecipeRejectsMalformedInput) {
+  EXPECT_THROW(parse_recipe(""), std::runtime_error);
+  EXPECT_THROW(parse_recipe("(seq (sync a)"), std::runtime_error);
+  EXPECT_THROW(parse_recipe("(frobnicate)"), std::runtime_error);
+}
+
+TEST(Gen, BuiltRecipesYieldControlPrograms) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::SplitMix64 rng(seed);
+    const RecipeNode r = generate_recipe(rng, small_gen());
+    const hsnet::Netlist netlist = build_recipe(r);
+    const auto programs = hsnet::control_programs(netlist);
+    EXPECT_FALSE(programs.empty()) << recipe_to_text(r);
+  }
+}
+
+// ---- shrinkers ----
+
+TEST(Shrink, RecipeShrinksToTheInterestingLeaf) {
+  const RecipeNode seed = parse_recipe(
+      "(seq (par (sync a) (sync b)) (seq (sync c) (skip)) (sync a))");
+  const auto still_fails = [](const RecipeNode& candidate) {
+    return recipe_to_text(candidate).find("(sync c)") != std::string::npos;
+  };
+  ASSERT_TRUE(still_fails(seed));
+  const RecipeNode shrunk = shrink_recipe(seed, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  // Nothing but the predicate-relevant leaf should survive.
+  EXPECT_EQ(recipe_to_text(shrunk), "(sync c)");
+}
+
+TEST(Shrink, ProcedureShrinkKeepsPredicate) {
+  util::SplitMix64 rng(7);
+  const balsa::Procedure seed = generate_procedure(rng, small_gen());
+  const std::size_t seed_size = balsa::to_source(seed).size();
+  // "Still fails" = still has a body; the shrinker must find a small
+  // program without ever producing one the predicate rejects.
+  const auto still_fails = [](const balsa::Procedure& p) {
+    return p.body != nullptr;
+  };
+  const balsa::Procedure shrunk = shrink_procedure(seed, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  EXPECT_LE(balsa::to_source(shrunk).size(), seed_size);
+}
+
+// ---- oracle plumbing ----
+
+TEST(Oracle, CompareObservationsReportsFirstDifference) {
+  SimObservation a, b;
+  a.completed = b.completed = true;
+  a.status = b.status = "ok";
+  a.sync_counts = {{"c", 1}};
+  b.sync_counts = {{"c", 2}};
+  EXPECT_NE(compare_observations(a, b), "");
+  b.sync_counts = a.sync_counts;
+  EXPECT_EQ(compare_observations(a, b), "");
+}
+
+TEST(Oracle, CompareObservationsFlagsCompletion) {
+  SimObservation a, b;
+  a.completed = true;
+  b.completed = false;
+  a.status = "ok";
+  b.status = "deadlock";
+  EXPECT_NE(compare_observations(a, b), "");
+}
+
+TEST(Oracle, TrivialRecipePassesBothOracles) {
+  const hsnet::Netlist netlist =
+      build_recipe(parse_recipe("(seq (sync a) (sync b))"));
+  FuzzOptions options;
+  const OracleResult result = check_design(netlist, options, 1);
+  EXPECT_EQ(result.verdict, Verdict::kPass) << result.detail;
+}
+
+// ---- campaign determinism ----
+
+TEST(Campaign, JsonArtifactIsByteIdenticalAcrossRuns) {
+  FuzzOptions options;
+  options.seed = 5;
+  options.count = 4;
+  options.size = 8;
+  const FuzzResult a = run_fuzz_campaign(options);
+  const FuzzResult b = run_fuzz_campaign(options);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_NE(a.to_json().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_EQ(a.cases_run, 8);  // both modes enabled
+}
+
+TEST(Campaign, EffectiveSeedPrefersExplicitValue) {
+  FuzzOptions options;
+  options.seed = 17;
+  EXPECT_EQ(effective_seed(options), 17u);
+}
+
+// ---- reproducer corpus format ----
+
+TEST(Corpus, ReproducerRoundTrips) {
+  Reproducer r;
+  r.mode = "netlist";
+  r.oracle = "sim";
+  r.expect = "clean";
+  r.design = "(seq (sync a) (sync b))\n";
+  const std::string text = format_reproducer(r, 2, 31, "counts differ");
+  const Reproducer back = parse_reproducer("x.recipe", text);
+  EXPECT_EQ(back.mode, "netlist");
+  EXPECT_EQ(back.oracle, "sim");
+  EXPECT_EQ(back.expect, "clean");
+  EXPECT_EQ(back.design, "(seq (sync a) (sync b))\n");
+}
+
+TEST(Corpus, ParseReproducerRejectsMissingHeaders) {
+  EXPECT_THROW(parse_reproducer("x", "(sync a)\n"), std::runtime_error);
+  EXPECT_THROW(
+      parse_reproducer("x", "-- mode: netlist\n-- expect: clean\n"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bb::fuzz

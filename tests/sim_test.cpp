@@ -312,7 +312,27 @@ INSTANTIATE_TEST_SUITE_P(
                    " (p-to-p active o1))"
                    " (enc-early (p-to-p passive i2)"
                    " (enc-early void (seq (p-to-p active c1)"
-                   " (p-to-p active c2)))))))"}),
+                   " (p-to-p active c2)))))))"},
+        // Seven-client Call: 22 states, an 8-product state-bit cover —
+        // wide enough that the NAND plane needs multi-level collapse.
+        // A fuzz-found mapper bug (skewed collapse depths) once turned
+        // the y0 feedback loop into a ring oscillator at the handoff
+        // back to the idle state; this pins the balanced plane.
+        ReplayCase{"call7",
+                   "(rep (mutex"
+                   " (enc-early (p-to-p passive c1) (p-to-p active k))"
+                   " (mutex"
+                   " (enc-early (p-to-p passive c2) (p-to-p active k))"
+                   " (mutex"
+                   " (enc-early (p-to-p passive c3) (p-to-p active k))"
+                   " (mutex"
+                   " (enc-early (p-to-p passive c4) (p-to-p active k))"
+                   " (mutex"
+                   " (enc-early (p-to-p passive c5) (p-to-p active k))"
+                   " (mutex"
+                   " (enc-early (p-to-p passive c6) (p-to-p active k))"
+                   " (enc-early (p-to-p passive c7)"
+                   " (p-to-p active k)))))))))"}),
     [](const auto& info) { return std::string(info.param.name); });
 
 }  // namespace

@@ -170,6 +170,77 @@ TEST(Verify, HidePrefix) {
   EXPECT_EQ(hide_prefix("O2"), "o2_");
 }
 
+// ---- verify_composition (multi-member conformance, fuzz oracle) ----
+
+TEST(VerifyComposition, ThreeMemberChainConforms) {
+  const auto x =
+      ch::parse("(rep (enc-early (p-to-p passive go) (p-to-p active c1)))");
+  const auto y =
+      ch::parse("(rep (enc-early (p-to-p passive c1) (p-to-p active c2)))");
+  const auto z =
+      ch::parse("(rep (enc-early (p-to-p passive c2) (p-to-p active d)))");
+  const auto clustered = ch::parse(
+      "(rep (enc-early (p-to-p passive go)"
+      "  (enc-early void (enc-early void (p-to-p active d)))))");
+  const auto result = verify_composition({x.get(), y.get(), z.get()},
+                                         {"c1", "c2"}, *clustered);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_TRUE(result.counterexample.empty());
+}
+
+TEST(VerifyComposition, SerializedForkIsRefusedWithMinimalPrefix) {
+  // The composed fork starts d1 and d2 concurrently.  A clustered
+  // controller that serializes them refuses to raise d2_r while d1's
+  // handshake runs; the composition rejects at the first event the
+  // clustered machine adds beyond the common behaviour, so the
+  // counterexample is the three-event prefix, not a full trace.
+  const auto x =
+      ch::parse("(rep (enc-early (p-to-p passive go) (p-to-p active c)))");
+  const auto y = ch::parse(
+      "(rep (enc-early (p-to-p passive c)"
+      "  (enc-middle (p-to-p active d1) (p-to-p active d2))))");
+  const auto clustered = ch::parse(
+      "(rep (enc-early (p-to-p passive go)"
+      "  (enc-early void (seq (p-to-p active d1) (p-to-p active d2)))))");
+  const auto result =
+      verify_composition({x.get(), y.get()}, {"c"}, *clustered);
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_EQ(result.counterexample,
+            (std::vector<std::string>{"go_r+", "d1_r+", "d1_a+"}));
+}
+
+TEST(VerifyComposition, DoubledHandshakeIsRefusedAfterOneCycle) {
+  // A clustered controller that runs d twice per activation is refused
+  // exactly at the start of the second handshake: the minimal rejecting
+  // prefix is one full d cycle plus the spurious d_r+.
+  const auto x =
+      ch::parse("(rep (enc-early (p-to-p passive go) (p-to-p active c)))");
+  const auto y =
+      ch::parse("(rep (enc-early (p-to-p passive c) (p-to-p active d)))");
+  const auto clustered = ch::parse(
+      "(rep (enc-early (p-to-p passive go)"
+      "  (seq (p-to-p active d) (p-to-p active d))))");
+  const auto result =
+      verify_composition({x.get(), y.get()}, {"c"}, *clustered);
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_EQ(result.counterexample,
+            (std::vector<std::string>{"go_r+", "d_r+", "d_a+", "d_r-", "d_a-",
+                                      "d_r+"}));
+}
+
+TEST(VerifyComposition, StateLimitThrowsInsteadOfDeciding) {
+  const auto x =
+      ch::parse("(rep (enc-early (p-to-p passive go) (p-to-p active c)))");
+  const auto y =
+      ch::parse("(rep (enc-early (p-to-p passive c) (p-to-p active d)))");
+  const auto clustered = ch::parse(
+      "(rep (enc-early (p-to-p passive go) (enc-early void "
+      "(p-to-p active d))))");
+  EXPECT_THROW(verify_composition({x.get(), y.get()}, {"c"}, *clustered,
+                                  /*state_limit=*/2),
+               std::runtime_error);
+}
+
 // ---- reject_prefix (the fault campaign's counterexample engine) ----
 
 TEST(RejectPrefix, AcceptedTraceYieldsEmpty) {
