@@ -1,0 +1,59 @@
+// Protocol-surface fuzzing: seeded malformed-input campaigns against
+// the three parsers that face untrusted bytes — util::parse_json (the
+// wire decoder), serve::parse_request (request shape validation), and
+// serve::deserialize_controller (disk-cache entry payloads).
+//
+// Unlike the differential campaign (campaign.hpp), which compares two
+// synthesis pipelines on *valid* designs, this mode asserts the
+// robustness contract on *invalid* bytes: every parser must reject
+// cleanly — returning its structured error, never throwing, never
+// crashing — under truncation, depth bombs, overlong strings, invalid
+// UTF-8, embedded NULs, and random corruption.  The JSON artifact is
+// byte-deterministic for one seed, like every other campaign artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bb::fuzz {
+
+/// Schema of ProtoFuzzResult::to_json.
+inline constexpr int kProtoFuzzSchemaVersion = 1;
+
+struct ProtoFuzzOptions {
+  /// PRNG seed.  0 = auto: BB_SEED when set and positive, otherwise 1.
+  std::uint64_t seed = 0;
+  /// Cases per target (json / request / codec).
+  int count = 200;
+  /// Wall-clock budget; 0 = unlimited.  Expiry marks the result
+  /// truncated instead of silently covering fewer cases.
+  long long time_budget_ms = 0;
+};
+
+/// One contract violation: a parser that threw, crashed the invariant,
+/// or rejected without a structured error.
+struct ProtoCaseReport {
+  std::string target;  ///< "json" | "request" | "codec"
+  int index = 0;
+  std::string detail;
+  std::string input_preview;  ///< escaped prefix of the offending bytes
+};
+
+struct ProtoFuzzResult {
+  std::uint64_t seed = 0;
+  int cases_run = 0;
+  int accepted = 0;    ///< inputs the parser (correctly) still accepted
+  int rejected = 0;    ///< clean structured rejections
+  int violations = 0;  ///< contract breaches (reports below)
+  bool truncated = false;
+  std::vector<ProtoCaseReport> reports;
+
+  std::string to_text() const;
+  /// Deterministic artifact: same seed + count, same bytes.
+  std::string to_json() const;
+};
+
+ProtoFuzzResult run_proto_fuzz(const ProtoFuzzOptions& options);
+
+}  // namespace bb::fuzz

@@ -1,0 +1,91 @@
+// Crash-restart chaos campaign for the service path: the executable
+// proof of the crash-consistency story in disk_cache.hpp.
+//
+// One campaign runs `cycles` seeded crash-restart loops.  Each cycle:
+//
+//   1. forks a real bb-served daemon with a seed-chosen BB_FAILPOINTS
+//      spec arming one crash site (mid-atomic-write, post-rename,
+//      store path, eviction path) or connection fault (dropped
+//      send/recv), sometimes stacked with a torn-write fault;
+//   2. drives concurrent client load (synthesize_bm requests with
+//      request ids, fresh cache keys every cycle so the store path
+//      actually runs) through Client::request_idempotent;
+//   3. lets the failpoint kill the daemon — or SIGKILLs it from the
+//      parent when the armed site never fired — mid-load;
+//   4. restarts the daemon clean and asserts it recovers within the
+//      budget (the open-time recovery pass runs before listening);
+//   5. re-sends every unanswered request with its original id and
+//      asserts every reply — in both phases — matches a ground-truth
+//      solution computed in-process with minimalist::synthesize;
+//   6. stops the daemon and runs DiskCache::verify_all() on the shared
+//      cache directory, asserting zero invalid entries.
+//
+// The JSON artifact carries only seed-derived choices and pass
+// booleans, so two same-seed runs of a passing campaign are
+// byte-identical; nondeterministic runtime counts (observed crashes,
+// retries, recovery repairs) appear in the text report only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bb::serve {
+
+/// Schema of ChaosResult::to_json.
+inline constexpr int kChaosSchemaVersion = 1;
+
+struct ChaosOptions {
+  /// Path to the bb-served binary to fork (required).
+  std::string served_path;
+  /// Scratch directory (created if missing): socket + cache dir live
+  /// here.  The cache directory persists across the campaign's cycles —
+  /// surviving corruption is exactly what the campaign is hunting.
+  std::string work_dir;
+  std::uint64_t seed = 1;
+  int cycles = 50;
+  int clients = 2;             ///< concurrent load threads per cycle
+  int requests_per_client = 2;
+  /// Restart-to-ready bound, covering the disk cache recovery pass.
+  long long recovery_budget_ms = 10000;
+  /// Disk tier size cap in MiB (small, so evictions happen mid-campaign
+  /// and the eviction crash site has something to hit).
+  int cache_max_mb = 1;
+};
+
+struct ChaosCycleReport {
+  int index = 0;
+  std::string fail_spec;      ///< seed-derived BB_FAILPOINTS value
+  bool expected_crash = false;  ///< the armed site is a crash site
+  bool integrity_ok = false;  ///< verify_all found zero bad entries
+  bool results_ok = false;    ///< every reply matched ground truth
+  bool recovery_ok = false;   ///< restart was ready within the budget
+};
+
+struct ChaosResult {
+  std::uint64_t seed = 0;
+  int cycles = 0;
+  bool passed = false;
+  std::vector<ChaosCycleReport> reports;
+
+  // ---- nondeterministic campaign stats: text report only ----
+  int crashes_observed = 0;  ///< daemon exits with the failpoint code
+  int fallback_kills = 0;    ///< parent SIGKILLs (armed site never fired)
+  std::uint64_t client_retries = 0;
+  std::uint64_t replies_verified = 0;
+  std::uint64_t recovered_tmp = 0;   ///< summed over recovery passes
+  std::uint64_t quarantined = 0;
+  std::uint64_t journal_applied = 0;
+  double max_recovery_ms = 0.0;
+
+  std::string to_text() const;
+  /// Deterministic artifact: a passing campaign renders byte-identically
+  /// for one seed (only seed-derived fields and pass booleans).
+  std::string to_json() const;
+};
+
+/// Runs the campaign.  Throws std::runtime_error when the daemon binary
+/// cannot be spawned at all; per-cycle failures are reported, not thrown.
+ChaosResult run_chaos(const ChaosOptions& options);
+
+}  // namespace bb::serve

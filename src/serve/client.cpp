@@ -1,13 +1,18 @@
 #include "src/serve/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "src/util/prng.hpp"
 
 namespace bb::serve {
 
@@ -83,6 +88,43 @@ std::string Client::recv_line(int timeout_ms) {
 std::string Client::roundtrip(const std::string& line, int timeout_ms) {
   send_line(line);
   return recv_line(timeout_ms);
+}
+
+std::string Client::request_idempotent(const std::string& socket_path,
+                                       const std::string& line,
+                                       const RetryOptions& opts,
+                                       RetryStats* stats) {
+  const int attempts = std::max(1, opts.attempts);
+  util::SplitMix64 jitter(opts.jitter_seed);
+  std::string last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff with up to +50% seeded jitter, so a
+      // herd of retrying clients spreads out instead of stampeding the
+      // restarting daemon in lockstep.
+      std::uint64_t delay = static_cast<std::uint64_t>(
+          std::max(1, opts.backoff_ms));
+      for (int i = 1; i < attempt; ++i) delay *= 2;
+      delay = std::min(delay,
+                       static_cast<std::uint64_t>(
+                           std::max(1, opts.backoff_cap_ms)));
+      delay += jitter.below(delay / 2 + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    if (stats != nullptr) stats->attempts = attempt + 1;
+    try {
+      // Fresh connection per attempt: after a daemon crash the old
+      // socket is gone, and a half-written request line on a reused
+      // connection would corrupt framing.
+      Client client(socket_path);
+      return client.roundtrip(line, opts.timeout_ms);
+    } catch (const std::runtime_error& e) {
+      last_error = e.what();
+    }
+  }
+  throw std::runtime_error("serve::Client: request failed after " +
+                           std::to_string(attempts) +
+                           " attempt(s): " + last_error);
 }
 
 }  // namespace bb::serve

@@ -4,9 +4,24 @@
 // open one Client per concurrent connection.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace bb::serve {
+
+/// Tuning for Client::request_idempotent.
+struct RetryOptions {
+  int attempts = 5;          ///< total tries (1 = no retry)
+  int timeout_ms = 30000;    ///< per-attempt reply deadline (-1 = forever)
+  int backoff_ms = 50;       ///< first retry delay
+  int backoff_cap_ms = 2000; ///< exponential backoff ceiling
+  std::uint64_t jitter_seed = 1;  ///< seeds the deterministic jitter stream
+};
+
+/// What request_idempotent actually did (for logs and the chaos harness).
+struct RetryStats {
+  int attempts = 0;  ///< connections tried (1 = first try succeeded)
+};
 
 class Client {
  public:
@@ -29,6 +44,19 @@ class Client {
   /// send_line + recv_line.  Correct for one-request-at-a-time use;
   /// pipelined callers must match ids themselves.
   std::string roundtrip(const std::string& line, int timeout_ms = -1);
+
+  /// Resilient request: opens a fresh connection per attempt, sends
+  /// `line`, and waits up to opts.timeout_ms for the reply.  A refused
+  /// connection, broken socket, or timeout triggers a capped
+  /// exponential backoff (with jitter drawn from opts.jitter_seed) and
+  /// a retry.  `line` MUST carry a request id — the server's
+  /// idempotency key — so a retry whose original actually executed is
+  /// answered with the original's reply instead of re-running.  Throws
+  /// std::runtime_error after the final attempt fails.
+  static std::string request_idempotent(const std::string& socket_path,
+                                        const std::string& line,
+                                        const RetryOptions& opts = {},
+                                        RetryStats* stats = nullptr);
 
  private:
   int fd_ = -1;

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <poll.h>
@@ -26,6 +28,8 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/protocol.hpp"
+#include "src/util/failpoint.hpp"
+#include "src/util/io.hpp"
 #include "src/util/json.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/workbudget.hpp"
@@ -46,19 +50,10 @@ constexpr std::size_t kMaxLineBytes = 8u << 20;
 /// Poll interval: the latency bound on noticing stop().
 constexpr int kPollMs = 100;
 
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // client went away; nothing to do about it
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+/// Replies remembered for idempotent retry, beyond which the oldest
+/// completed ids are forgotten (a forgotten retry re-executes, which is
+/// safe: synthesis is deterministic).
+constexpr std::size_t kMaxDedupedReplies = 1024;
 
 }  // namespace
 
@@ -105,6 +100,19 @@ struct Server::Impl {
     int outstanding = 0;
   };
 
+  /// The idempotency table behind request-id dedupe.  `done` remembers
+  /// the reply line of completed synthesis requests (bounded,
+  /// oldest-forgotten); `pending` collects connections waiting on an
+  /// id that is still executing, so a retry racing its original gets
+  /// the original's reply instead of a second execution.
+  struct DedupeTable {
+    std::mutex mu;
+    std::unordered_map<std::string, std::string> done;
+    std::deque<std::string> done_order;
+    std::unordered_map<std::string, std::vector<Conn*>> pending;
+  };
+  DedupeTable dedupe;
+
   void listen_and_bind() {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -140,7 +148,16 @@ struct Server::Impl {
 
   void write_reply(Conn& conn, const std::string& line) {
     std::lock_guard<std::mutex> lock(conn.write_mu);
-    send_all(conn.fd, line + "\n");
+    util::send_all(conn.fd, line + "\n");
+  }
+
+  /// Finishes one pool task's bookkeeping on `conn`: the reader thread
+  /// destroys the Conn as soon as outstanding hits 0, so the cv must
+  /// not be touched after the mutex is released.
+  void release_outstanding(Conn& conn) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    --conn.outstanding;
+    conn.cv.notify_all();
   }
 
   // ---- request execution (runs on pool workers) ----
@@ -324,6 +341,35 @@ struct Server::Impl {
       return;
     }
 
+    // Idempotent retry: a synthesis request carrying an id the server
+    // has already answered (or is still executing) is served the
+    // original's reply, never re-executed.  The check runs before
+    // admission so a retry can never be shed while its original is in
+    // flight.
+    if (!req.id.empty()) {
+      std::string replay;
+      bool attached = false;
+      {
+        std::lock_guard<std::mutex> lock(dedupe.mu);
+        const auto done_it = dedupe.done.find(req.id);
+        if (done_it != dedupe.done.end()) {
+          replay = done_it->second;
+        } else if (const auto pending_it = dedupe.pending.find(req.id);
+                   pending_it != dedupe.pending.end()) {
+          pending_it->second.push_back(&conn);
+          attached = true;
+          std::lock_guard<std::mutex> conn_lock(conn.mu);
+          ++conn.outstanding;
+        }
+      }
+      if (!replay.empty() || attached) {
+        bump(&ServerStats::deduped);
+        obs::Registry::global().counter("serve.deduped").add();
+        if (!replay.empty()) write_reply(conn, replay);
+        return;
+      }
+    }
+
     // Synthesis ops go through admission control onto the pool.
     int expected = inflight.load(std::memory_order_relaxed);
     do {
@@ -339,6 +385,14 @@ struct Server::Impl {
     {
       std::lock_guard<std::mutex> lock(conn.mu);
       ++conn.outstanding;
+    }
+    if (!req.id.empty()) {
+      // Publish the id as in-flight so a retry arriving while this
+      // execution runs attaches instead of re-executing.  (Two
+      // originals racing the same id both execute — synthesis is
+      // deterministic, so both produce the same reply.)
+      std::lock_guard<std::mutex> lock(dedupe.mu);
+      dedupe.pending.try_emplace(req.id);
     }
     const auto admitted = Clock::now();
     // The task owns a copy of the request; `conn` outlives it because
@@ -364,16 +418,32 @@ struct Server::Impl {
           static_cast<std::uint64_t>(timings.queue_ms * 1000.0));
       obs::Registry::global().histogram("serve.run_us").record(
           static_cast<std::uint64_t>(timings.run_ms * 1000.0));
-      write_reply(conn, reply);
-      inflight.fetch_sub(1, std::memory_order_relaxed);
-      {
-        // Notify under the lock: the reader destroys `conn` as soon as
-        // outstanding hits 0, so the cv must not be touched after the
-        // mutex is released.
-        std::lock_guard<std::mutex> lock(conn.mu);
-        --conn.outstanding;
-        conn.cv.notify_all();
+      // Idempotency bookkeeping: remember the reply for late retries
+      // (bounded, oldest-forgotten) and hand it to every retry that
+      // attached while this execution ran.
+      std::vector<Conn*> waiters;
+      if (!req.id.empty()) {
+        std::lock_guard<std::mutex> lock(dedupe.mu);
+        if (const auto it = dedupe.pending.find(req.id);
+            it != dedupe.pending.end()) {
+          waiters = std::move(it->second);
+          dedupe.pending.erase(it);
+        }
+        if (dedupe.done.emplace(req.id, reply).second) {
+          dedupe.done_order.push_back(req.id);
+          while (dedupe.done_order.size() > kMaxDedupedReplies) {
+            dedupe.done.erase(dedupe.done_order.front());
+            dedupe.done_order.pop_front();
+          }
+        }
       }
+      write_reply(conn, reply);
+      for (Conn* waiter : waiters) write_reply(*waiter, reply);
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      // Release waiters before the owning conn: each waiter's reader
+      // destroys its Conn as soon as its outstanding count hits 0.
+      for (Conn* waiter : waiters) release_outstanding(*waiter);
+      release_outstanding(conn);
     });
   }
 
@@ -382,16 +452,28 @@ struct Server::Impl {
     conn.fd = fd;
     std::string buffer;
     bool overflow = false;
+    // Slow-trickle guard: the deadline by which the partial line held in
+    // `buffer` must complete.  Re-armed whenever the buffer empties.
+    Clock::time_point line_deadline{};
     while (!stop.load(std::memory_order_relaxed)) {
       pollfd pfd{fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, kPollMs);
-      if (ready < 0) {
-        if (errno == EINTR) continue;
+      const int ready = util::retry_poll(&pfd, 1, kPollMs);
+      if (ready < 0) break;
+      if (!buffer.empty() && options.line_timeout_ms > 0 &&
+          Clock::now() >= line_deadline) {
+        bump(&ServerStats::line_timeouts);
+        obs::Registry::global().counter("serve.line_timeouts").add();
+        write_reply(conn,
+                    reply_bad_request("", "incomplete request line: no "
+                                          "newline within the line timeout"));
         break;
       }
       if (ready == 0) continue;
       char chunk[65536];
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      ssize_t n = util::retry_recv(fd, chunk, sizeof(chunk), 0);
+      if (util::failpoint("serve.recv").kind != util::FailpointHit::Kind::kNone) {
+        n = -1;  // injected connection fault
+      }
       if (n <= 0) break;  // EOF or error: client is done
       buffer.append(chunk, static_cast<std::size_t>(n));
       std::size_t start = 0;
@@ -402,6 +484,14 @@ struct Server::Impl {
         if (!line.empty()) handle_line(conn, line);
       }
       buffer.erase(0, start);
+      if (buffer.empty()) {
+        line_deadline = Clock::time_point{};
+      } else if (start > 0 || line_deadline == Clock::time_point{}) {
+        // A fresh partial line just started: arm its deadline.  A
+        // trickler that never completes a line keeps the original arm.
+        line_deadline =
+            Clock::now() + std::chrono::milliseconds(options.line_timeout_ms);
+      }
       if (buffer.size() > kMaxLineBytes) {
         write_reply(conn, reply_bad_request("", "request line too large"));
         overflow = true;
@@ -433,6 +523,11 @@ struct Server::Impl {
       if (ready == 0) continue;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
+      if (util::failpoint("serve.accept").kind !=
+          util::FailpointHit::Kind::kNone) {
+        ::close(fd);  // injected accept fault: drop the connection
+        continue;
+      }
       bump(&ServerStats::connections);
       obs::Registry::global().counter("serve.connections").add();
       readers.emplace_back([this, fd] { serve_connection(fd); });
@@ -463,6 +558,8 @@ struct Server::Impl {
     w.member("errors", s.errors);
     w.member("bad_requests", s.bad_requests);
     w.member("overloaded", s.overloaded);
+    w.member("deduped", s.deduped);
+    w.member("line_timeouts", s.line_timeouts);
     w.member("max_inflight", options.max_inflight);
     w.member("jobs", static_cast<std::uint64_t>(jobs));
     w.end_object();
@@ -485,6 +582,10 @@ struct Server::Impl {
       w.member("store_errors", d.store_errors);
       w.member("corrupt_dropped", d.corrupt_dropped);
       w.member("evictions", d.evictions);
+      w.member("recovered_tmp", d.recovered_tmp);
+      w.member("quarantined", d.quarantined);
+      w.member("journal_applied", d.journal_applied);
+      w.member("generation", disk->generation());
       w.member("entries", static_cast<std::uint64_t>(disk->entry_count()));
       w.member("max_bytes", disk->max_bytes());
       w.end_object();

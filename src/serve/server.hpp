@@ -11,6 +11,13 @@
 // bound.  Replies are written per-connection under a write mutex in
 // completion order (each carries the request id).
 //
+// Idempotent retries: a synthesis request that carries an id is
+// remembered in a bounded dedupe table.  A duplicate id — a client
+// retrying after a timeout or a dropped connection — is answered from
+// the table (or attached to the in-flight original) instead of being
+// re-executed, so retries always observe the payload the first
+// execution produced.
+//
 // Shutdown is graceful: stop() (async-signal-safe; the bb-served signal
 // handler calls it directly) makes the accept loop close the listener,
 // connection readers stop accepting new requests, in-flight work drains
@@ -44,6 +51,11 @@ struct ServerOptions {
   long long default_work_budget = 0;
   /// In-memory tier entry cap (SynthCache::set_max_entries).
   std::size_t memory_cache_entries = minimalist::SynthCache::kDefaultMaxEntries;
+  /// Slow-trickle guard: a connection holding an incomplete request
+  /// line longer than this is answered with a structured bad_request
+  /// and closed, instead of pinning a reader thread forever
+  /// (0 = no deadline).
+  int line_timeout_ms = 30000;
 };
 
 struct ServerStats {
@@ -53,6 +65,9 @@ struct ServerStats {
   std::uint64_t errors = 0;         ///< synthesis requests answered "error"
   std::uint64_t bad_requests = 0;   ///< unparseable / unsupported requests
   std::uint64_t overloaded = 0;     ///< requests shed by admission control
+  std::uint64_t deduped = 0;        ///< duplicate ids answered from the
+                                    ///< idempotency table (client retries)
+  std::uint64_t line_timeouts = 0;  ///< slow-trickle connections closed
 };
 
 class Server {

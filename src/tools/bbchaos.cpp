@@ -1,0 +1,102 @@
+// bb-chaos — crash-restart chaos campaign driver for bb-served.
+//
+// Forks the real daemon, arms seed-chosen failpoints (BB_FAILPOINTS) at
+// crash sites in the atomic-write, store, and eviction paths, drives
+// concurrent client load, kills/restarts the daemon, and asserts the
+// three recovery invariants after every cycle: the cache directory
+// fully validates, every client-visible reply matches an in-process
+// ground-truth synthesis, and the restart is ready within the recovery
+// budget.  See src/serve/chaos.hpp.
+//
+//   bb-chaos --served PATH [--seed N] [--cycles N] [--clients N]
+//            [--requests N] [--work-dir DIR] [--recovery-budget-ms N]
+//            [--json FILE]
+//
+// --served defaults to a bb-served binary next to this one.  Exit
+// status: 0 campaign passed, 1 failed (or spawn error), 2 usage.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "src/serve/chaos.hpp"
+#include "src/util/io.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: bb-chaos [--served PATH] [--seed N] [--cycles N]"
+               " [--clients N] [--requests N] [--work-dir DIR]"
+               " [--recovery-budget-ms N] [--json FILE]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bb::serve::ChaosOptions options;
+  options.cycles = 10;  // interactive default; CI passes --cycles 50+
+  std::string json_path;
+  std::string work_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--served" && i + 1 < argc) {
+      options.served_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(bb::util::parse_int(
+          "bb-chaos", "--seed", argv[++i], 1, 1ll << 62));
+    } else if (arg == "--cycles" && i + 1 < argc) {
+      options.cycles = static_cast<int>(
+          bb::util::parse_int("bb-chaos", "--cycles", argv[++i], 1, 100000));
+    } else if (arg == "--clients" && i + 1 < argc) {
+      options.clients = static_cast<int>(
+          bb::util::parse_int("bb-chaos", "--clients", argv[++i], 1, 256));
+    } else if (arg == "--requests" && i + 1 < argc) {
+      options.requests_per_client = static_cast<int>(
+          bb::util::parse_int("bb-chaos", "--requests", argv[++i], 1, 1024));
+    } else if (arg == "--work-dir" && i + 1 < argc) {
+      work_dir = argv[++i];
+    } else if (arg == "--recovery-budget-ms" && i + 1 < argc) {
+      options.recovery_budget_ms = bb::util::parse_int(
+          "bb-chaos", "--recovery-budget-ms", argv[++i], 100, 3600000);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      usage();
+    }
+  }
+
+  if (options.served_path.empty()) {
+    std::error_code ec;
+    const fs::path self = fs::canonical(argv[0], ec);
+    if (!ec) {
+      options.served_path = (self.parent_path() / "bb-served").string();
+    }
+  }
+  options.work_dir = work_dir.empty()
+                         ? "/tmp/bb-chaos-" + std::to_string(::getpid())
+                         : work_dir;
+
+  try {
+    const bb::serve::ChaosResult result = bb::serve::run_chaos(options);
+    std::cout << result.to_text();
+    if (!json_path.empty()) {
+      bb::util::write_file_atomic(json_path, result.to_json() + "\n");
+      std::cout << "wrote " << json_path << "\n";
+    }
+    if (work_dir.empty()) {
+      std::error_code ec;
+      fs::remove_all(options.work_dir, ec);
+    }
+    return result.passed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bb-chaos: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -23,11 +23,19 @@
 //   --no-cache         bypass the synthesis cache for this request
 //   --work-budget N    per-request work budget
 //   --timeout-ms N     reply deadline (default 120000; 0 = forever)
+//   --retries N        attempts on connection failure/timeout (default 1
+//                      = no retry); retried synthesis requests are
+//                      auto-assigned a request id so the server can
+//                      dedupe a retry whose original actually ran
+//   --backoff-ms N     first retry delay, doubled per retry (default 50)
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "src/serve/client.hpp"
 #include "src/serve/protocol.hpp"
@@ -41,7 +49,7 @@ namespace {
   std::cerr << "usage: bb-client --socket PATH [--op OP] [--design NAME]"
                " [--source FILE] [--bms FILE] [--mode speed|area] [--id ID]"
                " [--verilog] [--unoptimized] [--no-cache] [--work-budget N]"
-               " [--timeout-ms N]\n"
+               " [--timeout-ms N] [--retries N] [--backoff-ms N]\n"
                "ops: ping stats shutdown synthesize synthesize_bm\n";
   std::exit(2);
 }
@@ -76,6 +84,8 @@ int main(int argc, char** argv) {
   bool no_cache = false;
   long long work_budget = -1;
   int timeout_ms = 120000;
+  int retries = 1;
+  int backoff_ms = 50;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -110,11 +120,28 @@ int main(int argc, char** argv) {
       timeout_ms = static_cast<int>(bb::util::parse_int(
           "bb-client", "--timeout-ms", argv[++i], 0,
           std::numeric_limits<int>::max()));
+    } else if (flag == "--retries" && i + 1 < argc) {
+      retries = static_cast<int>(
+          bb::util::parse_int("bb-client", "--retries", argv[++i], 1, 1000));
+    } else if (flag == "--backoff-ms" && i + 1 < argc) {
+      backoff_ms = static_cast<int>(bb::util::parse_int(
+          "bb-client", "--backoff-ms", argv[++i], 1, 3600000));
     } else {
       usage();
     }
   }
   if (socket_path.empty()) usage();
+
+  // Retried requests need an id — it is the server's idempotency key,
+  // the only thing keeping a retry whose original actually executed
+  // from running twice.  Generate one when the caller did not.
+  if (retries > 1 && id.empty()) {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    id = "bbc-" + std::to_string(::getpid()) + "-" +
+         std::to_string(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                 .count());
+  }
 
   bb::util::JsonWriter w;
   w.begin_object();
@@ -138,9 +165,19 @@ int main(int argc, char** argv) {
   w.end_object();
 
   try {
-    bb::serve::Client client(socket_path);
-    const std::string reply =
-        client.roundtrip(w.str(), timeout_ms == 0 ? -1 : timeout_ms);
+    std::string reply;
+    if (retries > 1) {
+      bb::serve::RetryOptions ropts;
+      ropts.attempts = retries;
+      ropts.timeout_ms = timeout_ms == 0 ? -1 : timeout_ms;
+      ropts.backoff_ms = backoff_ms;
+      ropts.jitter_seed = static_cast<std::uint64_t>(::getpid());
+      reply = bb::serve::Client::request_idempotent(socket_path, w.str(),
+                                                    ropts);
+    } else {
+      bb::serve::Client client(socket_path);
+      reply = client.roundtrip(w.str(), timeout_ms == 0 ? -1 : timeout_ms);
+    }
     std::cout << reply << "\n";
     const auto doc = bb::util::parse_json(reply);
     return doc && doc->get_string("status") == "ok" ? 0 : 1;

@@ -7,13 +7,20 @@
 // clustered controller against its composed original.  Discrepancies
 // are delta-debugged down to minimized reproducers.
 //
-//   bb-fuzz [--seed N] [--count N] [--size N] [--mode balsa|netlist|both]
+// A separate protocol mode (--mode proto) instead fuzzes the untrusted
+// byte surfaces — util::parse_json, serve::parse_request and the disk
+// cache codec — with seeded malformed input (truncation, depth bombs,
+// overlong strings, invalid UTF-8, NULs) and asserts every parser
+// rejects with a structured error, never a throw or crash.
+//
+//   bb-fuzz [--seed N] [--count N] [--size N]
+//           [--mode balsa|netlist|both|proto]
 //
 // Options:
 //   --seed N            PRNG seed (default: BB_SEED env var, then 1)
 //   --count N           cases per mode (default 100)
 //   --size N            generator size budget (default 12)
-//   --mode M            balsa | netlist | both (default both)
+//   --mode M            balsa | netlist | both | proto (default both)
 //   --time-budget-ms N  stop the case loop after N ms (default: unlimited)
 //   --max-states N      clustering state cap (default 40)
 //   --no-sim            disable the differential simulation oracle
@@ -29,6 +36,7 @@
 #include <string>
 
 #include "src/fuzz/campaign.hpp"
+#include "src/fuzz/proto.hpp"
 #include "src/util/io.hpp"
 #include "src/util/strings.hpp"
 
@@ -36,7 +44,7 @@ namespace {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: bb-fuzz [--seed N] [--count N] [--size N] "
-               "[--mode balsa|netlist|both] [--time-budget-ms N] "
+               "[--mode balsa|netlist|both|proto] [--time-budget-ms N] "
                "[--max-states N] [--no-sim] [--no-conformance] "
                "[--json FILE] [--repro-dir DIR]\n";
   std::exit(2);
@@ -46,6 +54,7 @@ namespace {
 
 int main(int argc, char** argv) {
   bb::fuzz::FuzzOptions options;
+  bool proto_mode = false;
   std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +75,8 @@ int main(int argc, char** argv) {
         options.netlist_mode = false;
       } else if (mode == "netlist") {
         options.balsa_mode = false;
+      } else if (mode == "proto") {
+        proto_mode = true;
       } else if (mode != "both") {
         usage();
       }
@@ -90,6 +101,19 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (proto_mode) {
+      bb::fuzz::ProtoFuzzOptions popts;
+      popts.seed = options.seed;
+      popts.count = options.count;
+      popts.time_budget_ms = options.time_budget_ms;
+      const bb::fuzz::ProtoFuzzResult result = bb::fuzz::run_proto_fuzz(popts);
+      std::cout << result.to_text();
+      if (!json_path.empty()) {
+        bb::util::write_file_atomic(json_path, result.to_json() + "\n");
+        std::cout << "wrote " << json_path << "\n";
+      }
+      return result.violations > 0 ? 1 : 0;
+    }
     const bb::fuzz::FuzzResult result = bb::fuzz::run_fuzz_campaign(options);
     std::cout << result.to_text();
     if (!json_path.empty()) {

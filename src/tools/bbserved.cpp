@@ -20,8 +20,15 @@
 //   --memory-entries N  in-memory tier entry cap (default 65536)
 //   --work-budget N     default per-request work budget (default:
 //                       BB_WORK_BUDGET via the flow, 0 = unlimited)
+//   --line-timeout-ms N slow-trickle guard: close connections holding an
+//                       incomplete request line longer than this
+//                       (default 30000, 0 = off)
 //   --trace FILE        Chrome trace-event JSON (BB_TRACE env fallback)
 //   --metrics FILE      metrics snapshot JSON (BB_METRICS env fallback)
+//
+// Fault injection (debug/failpoint builds): BB_FAILPOINTS activates
+// named failpoints (src/util/failpoint.hpp) and BB_CHAOS_SEED seeds
+// their probabilistic actions; both are read at process start.
 //
 // SIGINT/SIGTERM (or a "shutdown" request) drain in-flight work, flush
 // replies, and exit 0.
@@ -47,7 +54,8 @@ void on_signal(int) {
 [[noreturn]] void usage() {
   std::cerr << "usage: bb-served --socket PATH [--jobs N] [--max-inflight N]"
                " [--cache-dir DIR] [--cache-max-mb N] [--memory-entries N]"
-               " [--work-budget N] [--trace FILE] [--metrics FILE]\n";
+               " [--work-budget N] [--line-timeout-ms N] [--trace FILE]"
+               " [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -90,6 +98,9 @@ int main(int argc, char** argv) {
       options.default_work_budget = bb::util::parse_int(
           "bb-served", "--work-budget", argv[++i], 0,
           std::numeric_limits<long long>::max());
+    } else if (flag == "--line-timeout-ms" && i + 1 < argc) {
+      options.line_timeout_ms = static_cast<int>(bb::util::parse_int(
+          "bb-served", "--line-timeout-ms", argv[++i], 0, 86400000));
     } else if (flag == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (flag == "--metrics" && i + 1 < argc) {

@@ -8,6 +8,7 @@
 #include "src/fuzz/campaign.hpp"
 #include "src/fuzz/gen.hpp"
 #include "src/fuzz/oracle.hpp"
+#include "src/fuzz/proto.hpp"
 #include "src/fuzz/shrink.hpp"
 #include "src/hsnet/to_ch.hpp"
 #include "src/util/prng.hpp"
@@ -162,6 +163,22 @@ TEST(Campaign, EffectiveSeedPrefersExplicitValue) {
   FuzzOptions options;
   options.seed = 17;
   EXPECT_EQ(effective_seed(options), 17u);
+}
+
+// ---- protocol / malformed-input fuzzing ----
+
+TEST(ProtoFuzz, CampaignIsDeterministicAndCleanOnTheCurrentCode) {
+  ProtoFuzzOptions options;
+  options.seed = 11;
+  options.count = 60;  // per target, small enough for a unit test
+  const ProtoFuzzResult a = run_proto_fuzz(options);
+  const ProtoFuzzResult b = run_proto_fuzz(options);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.violations, 0) << a.to_text();
+  EXPECT_EQ(a.cases_run, 180);  // three targets
+  // Mutated inputs must actually exercise the reject paths.
+  EXPECT_GT(a.rejected, 0);
+  EXPECT_NE(a.to_json().find("\"schema_version\":1"), std::string::npos);
 }
 
 // ---- reproducer corpus format ----

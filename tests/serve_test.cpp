@@ -11,7 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#include <cstdio>
 
 #include "src/bm/parse.hpp"
 #include "src/minimalist/cache.hpp"
@@ -159,8 +163,8 @@ TEST(DiskCache, VersionMismatchIsDroppedAndFileRemoved) {
     buf << in.rdbuf();
     entry = buf.str();
   }
-  ASSERT_EQ(entry.rfind("bbdc 1\n", 0), 0u);
-  entry.replace(0, 6, "bbdc 2");  // a future format revision
+  ASSERT_EQ(entry.rfind("bbdc 2\n", 0), 0u);
+  entry.replace(0, 6, "bbdc 3");  // a future format revision
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << entry;
@@ -190,19 +194,134 @@ TEST(DiskCache, EvictsLeastRecentlyUsedPastSizeCap) {
   // Cap fits roughly two entries, so the third store must evict.
   serve::DiskCache cache(dir.str(), 2 * entry_size);
   cache.store("old", ctrl);
-  // Backdate "old" so mtime order is unambiguous even on coarse clocks.
-  fs::last_write_time(cache.entry_path("old"),
-                      fs::file_time_type::clock::now() -
-                          std::chrono::hours(1));
   cache.store("mid", ctrl);
-  fs::last_write_time(cache.entry_path("mid"),
-                      fs::file_time_type::clock::now() -
-                          std::chrono::minutes(30));
+  // Touch "old": recency rides the persisted access counter (not mtime,
+  // whose 1-second granularity cannot order back-to-back operations),
+  // so the load promotes it past "mid".
+  ASSERT_TRUE(cache.load("old").has_value());
   cache.store("new", ctrl);
   EXPECT_GE(cache.stats().evictions, 1u);
-  EXPECT_FALSE(fs::exists(cache.entry_path("old")))
-      << "the oldest entry should be evicted first";
+  EXPECT_FALSE(fs::exists(cache.entry_path("mid")))
+      << "the least recently used entry should be evicted first";
+  EXPECT_TRUE(fs::exists(cache.entry_path("old")))
+      << "the touched entry must survive the eviction";
   EXPECT_TRUE(fs::exists(cache.entry_path("new")));
+}
+
+// ---- crash recovery ----
+
+TEST(DiskCache, RecoveryScavengesStaleWriteTemporaries) {
+  TempDir dir("scavenge");
+  std::string entry;
+  {
+    serve::DiskCache cache(dir.str());
+    cache.store("k", wire_ctrl());
+    entry = cache.entry_path("k");
+  }
+  // Plant the residue of a writer killed mid-write (stale, past the
+  // grace window) and a temp a live writer could still own (fresh).
+  const fs::path stale = dir.path / "dead.bbc.tmp.999.1";
+  const fs::path fresh = dir.path / "dead.bbc.tmp.999.2";
+  for (const fs::path& p : {stale, fresh}) {
+    std::ofstream(p, std::ios::binary) << "torn bytes";
+  }
+  fs::last_write_time(
+      stale, fs::file_time_type::clock::now() - std::chrono::minutes(5));
+
+  serve::DiskCache cache(dir.str());
+  EXPECT_EQ(cache.stats().recovered_tmp, 1u);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh)) << "a temp inside the grace window may "
+                                    "belong to a live writer";
+  EXPECT_TRUE(cache.load("k").has_value());
+  EXPECT_EQ(cache.verify_all().bad, 0u);
+}
+
+TEST(DiskCache, RecoveryQuarantinesInvalidEntriesInsteadOfTrustingThem) {
+  TempDir dir("quarantine");
+  std::string good_path, bad_path;
+  std::uint64_t gen = 0;
+  {
+    serve::DiskCache cache(dir.str());
+    gen = cache.generation();
+    cache.store("good", wire_ctrl());
+    cache.store("bad", wire_ctrl());
+    good_path = cache.entry_path("good");
+    bad_path = cache.entry_path("bad");
+  }
+  // Corrupt "bad" behind the store's back (bit rot, torn hardware
+  // write): the reopen must refuse to trust it.
+  {
+    std::fstream f(bad_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(bad_path) / 2));
+    f.write("XXXX", 4);
+  }
+
+  serve::DiskCache cache(dir.str());
+  EXPECT_EQ(cache.generation(), gen + 1) << "each open bumps the stamp";
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(bad_path));
+  // Quarantined means preserved for forensics, not silently deleted.
+  std::size_t quarantined_files = 0;
+  for (const auto& it : fs::directory_iterator(dir.path / "quarantine")) {
+    (void)it;
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 1u);
+  EXPECT_TRUE(cache.load("good").has_value());
+  EXPECT_EQ(cache.verify_all().bad, 0u);
+}
+
+TEST(DiskCache, RecoveryCompletesJournaledEvictionWithoutDroppingLiveEntries) {
+  TempDir dir("journal");
+  std::string stale_path, live_path;
+  {
+    serve::DiskCache cache(dir.str());
+    cache.store("stale", wire_ctrl());  // access counter 1
+    cache.store("live", wire_ctrl());   // access counter 2
+    stale_path = cache.entry_path("stale");
+    live_path = cache.entry_path("live");
+  }
+  // Hand-write the journal a crashed evictor would have left: both
+  // entries condemned at access counter 1.  "stale" still carries 1 and
+  // must go; "live" was touched after the decision (its persisted
+  // counter is 2 > 1) and must survive the replay.
+  {
+    std::ofstream journal(dir.path / "evict.journal", std::ios::binary);
+    journal << "bbdj 1\n"
+            << "1 " << fs::path(stale_path).filename().string() << "\n"
+            << "1 " << fs::path(live_path).filename().string() << "\n";
+  }
+
+  serve::DiskCache cache(dir.str());
+  EXPECT_EQ(cache.stats().journal_applied, 1u);
+  EXPECT_FALSE(fs::exists(stale_path));
+  EXPECT_TRUE(fs::exists(live_path))
+      << "an entry touched after the eviction decision must never drop";
+  EXPECT_FALSE(fs::exists(dir.path / "evict.journal"))
+      << "a replayed journal is consumed";
+  EXPECT_TRUE(cache.load("live").has_value());
+  EXPECT_EQ(cache.verify_all().bad, 0u);
+}
+
+TEST(DiskCache, VerifyAllCountsEveryDefect) {
+  TempDir dir("verify");
+  serve::DiskCache cache(dir.str());
+  cache.store("a", wire_ctrl());
+  cache.store("b", wire_ctrl());
+  auto report = cache.verify_all();
+  EXPECT_EQ(report.entries, 2u);
+  EXPECT_EQ(report.ok, 2u);
+  EXPECT_EQ(report.bad, 0u);
+  {
+    std::ofstream out(cache.entry_path("b"),
+                      std::ios::binary | std::ios::trunc);
+    out << "bbdc 2\nnot a real entry";
+  }
+  report = cache.verify_all();
+  EXPECT_EQ(report.entries, 2u);
+  EXPECT_EQ(report.bad, 1u);
+  EXPECT_EQ(report.first_bad, cache.entry_path("b"));
 }
 
 TEST(DiskCache, ConcurrentSharedDirectory) {
@@ -506,4 +625,79 @@ TEST(Server, ShutdownOpDrainsAndExits) {
   }
   thread.join();  // run() must return on its own
   EXPECT_TRUE(server.stopping());
+}
+
+TEST(Server, DuplicateRequestIdsAreAnsweredFromTheDedupeTable) {
+  TempDir dir("dedupe");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  options.cache_dir = (dir.path / "cache").string();
+  RunningServer running(options);
+  serve::Client client(options.socket_path);
+  const std::string line = bm_request("retry-1", kWireBms);
+  // A retrying client resends the same id after losing the first reply;
+  // the server must hand back the recorded reply, byte for byte, so the
+  // client cannot observe two different answers for one request.
+  const std::string first = client.roundtrip(line, 60000);
+  const std::string second = client.roundtrip(line, 60000);
+  EXPECT_EQ(first, second);
+  EXPECT_GE(running.server.stats().deduped, 1u);
+  const auto doc = util::parse_json(second);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("status"), "ok");
+}
+
+TEST(Server, IdempotentRetryHelperSurvivesConnectionLoss) {
+  TempDir dir("retry");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  options.cache_dir = (dir.path / "cache").string();
+  RunningServer running(options);
+  serve::RetryOptions retry;
+  retry.attempts = 3;
+  retry.timeout_ms = 60000;
+  retry.backoff_ms = 10;
+  serve::RetryStats stats;
+  const std::string reply = serve::Client::request_idempotent(
+      options.socket_path, bm_request("retry-helper", kWireBms), retry,
+      &stats);
+  const auto doc = util::parse_json(reply);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("status"), "ok");
+  EXPECT_GE(stats.attempts, 1);
+}
+
+TEST(Server, SlowTrickleConnectionsGetAStructuredTimeout) {
+  TempDir dir("trickle");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  options.line_timeout_ms = 200;  // short so the test stays fast
+  RunningServer running(options);
+  // A raw socket that sends half a request and then stalls forever.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                options.socket_path.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char partial[] = "{\"schema_version\":1,\"op\":";
+  ASSERT_EQ(::send(fd, partial, sizeof(partial) - 1, 0),
+            static_cast<ssize_t>(sizeof(partial) - 1));
+  // The server must answer with a structured error instead of holding
+  // the connection (and its buffer) hostage indefinitely.
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+    if (reply.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  const auto doc = util::parse_json(reply);
+  ASSERT_TRUE(doc.has_value()) << "reply was: " << reply;
+  EXPECT_EQ(doc->get_string("status"), "bad_request");
+  EXPECT_EQ(running.server.stats().line_timeouts, 1u);
 }
