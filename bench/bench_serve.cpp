@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include "src/designs/designs.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/client.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/serve/server.hpp"
@@ -54,6 +55,10 @@ struct PhaseResult {
   std::vector<double> latencies_ms;  ///< sorted after the run
   bb::minimalist::SynthCache::Stats cache;
   bb::serve::DiskCacheStats disk;
+  /// Server-side per-op latency: the "histograms" member of the live
+  /// `metrics` op reply, scraped before the phase's server stops.  The
+  /// registry is reset at phase start, so these are phase-scoped.
+  bb::util::JsonValue op_histograms;
 
   double hit_rate() const {
     const auto answered = cache.hits + cache.disk_hits + cache.misses;
@@ -81,6 +86,10 @@ PhaseResult run_phase(const std::string& name, const std::string& socket_path,
                       const std::string& cache_dir,
                       const std::vector<std::string>& designs, int clients,
                       int repeat) {
+  // Phase-scoped metrics: the registry is process-global, so zero it
+  // here and scrape it through the live `metrics` op before the server
+  // stops (instrument references stay valid across reset()).
+  bb::obs::Registry::global().reset();
   bb::serve::ServerOptions options;
   options.socket_path = socket_path;
   options.cache_dir = cache_dir;
@@ -128,6 +137,24 @@ PhaseResult run_phase(const std::string& name, const std::string& socket_path,
   result.cache = server.cache().stats();
   if (server.disk_cache() != nullptr) result.disk = server.disk_cache()->stats();
 
+  {
+    bb::util::JsonWriter mw;
+    mw.begin_object();
+    mw.member("schema_version", bb::serve::kProtocolVersion);
+    mw.member("op", "metrics");
+    mw.end_object();
+    bb::serve::Client scraper(socket_path);
+    const auto doc =
+        bb::util::parse_json(scraper.roundtrip(mw.str(), 600000));
+    if (doc && doc->get_string("status") == "ok") {
+      if (const bb::util::JsonValue* metrics = doc->get("metrics")) {
+        if (const bb::util::JsonValue* h = metrics->get("histograms")) {
+          result.op_histograms = *h;
+        }
+      }
+    }
+  }
+
   server.stop();
   server_thread.join();
 
@@ -168,6 +195,26 @@ void emit_phase(bb::util::JsonWriter& w, const PhaseResult& r) {
   w.member("misses", r.disk.misses);
   w.member("stores", r.disk.stores);
   w.member("evictions", r.disk.evictions);
+  w.end_object();
+  // Server-side per-op quantiles from the live serve.op.<name>.us
+  // histograms (includes queue time; the client-side latency_ms above
+  // additionally includes socket round-trip).
+  w.key("op_latency_us").begin_object();
+  for (const auto& [name, h] : r.op_histograms.object) {
+    constexpr const char* kPrefix = "serve.op.";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    std::string op = name.substr(9);
+    if (op.size() > 3 && op.compare(op.size() - 3, 3, ".us") == 0) {
+      op.resize(op.size() - 3);
+    }
+    w.key(op).begin_object();
+    w.member("count", static_cast<std::uint64_t>(h.get_int("count", 0)));
+    const bb::util::JsonValue* p50 = h.get("p50");
+    const bb::util::JsonValue* p99 = h.get("p99");
+    w.member("p50", p50 != nullptr ? p50->number : 0.0);
+    w.member("p99", p99 != nullptr ? p99->number : 0.0);
+    w.end_object();
+  }
   w.end_object();
   w.end_object();
 }

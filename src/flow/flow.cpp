@@ -482,8 +482,17 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
     if (jobs <= 1 || units.size() <= 1) {
       for (std::size_t i = 0; i < units.size(); ++i) run_unit(i);
     } else {
+      // Propagate the ambient trace context onto the pool workers: a
+      // controller synthesized for one service request must tag its
+      // spans with that request's trace id even though it runs on a
+      // different thread.  Captured by value here, reinstalled per task.
+      const std::string trace_id = obs::current_trace_id();
       util::ThreadPool pool(jobs);
-      util::parallel_for_index(pool, units.size(), run_unit);
+      util::parallel_for_index(pool, units.size(),
+                               [&run_unit, &trace_id](std::size_t i) {
+                                 obs::TraceContextScope scope(trace_id);
+                                 run_unit(i);
+                               });
     }
   }
 

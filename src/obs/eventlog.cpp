@@ -1,0 +1,56 @@
+#include "src/obs/eventlog.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "src/util/io.hpp"
+
+namespace bb::obs {
+
+struct EventLog::Impl {
+  std::mutex mu;
+  int fd = -1;
+  std::atomic<std::uint64_t> write_errors{0};
+};
+
+EventLog::EventLog(const std::string& path) : path_(path), impl_(new Impl) {
+  impl_->fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                     0644);
+  if (impl_->fd < 0) {
+    delete impl_;
+    throw std::runtime_error("cannot open event log: " + path);
+  }
+}
+
+EventLog::~EventLog() {
+  if (impl_->fd >= 0) ::close(impl_->fd);
+  delete impl_;
+}
+
+void EventLog::log(std::string_view fragment) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::string line = "{\"ts_ms\":" + std::to_string(ms);
+  if (!fragment.empty()) {
+    line += ',';
+    line += fragment;
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const ssize_t n = util::retry_write(impl_->fd, line.data(), line.size());
+  if (n != static_cast<ssize_t>(line.size())) {
+    impl_->write_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t EventLog::write_errors() const {
+  return impl_->write_errors.load(std::memory_order_relaxed);
+}
+
+}  // namespace bb::obs

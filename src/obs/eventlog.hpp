@@ -1,0 +1,52 @@
+// Append-only JSONL operational event log for the service tier.
+//
+// One JSON object per line, written with a single O_APPEND write() so
+// concurrent writers (multiple reader threads completing requests) never
+// interleave mid-record — POSIX guarantees the append offset is applied
+// atomically per write, and records are far below PIPE_BUF-scale sizes
+// anyway because each write also holds the log mutex.  The log is an
+// operational artifact, not a metrics store: every record carries a
+// wall-clock `ts_ms` (unlike the monotonic trace clock) so entries can
+// be correlated with external systems, plus whatever fragment the caller
+// supplies (trace_id, op, outcome, cache tier, duration, slow-request
+// span exemplars — see src/serve/server.cpp).
+//
+// Failure policy: the log must never take the service down.  Open errors
+// throw (a bad --log path is an operator mistake caught at startup), but
+// write errors after that are counted (`write_errors()`) and dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bb::obs {
+
+class EventLog {
+ public:
+  /// Opens (creating if needed) `path` for appending.  Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit EventLog(const std::string& path);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one record: `{"ts_ms":<now>,<fragment>}\n`.  `fragment` is
+  /// a pre-rendered JSON object fragment without braces, e.g.
+  /// `"op":"ping","ok":true`.  Thread-safe; errors are dropped and
+  /// counted.
+  void log(std::string_view fragment);
+
+  /// Writes dropped due to I/O errors since construction.
+  std::uint64_t write_errors() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Impl;
+  std::string path_;
+  Impl* impl_;
+};
+
+}  // namespace bb::obs

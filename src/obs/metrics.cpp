@@ -1,5 +1,6 @@
 #include "src/obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <map>
 #include <memory>
@@ -34,6 +35,50 @@ std::uint64_t Histogram::bucket_lower(std::size_t i) {
 std::uint64_t Histogram::min() const {
   const std::uint64_t m = min_.load(std::memory_order_relaxed);
   return m == UINT64_MAX ? 0 : m;
+}
+
+Histogram::Snapshot Histogram::capture() const {
+  Snapshot s;
+  // Buckets first: `count` is their sum, so it can never disagree with
+  // them, whatever record()/reset() calls race this loop.
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min();
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Cumulative-count convention (as Prometheus histogram_quantile): the
+  // quantile lives in the first bucket whose cumulative count reaches
+  // q * count, so a p99 over two samples lands on the larger one
+  // instead of rounding down to the smaller.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets[i];
+    if (n == 0) continue;
+    if (static_cast<double>(below + n) >= target) {
+      if (i == 0) return 0.0;  // bucket 0 holds exactly the value 0
+      // Interpolate inside [lower, 2*lower) assuming uniform spread.
+      const double lower = static_cast<double>(bucket_lower(i));
+      const double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(n);
+      double estimate = lower + frac * lower;
+      // The observed extremes tighten the bucket bound: extreme q
+      // become exact, single-value histograms collapse to the value.
+      estimate = std::min(estimate, static_cast<double>(max));
+      estimate = std::max(estimate, static_cast<double>(min));
+      return estimate;
+    }
+    below += n;
+  }
+  return static_cast<double>(max);
 }
 
 void Histogram::reset() {
@@ -89,30 +134,50 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
-std::string Registry::snapshot_json() const {
+RegistrySnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
+  RegistrySnapshot s;
+  s.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    s.counters.emplace_back(name, c->value());
+  }
+  s.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) {
+    s.gauges.emplace_back(name, g->value());
+  }
+  s.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    s.histograms.emplace_back(name, h->capture());
+  }
+  return s;
+}
+
+std::string Registry::to_json(const RegistrySnapshot& snapshot) {
   util::JsonWriter w;
   w.begin_object();
   w.member("schema_version", kSchemaVersion);
 
   w.key("counters").begin_object();
-  for (const auto& [name, c] : impl_->counters) w.member(name, c->value());
+  for (const auto& [name, v] : snapshot.counters) w.member(name, v);
   w.end_object();
 
   w.key("gauges").begin_object();
-  for (const auto& [name, g] : impl_->gauges) w.member(name, g->value());
+  for (const auto& [name, v] : snapshot.gauges) w.member(name, v);
   w.end_object();
 
   w.key("histograms").begin_object();
-  for (const auto& [name, h] : impl_->histograms) {
+  for (const auto& [name, h] : snapshot.histograms) {
     w.key(name).begin_object();
-    w.member("count", h->count());
-    w.member("sum", h->sum());
-    w.member("min", h->min());
-    w.member("max", h->max());
+    w.member("count", h.count);
+    w.member("sum", h.sum);
+    w.member("min", h.min);
+    w.member("max", h.max);
+    w.member("p50", h.quantile(0.50));
+    w.member("p90", h.quantile(0.90));
+    w.member("p99", h.quantile(0.99));
     w.key("buckets").begin_array();
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-      const std::uint64_t n = h->bucket_count(i);
+      const std::uint64_t n = h.buckets[i];
       if (n == 0) continue;
       w.begin_object();
       w.member("ge", Histogram::bucket_lower(i));
@@ -126,6 +191,70 @@ std::string Registry::snapshot_json() const {
 
   w.end_object();
   return w.str();
+}
+
+namespace {
+
+/// Metric-name mangling for the Prometheus exposition: "serve.op.x.us"
+/// -> "bb_serve_op_x_us".
+std::string prometheus_name(std::string_view name) {
+  std::string out = "bb_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Bucket i holds integer values in [2^(i-1), 2^i), so the exact
+    // inclusive upper bound of its cumulative series is 2^i - 1 (and 0
+    // for bucket 0).  Empty tail buckets are elided; +Inf always closes
+    // the series.
+    std::size_t highest = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets[i] != 0) highest = i;
+    }
+    std::uint64_t cumulative = 0;
+    if (h.count > 0) {
+      for (std::size_t i = 0; i <= highest; ++i) {
+        cumulative += h.buckets[i];
+        const std::uint64_t le =
+            i == 0 ? 0
+                   : (i >= 64 ? UINT64_MAX
+                              : (std::uint64_t{1} << i) - 1);
+        out += n + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::snapshot_json() const { return to_json(snapshot()); }
+
+std::string Registry::prometheus_text() const {
+  return to_prometheus(snapshot());
 }
 
 void Registry::reset() {

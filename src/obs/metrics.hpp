@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace bb::obs {
 
@@ -67,7 +69,36 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;
 
+  /// A self-consistent point-in-time copy of one histogram.  `count` is
+  /// derived from the bucket counts (never read separately), so it
+  /// always equals their sum even when the capture races record() or
+  /// reset(); `sum`/`min`/`max` are read after the buckets and may lag
+  /// them by whatever record() calls were in flight.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t buckets[kBuckets] = {};
+
+    /// Quantile estimate for q in [0, 1] by linear interpolation inside
+    /// the log2 bucket holding the rank, clamped to the observed
+    /// min/max.  Error bound: the estimate lies in the same
+    /// power-of-two bucket as the true order statistic, so it is within
+    /// a factor of 2 of the true value (exact for q at the extremes,
+    /// which clamp to min/max, and exact when the bucket holds one
+    /// distinct value); the interpolation assumes values are uniformly
+    /// spread inside their bucket.
+    double quantile(double q) const;
+  };
+
   void record(std::uint64_t v);
+
+  /// One-pass copy for snapshots and quantile math.
+  Snapshot capture() const;
+  /// capture().quantile(q) convenience for call sites that need one
+  /// quantile; take one capture() when deriving several.
+  double quantile(double q) const { return capture().quantile(q); }
 
   /// The bucket a value lands in: 0 for 0, otherwise std::bit_width(v).
   static std::size_t bucket_index(std::uint64_t v);
@@ -92,6 +123,16 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// A point-in-time copy of every instrument, captured in one pass (see
+/// Registry::snapshot for the consistency contract).  Both renderings —
+/// deterministic JSON and Prometheus text exposition — derive from this
+/// one structure, so they can never disagree about the values.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
 /// Named-instrument registry.  Lookup takes a mutex (cache the reference
 /// in hot paths); recording is lock-free.
 class Registry {
@@ -100,9 +141,36 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
-  /// Deterministic snapshot: {"schema_version":N,"counters":{...},
-  /// "gauges":{...},"histograms":{...}} with names in sorted order.
+  /// Captures every instrument in one pass under the registry mutex —
+  /// the same mutex reset() takes — in name order.
+  ///
+  /// Consistency contract: a snapshot never observes a half-applied
+  /// reset() (the two fully serialize on the mutex).  Recording is
+  /// lock-free, so an add()/record() concurrent with the capture may
+  /// appear in a later-read instrument but not an earlier one; within
+  /// one histogram the bucket counts are authoritative (`count` is
+  /// their sum by construction) and only `sum`/`min`/`max` can lag by
+  /// the racing calls.  Values never move backwards between two
+  /// snapshots unless reset() ran in between.
+  RegistrySnapshot snapshot() const;
+
+  /// Deterministic JSON rendering of a snapshot:
+  /// {"schema_version":N,"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names in sorted order; histograms carry
+  /// count/sum/min/max, p50/p90/p99 estimates, and the non-empty
+  /// buckets.
+  static std::string to_json(const RegistrySnapshot& snapshot);
+
+  /// Prometheus text-exposition rendering of the same snapshot: names
+  /// are prefixed "bb_" with non-alphanumerics mapped to '_';
+  /// histograms become cumulative le-bucket series (+Inf, _sum,
+  /// _count) with exact integer upper bounds.
+  static std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+  /// to_json(snapshot()).
   std::string snapshot_json() const;
+  /// to_prometheus(snapshot()).
+  std::string prometheus_text() const;
 
   /// Zeroes every instrument (references stay valid).
   void reset();

@@ -19,12 +19,19 @@ namespace {
 
 using Clock = Tracer::Clock;
 
+/// Ring growth cap, adjustable via Tracer::set_ring_capacity.
+std::atomic<std::size_t> g_ring_capacity{65536};
+
+/// The thread's ambient trace context (see TraceContextScope).
+thread_local std::string g_trace_id;  // NOLINT(cert-err58-cpp)
+
 struct Event {
   const char* name;
   const char* cat;
   double ts_us;
   double dur_us;
   std::uint32_t tid;
+  std::string trace_id;  ///< ambient context at record time; may be empty
   std::string args_json;
 };
 
@@ -32,21 +39,19 @@ struct Event {
 /// copies under the same mutex, so a record racing a flush is safe (the
 /// uncontended lock is a few nanoseconds, far below span granularity).
 struct ThreadRing {
-  static constexpr std::size_t kRingCapacity = 65536;
-
   std::mutex mu;
-  std::vector<Event> events;  ///< grows to kRingCapacity, then wraps
+  std::vector<Event> events;  ///< grows to the capacity cap, then wraps
   std::size_t next = 0;       ///< overwrite cursor once full
   std::uint64_t dropped = 0;
   std::uint32_t tid = 0;
 
   void push(Event e) {
     std::lock_guard<std::mutex> lock(mu);
-    if (events.size() < kRingCapacity) {
+    if (events.size() < g_ring_capacity.load(std::memory_order_relaxed)) {
       events.push_back(std::move(e));
     } else {
       events[next] = std::move(e);
-      next = (next + 1) % kRingCapacity;
+      next = (next + 1) % events.size();
       ++dropped;
     }
   }
@@ -80,7 +85,80 @@ double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
+/// Renders one Chrome trace-event document from already-merged events
+/// (the single emitter behind flush_json and collect_json).
+std::string render_trace_json(const std::vector<Event>& merged,
+                              std::uint64_t dropped) {
+  std::vector<std::uint32_t> tids;
+  for (const Event& e : merged) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", kSchemaVersion);
+  w.member("displayTimeUnit", "ms");
+  w.member("dropped_events", dropped);
+  w.key("traceEvents").begin_array();
+  w.begin_object()
+      .member("ph", "M")
+      .member("name", "process_name")
+      .member("pid", 1)
+      .member("tid", std::uint64_t{0})
+      .key("args")
+      .begin_object()
+      .member("name", "bb")
+      .end_object()
+      .end_object();
+  for (const std::uint32_t tid : tids) {
+    w.begin_object()
+        .member("ph", "M")
+        .member("name", "thread_name")
+        .member("pid", 1)
+        .member("tid", std::uint64_t{tid})
+        .key("args")
+        .begin_object()
+        .member("name", "thread " + std::to_string(tid))
+        .end_object()
+        .end_object();
+  }
+  for (const Event& e : merged) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.cat);
+    w.member("ph", "X");
+    w.member("ts", e.ts_us);
+    w.member("dur", e.dur_us);
+    w.member("pid", 1);
+    w.member("tid", std::uint64_t{e.tid});
+    if (!e.args_json.empty() || !e.trace_id.empty()) {
+      std::string args = e.args_json;
+      if (!e.trace_id.empty()) {
+        if (!args.empty()) args += ',';
+        args += "\"trace_id\":\"" + util::json_escape(e.trace_id) + "\"";
+      }
+      w.key("args").raw("{" + args + "}");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
+
+const std::string& current_trace_id() { return g_trace_id; }
+
+TraceContextScope::TraceContextScope(std::string trace_id)
+    : previous_(std::move(g_trace_id)) {
+  g_trace_id = std::move(trace_id);
+}
+
+TraceContextScope::~TraceContextScope() { g_trace_id = std::move(previous_); }
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
@@ -121,6 +199,7 @@ void Tracer::record(const char* name, const char* cat,
   e.dur_us = us_between(start, end);
   ThreadRing& ring = local_ring();
   e.tid = ring.tid;
+  e.trace_id = g_trace_id;
   e.args_json = std::move(args_json);
   ring.push(std::move(e));
 }
@@ -128,13 +207,11 @@ void Tracer::record(const char* name, const char* cat,
 std::string Tracer::flush_json() {
   std::vector<Event> merged;
   std::uint64_t dropped = 0;
-  std::vector<std::uint32_t> tids;
   {
     TracerState& s = state();
     std::lock_guard<std::mutex> lock(s.mu);
     for (auto& ring : s.rings) {
       std::lock_guard<std::mutex> ring_lock(ring->mu);
-      if (!ring->events.empty()) tids.push_back(ring->tid);
       // Ring order: oldest first (the slice [next, end) precedes
       // [0, next) once the ring has wrapped).
       for (std::size_t i = 0; i < ring->events.size(); ++i) {
@@ -151,53 +228,45 @@ std::string Tracer::flush_json() {
                    [](const Event& a, const Event& b) {
                      return a.ts_us < b.ts_us;
                    });
-  std::sort(tids.begin(), tids.end());
+  return render_trace_json(merged, dropped);
+}
 
-  util::JsonWriter w;
-  w.begin_object();
-  w.member("schema_version", kSchemaVersion);
-  w.member("displayTimeUnit", "ms");
-  w.member("dropped_events", dropped);
-  w.key("traceEvents").begin_array();
-  w.begin_object()
-      .member("ph", "M")
-      .member("name", "process_name")
-      .member("pid", 1)
-      .member("tid", std::uint64_t{0})
-      .key("args")
-      .begin_object()
-      .member("name", "bb")
-      .end_object()
-      .end_object();
-  for (const std::uint32_t tid : tids) {
-    w.begin_object()
-        .member("ph", "M")
-        .member("name", "thread_name")
-        .member("pid", 1)
-        .member("tid", std::uint64_t{tid})
-        .key("args")
-        .begin_object()
-        .member("name", "thread " + std::to_string(tid))
-        .end_object()
-        .end_object();
-  }
-  for (const Event& e : merged) {
-    w.begin_object();
-    w.member("name", e.name);
-    w.member("cat", e.cat);
-    w.member("ph", "X");
-    w.member("ts", e.ts_us);
-    w.member("dur", e.dur_us);
-    w.member("pid", 1);
-    w.member("tid", std::uint64_t{e.tid});
-    if (!e.args_json.empty()) {
-      w.key("args").raw("{" + e.args_json + "}");
+std::string Tracer::collect_json(std::size_t last, std::string_view trace_id) {
+  std::vector<Event> merged;
+  std::uint64_t dropped = 0;
+  {
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& ring : s.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      for (std::size_t i = 0; i < ring->events.size(); ++i) {
+        const std::size_t at = (ring->next + i) % ring->events.size();
+        const Event& e = ring->events[at];
+        if (!trace_id.empty() && e.trace_id != trace_id) continue;
+        merged.push_back(e);  // copy: the ring keeps its events
+      }
+      dropped += ring->dropped;
     }
-    w.end_object();
   }
-  w.end_array();
-  w.end_object();
-  return w.str();
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  if (last > 0 && merged.size() > last) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<std::ptrdiff_t>(last));
+  }
+  return render_trace_json(merged, dropped);
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  events = std::min<std::size_t>(std::max<std::size_t>(events, 1024),
+                                 1u << 20);
+  g_ring_capacity.store(events, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::ring_capacity() {
+  return g_ring_capacity.load(std::memory_order_relaxed);
 }
 
 void Tracer::write(const std::string& path) {

@@ -11,14 +11,24 @@
 // completion regardless of whether tracing is on; the flow uses this to
 // derive StageTimings directly from its spans.
 //
-// Ring buffers are bounded (kRingCapacity events per thread); once a ring
-// wraps, the oldest events are overwritten and the flush reports how many
-// were dropped.  Buffers outlive their threads (the tracer keeps them
-// alive until the next flush), so pool workers can exit freely.
+// Ring buffers are bounded (ring_capacity() events per thread); once a
+// ring wraps, the oldest events are overwritten and the flush reports how
+// many were dropped.  Buffers outlive their threads (the tracer keeps
+// them alive until the next flush), so pool workers can exit freely.
+//
+// Request-scoped tracing: a thread carries an ambient trace context (a
+// trace id string installed with TraceContextScope).  Every span recorded
+// while the scope is alive is tagged with that id, so all the work done
+// on behalf of one service request — dispatch, cache lookups, the flow
+// stages, per-controller synthesis on pool workers — shares its id and
+// can be pulled out of the ring as one trace.  Propagation across
+// threads is explicit and by value: capture current_trace_id() where the
+// task is submitted, install a scope inside the worker.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -33,6 +43,29 @@ extern std::atomic<bool> g_tracing;
 inline bool tracing_enabled() {
   return internal::g_tracing.load(std::memory_order_relaxed);
 }
+
+// ---- ambient trace context ----
+
+/// The trace id installed on this thread by the innermost live
+/// TraceContextScope (empty when none).  Spans recorded on this thread
+/// carry it; capture it here when handing work to another thread.
+const std::string& current_trace_id();
+
+/// RAII scope installing `trace_id` as the thread's ambient trace
+/// context; the previous value is restored on destruction, so nested
+/// scopes (a request executing inside an instrumented batch) behave like
+/// a stack.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::string trace_id);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 /// Span categories (the "cat" field trace viewers group/filter by).
 inline constexpr const char* kCatFlow = "flow";
@@ -57,6 +90,22 @@ class Tracer {
   /// document: {"schema_version":N,"displayTimeUnit":"ms",
   /// "dropped_events":N,"traceEvents":[...]}.
   std::string flush_json();
+
+  /// Live, non-draining view of the rings for the service tier's
+  /// `trace` op: copies the recorded spans (events stay in place for
+  /// the next query or the final flush), keeps only those whose trace
+  /// id equals `trace_id` when it is non-empty, and renders the newest
+  /// `last` spans (0 = all) as the same Chrome trace-event document.
+  std::string collect_json(std::size_t last = 0,
+                           std::string_view trace_id = {});
+
+  /// Per-thread ring capacity (events), clamped to [1024, 1M].  Applies
+  /// to how much further any ring may grow — rings never shrink, a ring
+  /// already past a lowered cap simply wraps at its current size.  The
+  /// service tier sizes its span ring with this before enabling tracing
+  /// (DESIGN.md §16 discusses the sizing tradeoff).
+  static void set_ring_capacity(std::size_t events);
+  static std::size_t ring_capacity();
 
   /// flush_json() written atomically to `path`.
   void write(const std::string& path);

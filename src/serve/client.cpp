@@ -73,7 +73,9 @@ std::string Client::recv_line(int timeout_ms) {
       if (errno == EINTR) continue;
       fail(std::string("poll: ") + std::strerror(errno));
     }
-    if (ready == 0) fail("timed out waiting for a reply");
+    if (ready == 0) {
+      throw ClientTimeout("serve::Client: timed out waiting for a reply");
+    }
     char chunk[65536];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) fail("server closed the connection");
@@ -97,6 +99,7 @@ std::string Client::request_idempotent(const std::string& socket_path,
   const int attempts = std::max(1, opts.attempts);
   util::SplitMix64 jitter(opts.jitter_seed);
   std::string last_error;
+  bool last_was_timeout = false;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       // Capped exponential backoff with up to +50% seeded jitter, so a
@@ -118,13 +121,21 @@ std::string Client::request_idempotent(const std::string& socket_path,
       // connection would corrupt framing.
       Client client(socket_path);
       return client.roundtrip(line, opts.timeout_ms);
+    } catch (const ClientTimeout& e) {
+      last_error = e.what();
+      last_was_timeout = true;
     } catch (const std::runtime_error& e) {
       last_error = e.what();
+      last_was_timeout = false;
     }
   }
-  throw std::runtime_error("serve::Client: request failed after " +
+  const std::string what = "serve::Client: request failed after " +
                            std::to_string(attempts) +
-                           " attempt(s): " + last_error);
+                           " attempt(s): " + last_error;
+  // Preserve the failure class so callers can tell "the last attempt
+  // timed out (the request may still run)" from a dead transport.
+  if (last_was_timeout) throw ClientTimeout(what);
+  throw std::runtime_error(what);
 }
 
 }  // namespace bb::serve

@@ -5,9 +5,21 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace bb::serve {
+
+/// Thrown by recv_line/roundtrip when the reply deadline passes (the
+/// request may still execute server-side).  A subclass of the generic
+/// transport runtime_error so existing catch sites keep working, but
+/// distinguishable where timeout and transport failure mean different
+/// things — bb-client maps them to different exit codes.
+class ClientTimeout : public std::runtime_error {
+ public:
+  explicit ClientTimeout(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Tuning for Client::request_idempotent.
 struct RetryOptions {

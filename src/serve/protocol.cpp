@@ -10,11 +10,12 @@ namespace bb::serve {
 namespace {
 
 /// Starts a reply object with the members every status shares.
-void reply_head(util::JsonWriter& w, const std::string& id,
+void reply_head(util::JsonWriter& w, const ReplyIds& ids,
                 const char* status) {
   w.begin_object();
   w.member("schema_version", kProtocolVersion);
-  if (!id.empty()) w.member("id", id);
+  if (!ids.id.empty()) w.member("id", ids.id);
+  if (!ids.trace_id.empty()) w.member("trace_id", ids.trace_id);
   w.member("status", status);
 }
 
@@ -74,12 +75,13 @@ bool parse_request(const std::string& line, Request* request,
   Request req;
   req.id = doc->get_string("id");
   req.op = doc->get_string("op");
-  if (req.op != "ping" && req.op != "stats" && req.op != "shutdown" &&
-      req.op != "synthesize" && req.op != "synthesize_bm" &&
-      req.op != "analyze") {
+  if (req.op != "ping" && req.op != "stats" && req.op != "metrics" &&
+      req.op != "trace" && req.op != "shutdown" && req.op != "synthesize" &&
+      req.op != "synthesize_bm" && req.op != "analyze") {
     *error = "unknown op '" + req.op + "'";
     return false;
   }
+  req.trace_id = doc->get_string("trace_id");
   req.design = doc->get_string("design");
   req.source = doc->get_string("source");
   req.bms = doc->get_string("bms");
@@ -87,6 +89,28 @@ bool parse_request(const std::string& line, Request* request,
   if (req.mode != "speed" && req.mode != "area") {
     *error = "mode must be \"speed\" or \"area\"";
     return false;
+  }
+  req.format = doc->get_string("format", "json");
+  if (req.format != "json" && req.format != "prometheus" &&
+      req.format != "both") {
+    *error = "format must be \"json\", \"prometheus\" or \"both\"";
+    return false;
+  }
+  req.filter = doc->get_string("filter");
+  {
+    std::string member_error;
+    if (const std::optional<int> last = int_member(*doc, "last",
+                                                  &member_error)) {
+      if (*last < 0) {
+        *error = "member 'last' must be non-negative";
+        return false;
+      }
+      req.last = *last;
+    }
+    if (!member_error.empty()) {
+      *error = member_error;
+      return false;
+    }
   }
   if ((req.op == "synthesize" || req.op == "analyze") &&
       req.design.empty() == req.source.empty()) {
@@ -144,49 +168,71 @@ flow::FlowOptions apply_options(const RequestOptions& overrides,
   return options;
 }
 
-std::string reply_ok_ping(const std::string& id) {
+std::string reply_ok_ping(const ReplyIds& ids) {
   util::JsonWriter w;
-  reply_head(w, id, "ok");
+  reply_head(w, ids, "ok");
   w.member("op", "ping");
   w.end_object();
   return w.str();
 }
 
-std::string reply_ok_stats(const std::string& id,
+std::string reply_ok_stats(const ReplyIds& ids,
                            const std::string& raw_json) {
   util::JsonWriter w;
-  reply_head(w, id, "ok");
+  reply_head(w, ids, "ok");
   w.member("op", "stats");
   w.key("stats").raw(raw_json);
   w.end_object();
   return w.str();
 }
 
-std::string reply_ok_shutdown(const std::string& id) {
+std::string reply_ok_metrics(const ReplyIds& ids,
+                             const std::string* metrics_json,
+                             const std::string* prometheus_text) {
   util::JsonWriter w;
-  reply_head(w, id, "ok");
+  reply_head(w, ids, "ok");
+  w.member("op", "metrics");
+  if (metrics_json != nullptr) w.key("metrics").raw(*metrics_json);
+  if (prometheus_text != nullptr) w.member("prometheus", *prometheus_text);
+  w.end_object();
+  return w.str();
+}
+
+std::string reply_ok_trace(const ReplyIds& ids,
+                           const std::string& trace_json) {
+  util::JsonWriter w;
+  reply_head(w, ids, "ok");
+  w.member("op", "trace");
+  w.key("trace").raw(trace_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string reply_ok_shutdown(const ReplyIds& ids) {
+  util::JsonWriter w;
+  reply_head(w, ids, "ok");
   w.member("op", "shutdown");
   w.member("draining", true);
   w.end_object();
   return w.str();
 }
 
-std::string reply_ok_result(const std::string& id,
+std::string reply_ok_result(const ReplyIds& ids,
                             const std::string& result_json,
                             const ReplyTimings& timings) {
   util::JsonWriter w;
-  reply_head(w, id, "ok");
+  reply_head(w, ids, "ok");
   w.key("result").raw(result_json);
   reply_timings(w, timings);
   w.end_object();
   return w.str();
 }
 
-std::string reply_error(const std::string& id, const std::string& stage,
+std::string reply_error(const ReplyIds& ids, const std::string& stage,
                         const std::string& rule, const std::string& message,
                         const ReplyTimings* timings) {
   util::JsonWriter w;
-  reply_head(w, id, "error");
+  reply_head(w, ids, "error");
   w.key("error").begin_object();
   w.member("stage", stage);
   w.member("rule", rule);
@@ -197,18 +243,18 @@ std::string reply_error(const std::string& id, const std::string& stage,
   return w.str();
 }
 
-std::string reply_overloaded(const std::string& id) {
+std::string reply_overloaded(const ReplyIds& ids) {
   util::JsonWriter w;
-  reply_head(w, id, "overloaded");
+  reply_head(w, ids, "overloaded");
   w.member("message", "admission queue full, retry later");
   w.end_object();
   return w.str();
 }
 
-std::string reply_bad_request(const std::string& id,
+std::string reply_bad_request(const ReplyIds& ids,
                               const std::string& message) {
   util::JsonWriter w;
-  reply_head(w, id, "bad_request");
+  reply_head(w, ids, "bad_request");
   w.member("message", message);
   w.end_object();
   return w.str();

@@ -6,6 +6,10 @@
 //
 //   ping           liveness probe                     -> status "ok"
 //   stats          server + cache statistics          -> status "ok"
+//   metrics        live obs::Registry snapshot        -> JSON and/or
+//                  ("format": json|prometheus|both)      Prometheus text
+//   trace          live span-ring query ("last" N     -> Chrome trace
+//                  spans, "filter" by trace id)          JSON document
 //   shutdown       graceful drain + exit              -> status "ok"
 //   synthesize     full flow over "source" (mini-     -> report, area,
 //                  Balsa text) or "design" (built-in)    timings, cache
@@ -18,6 +22,13 @@
 // (admission queue full — retry later), "bad_request" (unparseable or
 // unsupported request).  Request decoding is strict about shape but
 // lenient about unknown members, so the schema can grow compatibly.
+//
+// Trace context: a request may carry "trace_id" naming the distributed
+// trace it belongs to; the server mints one ("srv-<seq>") when absent.
+// Either way the reply echoes the effective id as "trace_id", and every
+// span recorded while the request executes — including per-controller
+// synthesis on pool workers — is tagged with it, so the `trace` op can
+// pull one request's spans out of the ring with "filter".
 #pragma once
 
 #include <optional>
@@ -55,13 +66,18 @@ struct RequestOptions {
 };
 
 struct Request {
-  std::string id;      ///< echoed verbatim in the reply; may be empty
-  std::string op;      ///< ping / stats / shutdown / synthesize /
-                       ///< synthesize_bm / analyze
-  std::string design;  ///< built-in design name (synthesize)
-  std::string source;  ///< inline mini-Balsa text (synthesize)
-  std::string bms;     ///< inline .bms text (synthesize_bm)
-  std::string mode = "speed";  ///< "speed" | "area" (synthesize_bm)
+  std::string id;        ///< echoed verbatim in the reply; may be empty
+  std::string op;        ///< ping / stats / metrics / trace / shutdown /
+                         ///< synthesize / synthesize_bm / analyze
+  std::string trace_id;  ///< client-supplied trace context; server mints
+                         ///< one when empty
+  std::string design;    ///< built-in design name (synthesize)
+  std::string source;    ///< inline mini-Balsa text (synthesize)
+  std::string bms;       ///< inline .bms text (synthesize_bm)
+  std::string mode = "speed";   ///< "speed" | "area" (synthesize_bm)
+  std::string format = "json";  ///< "json" | "prometheus" | "both" (metrics)
+  std::string filter;           ///< trace-id filter (trace)
+  int last = 0;                 ///< newest-N span cap, 0 = all (trace)
   RequestOptions options;
 };
 
@@ -76,23 +92,37 @@ flow::FlowOptions apply_options(const RequestOptions& overrides,
 
 // ---- reply rendering (every function returns one line, no newline) ----
 
+/// Envelope identity echoed in every reply: the request "id" and the
+/// effective "trace_id" (either may be empty, in which case the member
+/// is omitted).
+struct ReplyIds {
+  std::string id;
+  std::string trace_id;
+};
+
 struct ReplyTimings {
   double queue_ms = 0.0;  ///< admission to execution start
   double run_ms = 0.0;    ///< execution
 };
 
-std::string reply_ok_ping(const std::string& id);
-std::string reply_ok_stats(const std::string& id, const std::string& raw_json);
-std::string reply_ok_shutdown(const std::string& id);
+std::string reply_ok_ping(const ReplyIds& ids);
+std::string reply_ok_stats(const ReplyIds& ids, const std::string& raw_json);
+/// Either rendering may be null to omit it ("format" selects).
+std::string reply_ok_metrics(const ReplyIds& ids,
+                             const std::string* metrics_json,
+                             const std::string* prometheus_text);
+/// `trace_json` is the Chrome trace-event document from the span ring.
+std::string reply_ok_trace(const ReplyIds& ids, const std::string& trace_json);
+std::string reply_ok_shutdown(const ReplyIds& ids);
 /// `result_json` is a pre-rendered JSON object fragment.
-std::string reply_ok_result(const std::string& id,
+std::string reply_ok_result(const ReplyIds& ids,
                             const std::string& result_json,
                             const ReplyTimings& timings);
-std::string reply_error(const std::string& id, const std::string& stage,
+std::string reply_error(const ReplyIds& ids, const std::string& stage,
                         const std::string& rule, const std::string& message,
                         const ReplyTimings* timings = nullptr);
-std::string reply_overloaded(const std::string& id);
-std::string reply_bad_request(const std::string& id,
+std::string reply_overloaded(const ReplyIds& ids);
+std::string reply_bad_request(const ReplyIds& ids,
                               const std::string& message);
 
 }  // namespace bb::serve

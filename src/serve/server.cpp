@@ -25,6 +25,7 @@
 #include "src/flow/flow.hpp"
 #include "src/lint/sarif.hpp"
 #include "src/netlist/verilog.hpp"
+#include "src/obs/eventlog.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/protocol.hpp"
@@ -68,6 +69,16 @@ struct Server::Impl {
     jobs = options.jobs > 0
                ? static_cast<std::size_t>(options.jobs)
                : util::ThreadPool::recommended_jobs();
+    if (!options.log_path.empty()) {
+      event_log = std::make_unique<obs::EventLog>(options.log_path);
+    }
+    if (options.live_trace) {
+      obs::Tracer::set_ring_capacity(options.span_ring);
+      if (!obs::tracing_enabled()) {
+        obs::Tracer::instance().enable();
+        owns_tracer = true;
+      }
+    }
     listen_and_bind();
     pool = std::make_unique<util::ThreadPool>(jobs);
   }
@@ -75,6 +86,7 @@ struct Server::Impl {
   ~Impl() {
     if (listen_fd >= 0) ::close(listen_fd);
     if (!options.socket_path.empty()) ::unlink(options.socket_path.c_str());
+    if (owns_tracer) obs::Tracer::instance().disable();
   }
 
   // ---- state shared across connection threads ----
@@ -86,6 +98,10 @@ struct Server::Impl {
   int listen_fd = -1;
   std::atomic<bool> stop{false};
   std::atomic<int> inflight{0};
+  std::unique_ptr<obs::EventLog> event_log;
+  bool owns_tracer = false;
+  /// Sequence behind server-minted trace ids ("srv-<seq>").
+  std::atomic<std::uint64_t> trace_seq{0};
 
   mutable std::mutex stats_mu;
   ServerStats stats;
@@ -141,9 +157,47 @@ struct Server::Impl {
     }
   }
 
-  void bump(std::uint64_t ServerStats::* field) {
-    std::lock_guard<std::mutex> lock(stats_mu);
-    stats.*field += 1;
+  /// One increment, two sinks: the per-instance ServerStats snapshot
+  /// (the "stats" op; tests assert exact per-server counts) and the
+  /// process-wide registry counter (the "metrics" op / Prometheus).
+  void bump(std::uint64_t ServerStats::* field, std::string_view counter) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats.*field += 1;
+    }
+    obs::Registry::global().counter(counter).add();
+  }
+
+  /// Latency histogram for one op.  `op` comes from the validated op
+  /// set, so the name space is bounded.
+  static obs::Histogram& op_histogram(const std::string& op) {
+    return obs::Registry::global().histogram("serve.op." + op + ".us");
+  }
+
+  /// Appends one completion record to the JSONL event log (no-op when
+  /// logging is off).  A request at least `slow_ms` slow gets its spans
+  /// attached as a Chrome-trace exemplar.
+  void log_request(const Request& req, std::string_view outcome,
+                   const std::string& cache, double total_ms) {
+    if (event_log == nullptr) return;
+    std::string f = "\"trace_id\":\"" + util::json_escape(req.trace_id) + "\"";
+    if (!req.id.empty()) {
+      f += ",\"id\":\"" + util::json_escape(req.id) + "\"";
+    }
+    f += ",\"op\":\"" + util::json_escape(req.op) + "\"";
+    f += ",\"outcome\":\"";
+    f += outcome;
+    f += '"';
+    if (!cache.empty()) f += ",\"cache\":\"" + cache + "\"";
+    f += ",\"duration_us\":" +
+         std::to_string(static_cast<std::uint64_t>(total_ms * 1000.0));
+    if (options.slow_ms >= 0 &&
+        total_ms >= static_cast<double>(options.slow_ms) &&
+        !req.trace_id.empty()) {
+      f += ",\"slow\":true,\"spans\":";
+      f += obs::Tracer::instance().collect_json(0, req.trace_id);
+    }
+    event_log->log(f);
   }
 
   void write_reply(Conn& conn, const std::string& line) {
@@ -166,18 +220,22 @@ struct Server::Impl {
   /// run time has been measured, so timings_ms.run covers the execution.
   struct Outcome {
     bool ok = false;
-    std::string result_json;               ///< when ok
-    std::string stage, rule, message;      ///< when !ok
+    std::string result_json;           ///< when ok
+    std::string cache;                 ///< cache-tier summary for the log
+    std::string stage, rule, message;  ///< when !ok
   };
 
   Outcome execute(const Request& req) {
     Outcome out;
     try {
-      out.result_json = req.op == "synthesize"      ? execute_synthesize(req)
-                        : req.op == "synthesize_bm" ? execute_synthesize_bm(req)
-                                                    : execute_analyze(req);
+      out.result_json =
+          req.op == "synthesize"
+              ? execute_synthesize(req, &out.cache)
+              : req.op == "synthesize_bm"
+                    ? execute_synthesize_bm(req, &out.cache)
+                    : execute_analyze(req);
       out.ok = true;
-      bump(&ServerStats::completed);
+      bump(&ServerStats::completed, "serve.completed");
       return out;
     } catch (const flow::LintError& e) {
       out.stage = "lint";
@@ -200,11 +258,11 @@ struct Server::Impl {
       out.rule = "EX";
       out.message = e.what();
     }
-    bump(&ServerStats::errors);
+    bump(&ServerStats::errors, "serve.errors");
     return out;
   }
 
-  std::string execute_synthesize(const Request& req) {
+  std::string execute_synthesize(const Request& req, std::string* cache_tier) {
     std::string source = req.source;
     if (!req.design.empty()) {
       try {
@@ -218,6 +276,14 @@ struct Server::Impl {
         apply_options(req.options, this->options.default_work_budget);
     options.cache_instance = &cache;
     const auto result = flow::synthesize_control(net, options);
+    // Whole-request cache summary for the event log: a flow touches one
+    // cache entry per controller, so "hit"/"miss" are the pure cases and
+    // "partial" the mix; "none" means the flow had nothing to look up.
+    const std::uint64_t hits =
+        result.timings.cache_hits + result.timings.cache_disk_hits;
+    *cache_tier = result.timings.cache_misses == 0
+                      ? (hits > 0 ? "hit" : "none")
+                      : (hits > 0 ? "partial" : "miss");
 
     util::JsonWriter w;
     w.begin_object();
@@ -240,7 +306,8 @@ struct Server::Impl {
     return w.str();
   }
 
-  std::string execute_synthesize_bm(const Request& req) {
+  std::string execute_synthesize_bm(const Request& req,
+                                    std::string* cache_tier) {
     const bm::Spec spec = bm::parse_bms(req.bms);
     const auto check = bm::validate(spec);
     if (!check.ok) {
@@ -265,15 +332,18 @@ struct Server::Impl {
                   : minimalist::synthesize(spec, mode,
                                            budget ? &*budget : nullptr);
 
+    const char* tier_name = tier == minimalist::CacheTier::kMemory ? "hit"
+                            : tier == minimalist::CacheTier::kDisk ? "disk-hit"
+                            : use_cache                            ? "miss"
+                                                                   : "off";
+    *cache_tier = tier_name;
+
     util::JsonWriter w;
     w.begin_object();
     w.member("name", ctrl.name);
     w.member("products", static_cast<std::uint64_t>(ctrl.num_products()));
     w.member("literals", static_cast<std::uint64_t>(ctrl.num_literals()));
-    w.member("cache", tier == minimalist::CacheTier::kMemory ? "hit"
-                      : tier == minimalist::CacheTier::kDisk ? "disk-hit"
-                      : use_cache                            ? "miss"
-                                                             : "off");
+    w.member("cache", tier_name);
     w.member("sol", ctrl.to_sol());
     w.end_object();
     return w.str();
@@ -316,28 +386,65 @@ struct Server::Impl {
   // ---- per-connection reader ----
 
   void handle_line(Conn& conn, const std::string& line) {
-    bump(&ServerStats::requests);
-    obs::Registry::global().counter("serve.requests").add();
+    bump(&ServerStats::requests, "serve.requests");
 
     Request req;
     std::string error;
     if (!parse_request(line, &req, &error)) {
-      bump(&ServerStats::bad_requests);
-      obs::Registry::global().counter("serve.bad_requests").add();
-      write_reply(conn, reply_bad_request(req.id, error));
+      bump(&ServerStats::bad_requests, "serve.bad_requests");
+      log_request(req, "bad_request", {}, 0.0);
+      write_reply(conn, reply_bad_request({req.id, req.trace_id}, error));
       return;
     }
-    if (req.op == "ping") {
-      write_reply(conn, reply_ok_ping(req.id));
-      return;
+    // Every request carries a trace context: the client's id when
+    // supplied, a server-minted one otherwise.  The reply echoes it.
+    if (req.trace_id.empty()) {
+      req.trace_id =
+          "srv-" + std::to_string(
+                       trace_seq.fetch_add(1, std::memory_order_relaxed) + 1);
     }
-    if (req.op == "stats") {
-      write_reply(conn, reply_ok_stats(req.id, stats_json()));
-      return;
-    }
-    if (req.op == "shutdown") {
-      write_reply(conn, reply_ok_shutdown(req.id));
-      stop.store(true, std::memory_order_relaxed);
+    const ReplyIds ids{req.id, req.trace_id};
+
+    // Cheap ops are answered inline on the reader thread, through the
+    // same trace-context / per-op-histogram / event-log path as the
+    // pool-executed synthesis ops.
+    if (req.op == "ping" || req.op == "stats" || req.op == "metrics" ||
+        req.op == "trace" || req.op == "shutdown") {
+      obs::TraceContextScope trace_scope(req.trace_id);
+      const auto inline_start = Clock::now();
+      std::string reply;
+      if (req.op == "ping") {
+        reply = reply_ok_ping(ids);
+      } else if (req.op == "stats") {
+        reply = reply_ok_stats(ids, stats_json());
+      } else if (req.op == "metrics") {
+        std::string json, prometheus;
+        const std::string* json_p = nullptr;
+        const std::string* prometheus_p = nullptr;
+        // One snapshot feeds both renderings so they cannot disagree.
+        const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+        if (req.format != "prometheus") {
+          json = obs::Registry::to_json(snap);
+          json_p = &json;
+        }
+        if (req.format != "json") {
+          prometheus = obs::Registry::to_prometheus(snap);
+          prometheus_p = &prometheus;
+        }
+        reply = reply_ok_metrics(ids, json_p, prometheus_p);
+      } else if (req.op == "trace") {
+        reply = reply_ok_trace(
+            ids, obs::Tracer::instance().collect_json(
+                     static_cast<std::size_t>(req.last), req.filter));
+      } else {
+        reply = reply_ok_shutdown(ids);
+        stop.store(true, std::memory_order_relaxed);
+      }
+      const double total_ms = ms_between(inline_start, Clock::now());
+      op_histogram(req.op).record(
+          static_cast<std::uint64_t>(total_ms * 1000.0));
+      log_request(req, "ok", {}, total_ms);
+      write_reply(conn, reply);
       return;
     }
 
@@ -363,8 +470,8 @@ struct Server::Impl {
         }
       }
       if (!replay.empty() || attached) {
-        bump(&ServerStats::deduped);
-        obs::Registry::global().counter("serve.deduped").add();
+        bump(&ServerStats::deduped, "serve.deduped");
+        log_request(req, "deduped", {}, 0.0);
         if (!replay.empty()) write_reply(conn, replay);
         return;
       }
@@ -374,13 +481,16 @@ struct Server::Impl {
     int expected = inflight.load(std::memory_order_relaxed);
     do {
       if (expected >= options.max_inflight) {
-        bump(&ServerStats::overloaded);
-        obs::Registry::global().counter("serve.overloaded").add();
-        write_reply(conn, reply_overloaded(req.id));
+        bump(&ServerStats::overloaded, "serve.overloaded");
+        log_request(req, "overloaded", {}, 0.0);
+        write_reply(conn, reply_overloaded(ids));
         return;
       }
     } while (!inflight.compare_exchange_weak(expected, expected + 1,
                                              std::memory_order_relaxed));
+    obs::Registry::global().gauge("serve.inflight").set(expected + 1);
+    obs::Registry::global().gauge("serve.inflight_peak").update_max(
+        expected + 1);
 
     {
       std::lock_guard<std::mutex> lock(conn.mu);
@@ -403,21 +513,30 @@ struct Server::Impl {
       timings.queue_ms = ms_between(admitted, started);
       Outcome out;
       {
-        // The span adds its elapsed ms to run_ms at scope exit, before
-        // the reply (which embeds the timings) is rendered below.
+        // The request's trace context covers everything execute() does —
+        // including per-controller spans on other pool workers, which
+        // re-capture it at their own submit sites (see flow.cpp).  The
+        // span adds its elapsed ms to run_ms at scope exit, before the
+        // reply (which embeds the timings) is rendered below.
+        obs::TraceContextScope trace_scope(req.trace_id);
         obs::Span span("serve.request", obs::kCatFlow, &timings.run_ms);
         span.arg("op", req.op);
         if (!req.design.empty()) span.arg("design", req.design);
         out = execute(req);
       }
+      const ReplyIds ids{req.id, req.trace_id};
       const std::string reply =
-          out.ok ? reply_ok_result(req.id, out.result_json, timings)
-                 : reply_error(req.id, out.stage, out.rule, out.message,
+          out.ok ? reply_ok_result(ids, out.result_json, timings)
+                 : reply_error(ids, out.stage, out.rule, out.message,
                                &timings);
       obs::Registry::global().histogram("serve.queue_us").record(
           static_cast<std::uint64_t>(timings.queue_ms * 1000.0));
       obs::Registry::global().histogram("serve.run_us").record(
           static_cast<std::uint64_t>(timings.run_ms * 1000.0));
+      op_histogram(req.op).record(static_cast<std::uint64_t>(
+          (timings.queue_ms + timings.run_ms) * 1000.0));
+      log_request(req, out.ok ? "ok" : "error", out.cache,
+                  timings.queue_ms + timings.run_ms);
       // Idempotency bookkeeping: remember the reply for late retries
       // (bounded, oldest-forgotten) and hand it to every retry that
       // attached while this execution ran.
@@ -439,7 +558,8 @@ struct Server::Impl {
       }
       write_reply(conn, reply);
       for (Conn* waiter : waiters) write_reply(*waiter, reply);
-      inflight.fetch_sub(1, std::memory_order_relaxed);
+      obs::Registry::global().gauge("serve.inflight").set(
+          inflight.fetch_sub(1, std::memory_order_relaxed) - 1);
       // Release waiters before the owning conn: each waiter's reader
       // destroys its Conn as soon as its outstanding count hits 0.
       for (Conn* waiter : waiters) release_outstanding(*waiter);
@@ -461,10 +581,9 @@ struct Server::Impl {
       if (ready < 0) break;
       if (!buffer.empty() && options.line_timeout_ms > 0 &&
           Clock::now() >= line_deadline) {
-        bump(&ServerStats::line_timeouts);
-        obs::Registry::global().counter("serve.line_timeouts").add();
+        bump(&ServerStats::line_timeouts, "serve.line_timeouts");
         write_reply(conn,
-                    reply_bad_request("", "incomplete request line: no "
+                    reply_bad_request({}, "incomplete request line: no "
                                           "newline within the line timeout"));
         break;
       }
@@ -493,7 +612,7 @@ struct Server::Impl {
             Clock::now() + std::chrono::milliseconds(options.line_timeout_ms);
       }
       if (buffer.size() > kMaxLineBytes) {
-        write_reply(conn, reply_bad_request("", "request line too large"));
+        write_reply(conn, reply_bad_request({}, "request line too large"));
         overflow = true;
         break;
       }
@@ -528,8 +647,7 @@ struct Server::Impl {
         ::close(fd);  // injected accept fault: drop the connection
         continue;
       }
-      bump(&ServerStats::connections);
-      obs::Registry::global().counter("serve.connections").add();
+      bump(&ServerStats::connections, "serve.connections");
       readers.emplace_back([this, fd] { serve_connection(fd); });
     }
     // Graceful drain: stop accepting, let every connection finish its

@@ -4,9 +4,9 @@
 // optional serve::DiskCache).
 //
 // Concurrency model: one lightweight reader thread per connection parses
-// newline-delimited requests; cheap ops (ping/stats/shutdown) are
-// answered inline, synthesis ops are admitted into a bounded in-flight
-// set and executed on the pool.  When the set is full the server sheds
+// newline-delimited requests; cheap ops (ping/stats/metrics/trace/
+// shutdown) are answered inline, synthesis ops are admitted into a
+// bounded in-flight set and executed on the pool.  When the set is full the server sheds
 // load with an immediate "overloaded" reply instead of queueing without
 // bound.  Replies are written per-connection under a write mutex in
 // completion order (each carries the request id).
@@ -56,6 +56,20 @@ struct ServerOptions {
   /// and closed, instead of pinning a reader thread forever
   /// (0 = no deadline).
   int line_timeout_ms = 30000;
+  /// JSONL operational event log: one per-request completion record per
+  /// line.  Empty = no log.  (bb-served defaults this from BB_LOG.)
+  std::string log_path;
+  /// Slow-request threshold in milliseconds: a request at least this
+  /// slow gets its spans attached to its event-log record as an
+  /// exemplar.  Negative = off.  (bb-served defaults from BB_SLOW_MS.)
+  int slow_ms = -1;
+  /// Keep the span tracer enabled for the life of the server so the
+  /// `trace` op always has live data (a tracer someone else already
+  /// enabled is left alone and left running).
+  bool live_trace = true;
+  /// Per-thread span-ring capacity in events, applied before enabling
+  /// the tracer (clamped by obs::Tracer; see DESIGN.md §16).
+  std::size_t span_ring = 16384;
 };
 
 struct ServerStats {

@@ -1,23 +1,42 @@
 // bb-client — one-shot client for the bb-served synthesis daemon.
 //
 // Builds one request from the command line, sends it over the daemon's
-// Unix-domain socket, and prints the reply JSON line on stdout.  Exit
-// status: 0 when the reply status is "ok", 1 otherwise (error,
-// overloaded, bad_request, transport failure), 2 on usage errors.
+// Unix-domain socket, and prints the reply JSON line on stdout.
+//
+// Exit status (scripts branch on these):
+//   0  reply status "ok"
+//   1  reply status "error" (synthesis/analysis failed server-side)
+//   2  usage error
+//   3  reply status "overloaded" (shed by admission control — retryable)
+//   4  reply deadline passed (the request may still execute)
+//   5  transport failure (cannot connect, connection broken, bad reply)
+//   6  reply status "bad_request"
 //
 //   bb-client --socket /tmp/bb.sock --op synthesize --design systolic
 //   bb-client --socket /tmp/bb.sock --op synthesize_bm --bms spec.bms
-//   bb-client --socket /tmp/bb.sock --op stats
+//   bb-client --socket /tmp/bb.sock --op metrics --format prometheus
+//   bb-client --socket /tmp/bb.sock --op trace --last 100
 //
 // Options:
 //   --socket PATH      daemon socket (required)
-//   --op OP            ping | stats | shutdown | synthesize |
-//                      synthesize_bm (default: ping)
+//   --op OP            ping | stats | metrics | trace | shutdown |
+//                      synthesize | synthesize_bm (default: ping)
 //   --design NAME      built-in design (synthesize)
 //   --source FILE      mini-Balsa source file, "-" = stdin (synthesize)
 //   --bms FILE         .bms file, "-" = stdin (synthesize_bm)
 //   --mode MODE        speed | area (synthesize_bm; default speed)
 //   --id ID            request id echoed in the reply
+//   --trace-id ID      trace context for the request (server mints one
+//                      when absent; the reply echoes the effective id)
+//   --format F         json | prometheus | both (metrics; default json).
+//                      "prometheus" prints the decoded text exposition
+//                      unless --json asks for the raw envelope
+//   --last N           newest-N span cap (trace; default all)
+//   --filter ID        only spans tagged with this trace id (trace)
+//   --json             always print the raw reply envelope; on transport
+//                      failure/timeout synthesize one
+//                      ({"status":"transport_error"|"timeout",...}) so
+//                      scripts get exactly one JSON line per invocation
 //   --verilog          include mapped Verilog in the reply
 //   --unoptimized      template baseline flow options
 //   --no-cache         bypass the synthesis cache for this request
@@ -48,10 +67,29 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr << "usage: bb-client --socket PATH [--op OP] [--design NAME]"
                " [--source FILE] [--bms FILE] [--mode speed|area] [--id ID]"
-               " [--verilog] [--unoptimized] [--no-cache] [--work-budget N]"
-               " [--timeout-ms N] [--retries N] [--backoff-ms N]\n"
-               "ops: ping stats shutdown synthesize synthesize_bm\n";
+               " [--trace-id ID] [--format json|prometheus|both] [--last N]"
+               " [--filter ID] [--json] [--verilog] [--unoptimized]"
+               " [--no-cache] [--work-budget N] [--timeout-ms N]"
+               " [--retries N] [--backoff-ms N]\n"
+               "ops: ping stats metrics trace shutdown synthesize"
+               " synthesize_bm\n";
   std::exit(2);
+}
+
+// Exit codes (keep in sync with the file header).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitOverloaded = 3;
+constexpr int kExitTimeout = 4;
+constexpr int kExitTransport = 5;
+constexpr int kExitBadRequest = 6;
+
+int exit_code_for_status(const std::string& status) {
+  if (status == "ok") return kExitOk;
+  if (status == "overloaded") return kExitOverloaded;
+  if (status == "bad_request") return kExitBadRequest;
+  if (status == "error") return kExitError;
+  return kExitTransport;  // not a protocol reply
 }
 
 std::string slurp_or_die(const std::string& path) {
@@ -79,6 +117,11 @@ int main(int argc, char** argv) {
   std::string bms_path;
   std::string mode = "speed";
   std::string id;
+  std::string trace_id;
+  std::string format = "json";
+  std::string filter;
+  int last = 0;
+  bool json_envelope = false;
   bool verilog = false;
   bool unoptimized = false;
   bool no_cache = false;
@@ -106,6 +149,21 @@ int main(int argc, char** argv) {
       mode = argv[++i];
     } else if (flag == "--id" && i + 1 < argc) {
       id = argv[++i];
+    } else if (flag == "--trace-id" && i + 1 < argc) {
+      trace_id = argv[++i];
+    } else if (flag == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "json" && format != "prometheus" && format != "both") {
+        usage();
+      }
+    } else if (flag == "--last" && i + 1 < argc) {
+      last = static_cast<int>(bb::util::parse_int(
+          "bb-client", "--last", argv[++i], 0,
+          std::numeric_limits<int>::max()));
+    } else if (flag == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (flag == "--json") {
+      json_envelope = true;
     } else if (flag == "--verilog") {
       verilog = true;
     } else if (flag == "--unoptimized") {
@@ -147,11 +205,15 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.member("schema_version", bb::serve::kProtocolVersion);
   if (!id.empty()) w.member("id", id);
+  if (!trace_id.empty()) w.member("trace_id", trace_id);
   w.member("op", op);
   if (!design.empty()) w.member("design", design);
   if (!source_path.empty()) w.member("source", slurp_or_die(source_path));
   if (!bms_path.empty()) w.member("bms", slurp_or_die(bms_path));
   if (mode != "speed") w.member("mode", mode);
+  if (format != "json") w.member("format", format);
+  if (!filter.empty()) w.member("filter", filter);
+  if (last > 0) w.member("last", static_cast<std::int64_t>(last));
   if (verilog || unoptimized || no_cache || work_budget >= 0) {
     w.key("options").begin_object();
     if (verilog) w.member("verilog", true);
@@ -178,11 +240,38 @@ int main(int argc, char** argv) {
       bb::serve::Client client(socket_path);
       reply = client.roundtrip(w.str(), timeout_ms == 0 ? -1 : timeout_ms);
     }
-    std::cout << reply << "\n";
     const auto doc = bb::util::parse_json(reply);
-    return doc && doc->get_string("status") == "ok" ? 0 : 1;
-  } catch (const std::exception& e) {
+    const std::string status = doc ? doc->get_string("status") : "";
+    // A Prometheus scrape wants the text exposition, not JSON-escaped
+    // text inside an envelope; --json overrides back to the envelope.
+    if (!json_envelope && op == "metrics" && format == "prometheus" &&
+        status == "ok" && doc) {
+      std::cout << doc->get_string("prometheus");
+    } else {
+      std::cout << reply << "\n";
+    }
+    return exit_code_for_status(status);
+  } catch (const bb::serve::ClientTimeout& e) {
+    if (json_envelope) {
+      bb::util::JsonWriter err;
+      err.begin_object();
+      err.member("status", "timeout");
+      err.member("message", std::string(e.what()));
+      err.end_object();
+      std::cout << err.str() << "\n";
+    }
     std::cerr << "bb-client: " << e.what() << "\n";
-    return 1;
+    return kExitTimeout;
+  } catch (const std::exception& e) {
+    if (json_envelope) {
+      bb::util::JsonWriter err;
+      err.begin_object();
+      err.member("status", "transport_error");
+      err.member("message", std::string(e.what()));
+      err.end_object();
+      std::cout << err.str() << "\n";
+    }
+    std::cerr << "bb-client: " << e.what() << "\n";
+    return kExitTransport;
   }
 }

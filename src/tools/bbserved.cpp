@@ -23,6 +23,16 @@
 //   --line-timeout-ms N slow-trickle guard: close connections holding an
 //                       incomplete request line longer than this
 //                       (default 30000, 0 = off)
+//   --log FILE          JSONL operational event log: one completion
+//                       record per request (BB_LOG env fallback)
+//   --slow-ms N         attach a request's spans to its event-log record
+//                       when it runs at least N ms (BB_SLOW_MS fallback;
+//                       negative = off, the default)
+//   --span-ring N       per-thread span-ring capacity in events for the
+//                       live `trace` op (default 16384)
+//   --no-live-trace     do not keep the span tracer enabled (the `trace`
+//                       op then only sees spans from an explicit --trace
+//                       session)
 //   --trace FILE        Chrome trace-event JSON (BB_TRACE env fallback)
 //   --metrics FILE      metrics snapshot JSON (BB_METRICS env fallback)
 //
@@ -54,8 +64,9 @@ void on_signal(int) {
 [[noreturn]] void usage() {
   std::cerr << "usage: bb-served --socket PATH [--jobs N] [--max-inflight N]"
                " [--cache-dir DIR] [--cache-max-mb N] [--memory-entries N]"
-               " [--work-budget N] [--line-timeout-ms N] [--trace FILE]"
-               " [--metrics FILE]\n";
+               " [--work-budget N] [--line-timeout-ms N] [--log FILE]"
+               " [--slow-ms N] [--span-ring N] [--no-live-trace]"
+               " [--trace FILE] [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -70,6 +81,12 @@ int main(int argc, char** argv) {
     const auto parsed = bb::util::parse_ll(mb);
     if (parsed && *parsed > 0) {
       options.cache_max_bytes = static_cast<std::uint64_t>(*parsed) << 20;
+    }
+  }
+  if (const char* log = std::getenv("BB_LOG")) options.log_path = log;
+  if (const char* slow = std::getenv("BB_SLOW_MS")) {
+    if (const auto parsed = bb::util::parse_ll(slow)) {
+      options.slow_ms = static_cast<int>(*parsed);
     }
   }
 
@@ -101,6 +118,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--line-timeout-ms" && i + 1 < argc) {
       options.line_timeout_ms = static_cast<int>(bb::util::parse_int(
           "bb-served", "--line-timeout-ms", argv[++i], 0, 86400000));
+    } else if (flag == "--log" && i + 1 < argc) {
+      options.log_path = argv[++i];
+    } else if (flag == "--slow-ms" && i + 1 < argc) {
+      options.slow_ms = static_cast<int>(bb::util::parse_int(
+          "bb-served", "--slow-ms", argv[++i], -1, 86400000));
+    } else if (flag == "--span-ring" && i + 1 < argc) {
+      options.span_ring = static_cast<std::size_t>(bb::util::parse_int(
+          "bb-served", "--span-ring", argv[++i], 1024, 1 << 20));
+    } else if (flag == "--no-live-trace") {
+      options.live_trace = false;
     } else if (flag == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (flag == "--metrics" && i + 1 < argc) {

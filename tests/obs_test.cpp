@@ -144,6 +144,178 @@ TEST(Registry, InstrumentReferencesAreStableAcrossReset) {
   EXPECT_EQ(g.value(), 5);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.capture().quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleValueIsExact) {
+  // The min/max clamp collapses a single-value histogram to the value
+  // for every q, even though 7 sits mid-bucket in [4, 8).
+  obs::Histogram h;
+  h.record(7);
+  const obs::Histogram::Snapshot s = h.capture();
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(Histogram, TailQuantileLandsInTheUpperBucket) {
+  // Two samples three decades apart: p99 must land on the slow one
+  // (cumulative-count convention), not round down to the fast one.
+  obs::Histogram h;
+  h.record(2);
+  h.record(40000);
+  const obs::Histogram::Snapshot s = h.capture();
+  EXPECT_GE(s.quantile(0.99), 32768.0);
+  EXPECT_LE(s.quantile(0.99), 40000.0);
+  EXPECT_LE(s.quantile(0.50), 4.0);
+  EXPECT_GE(s.quantile(0.50), 2.0);
+}
+
+TEST(Histogram, QuantileStaysInsideTheObservedRange) {
+  // Documented error bound: the estimate shares the true order
+  // statistic's power-of-two bucket (factor of 2), and never escapes
+  // [min, max].
+  obs::Histogram h;
+  for (int i = 0; i < 500; ++i) h.record(65);
+  for (int i = 0; i < 500; ++i) h.record(127);
+  const obs::Histogram::Snapshot s = h.capture();
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_GE(s.quantile(q), 65.0) << "q=" << q;
+    EXPECT_LE(s.quantile(q), 127.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SnapshotCountIsDerivedFromBuckets) {
+  obs::Histogram h;
+  h.record(3);
+  h.record(9);
+  const obs::Histogram::Snapshot s = h.capture();
+  std::uint64_t from_buckets = 0;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    from_buckets += s.buckets[i];
+  }
+  EXPECT_EQ(s.count, from_buckets);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.sum, 12u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 9u);
+}
+
+TEST(Registry, SnapshotJsonCarriesQuantileEstimates) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset();
+  registry.histogram("obs_test.q").record(7);
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"obs_test.q\":{\"count\":1,\"sum\":7,\"min\":7,"
+                      "\"max\":7,\"p50\":7.000,\"p90\":7.000,\"p99\":7.000"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Registry, JsonAndPrometheusRenderOneSnapshot) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset();
+  registry.counter("obs_test.prom.count").add(3);
+  registry.gauge("obs_test.prom.gauge").set(-2);
+  obs::Histogram& h = registry.histogram("obs_test.prom.hist");
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const std::string json = obs::Registry::to_json(snap);
+  const std::string text = obs::Registry::to_prometheus(snap);
+
+  EXPECT_NE(json.find("\"obs_test.prom.count\":3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bb_obs_test_prom_count counter\n"
+                      "bb_obs_test_prom_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bb_obs_test_prom_gauge gauge\n"
+                      "bb_obs_test_prom_gauge -2\n"),
+            std::string::npos);
+  // Cumulative le series with exact integer bounds: 0 | 1 | [2,3] |
+  // [4,7], then +Inf / _sum / _count.
+  EXPECT_NE(text.find("# TYPE bb_obs_test_prom_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("bb_obs_test_prom_hist_count 3\n"), std::string::npos);
+}
+
+TEST(TraceContext, ScopeNestsAndRestores) {
+  EXPECT_EQ(obs::current_trace_id(), "");
+  {
+    obs::TraceContextScope outer("ctx-outer");
+    EXPECT_EQ(obs::current_trace_id(), "ctx-outer");
+    {
+      obs::TraceContextScope inner("ctx-inner");
+      EXPECT_EQ(obs::current_trace_id(), "ctx-inner");
+    }
+    EXPECT_EQ(obs::current_trace_id(), "ctx-outer");
+  }
+  EXPECT_EQ(obs::current_trace_id(), "");
+}
+
+TEST(Tracer, RingCapacityIsClamped) {
+  obs::Tracer::set_ring_capacity(1);
+  EXPECT_EQ(obs::Tracer::ring_capacity(), 1024u);
+  obs::Tracer::set_ring_capacity(std::size_t{1} << 30);
+  EXPECT_EQ(obs::Tracer::ring_capacity(), std::size_t{1} << 20);
+  obs::Tracer::set_ring_capacity(65536);
+  EXPECT_EQ(obs::Tracer::ring_capacity(), 65536u);
+}
+
+TEST(Tracer, CollectJsonFiltersByTraceIdWithoutDraining) {
+  obs::Tracer::instance().enable();
+  {
+    obs::TraceContextScope scope("ctx-a");
+    obs::Span span("obs_test.collect_a", obs::kCatFlow);
+  }
+  {
+    obs::TraceContextScope scope("ctx-b");
+    obs::Span first("obs_test.collect_b1", obs::kCatFlow);
+    first.finish();
+    obs::Span second("obs_test.collect_b2", obs::kCatFlow);
+  }
+  obs::Tracer& tracer = obs::Tracer::instance();
+
+  const std::string all = tracer.collect_json();
+  EXPECT_EQ(count_occurrences(all, "\"name\":\"obs_test.collect_a\""), 1u);
+  EXPECT_EQ(count_occurrences(all, "\"name\":\"obs_test.collect_b1\""), 1u);
+  EXPECT_EQ(count_occurrences(all, "\"trace_id\":\"ctx-a\""), 1u);
+
+  const std::string only_b = tracer.collect_json(0, "ctx-b");
+  EXPECT_EQ(count_occurrences(only_b, "\"name\":\"obs_test.collect_a\""), 0u);
+  EXPECT_EQ(count_occurrences(only_b, "\"name\":\"obs_test.collect_b1\""), 1u);
+  EXPECT_EQ(count_occurrences(only_b, "\"name\":\"obs_test.collect_b2\""), 1u);
+
+  // `last` keeps the newest spans (by start time).
+  const std::string newest = tracer.collect_json(1, "ctx-b");
+  EXPECT_EQ(count_occurrences(newest, "\"name\":\"obs_test.collect_b1\""), 0u);
+  EXPECT_EQ(count_occurrences(newest, "\"name\":\"obs_test.collect_b2\""), 1u);
+
+  // collect_json is a live view: a second collection still sees the
+  // spans, and only flush_json drains them.
+  const std::string again = tracer.collect_json();
+  EXPECT_EQ(count_occurrences(again, "\"name\":\"obs_test.collect_a\""), 1u);
+  obs::Tracer::instance().disable();
+  const std::string flushed = tracer.flush_json();
+  EXPECT_EQ(count_occurrences(flushed, "\"name\":\"obs_test.collect_a\""), 1u);
+  const std::string drained = tracer.collect_json();
+  EXPECT_EQ(count_occurrences(drained, "\"name\":\"obs_test.collect_a\""), 0u);
+}
+
 TEST(Registry, SnapshotIsSortedAndCarriesSchemaVersion) {
   obs::Registry& registry = obs::Registry::global();
   registry.reset();

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -477,6 +478,29 @@ TEST(Protocol, RejectsDefectiveRequests) {
       &req, &error));
 }
 
+TEST(Protocol, ParsesMetricsAndTraceRequests) {
+  serve::Request req;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"schema_version":1,"op":"metrics","format":"both"})", &req, &error))
+      << error;
+  EXPECT_EQ(req.op, "metrics");
+  EXPECT_EQ(req.format, "both");
+  ASSERT_TRUE(serve::parse_request(
+      R"({"schema_version":1,"op":"trace","filter":"abc","last":5,)"
+      R"("trace_id":"t9"})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, "trace");
+  EXPECT_EQ(req.filter, "abc");
+  EXPECT_EQ(req.last, 5);
+  EXPECT_EQ(req.trace_id, "t9");
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"metrics","format":"xml"})", &req, &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"trace","last":-1})", &req, &error));
+}
+
 // ---- daemon end to end ----
 
 namespace {
@@ -503,6 +527,34 @@ std::string bm_request(const std::string& id, const char* bms) {
   w.member("bms", bms);
   w.end_object();
   return w.str();
+}
+
+/// A full-flow synthesize request with an explicit trace context and the
+/// cache disabled, so every run exercises the parallel controller stage.
+std::string traced_design_request(const std::string& id,
+                                  const std::string& trace_id) {
+  bb::util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", serve::kProtocolVersion);
+  w.member("id", id);
+  w.member("trace_id", trace_id);
+  w.member("op", "synthesize");
+  w.member("design", "systolic");
+  w.key("options").begin_object();
+  w.member("cache", false);
+  w.member("jobs", 2);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::size_t count_occurrences(std::string_view text, std::string_view needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string_view::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace
@@ -700,4 +752,201 @@ TEST(Server, SlowTrickleConnectionsGetAStructuredTimeout) {
   ASSERT_TRUE(doc.has_value()) << "reply was: " << reply;
   EXPECT_EQ(doc->get_string("status"), "bad_request");
   EXPECT_EQ(running.server.stats().line_timeouts, 1u);
+}
+
+// ---- live telemetry ----
+
+TEST(Server, TraceIdsAreEchoedOrMinted) {
+  TempDir dir("traceid");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  RunningServer running(options);
+  serve::Client client(options.socket_path);
+  // A client-supplied trace context rides the envelope back unchanged.
+  auto doc = util::parse_json(client.roundtrip(
+      R"({"schema_version":1,"op":"ping","trace_id":"cli-7"})", 10000));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("status"), "ok");
+  EXPECT_EQ(doc->get_string("trace_id"), "cli-7");
+  // Without one, the server mints a srv-<seq> id so the request is still
+  // traceable after the fact.
+  doc = util::parse_json(client.roundtrip(
+      R"({"schema_version":1,"op":"ping"})", 10000));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("trace_id").rfind("srv-", 0), 0u)
+      << doc->get_string("trace_id");
+}
+
+TEST(Server, MetricsOpServesJsonAndPrometheusWithoutRestart) {
+  TempDir dir("metrics");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  RunningServer running(options);
+  serve::Client client(options.socket_path);
+  ASSERT_NE(client.roundtrip(bm_request("m1", kWireBms), 60000), "");
+
+  // Default format: the deterministic JSON snapshot, with the per-op
+  // latency histogram for the op we just ran.
+  auto doc = util::parse_json(client.roundtrip(
+      R"({"schema_version":1,"op":"metrics"})", 10000));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->get_string("status"), "ok");
+  const util::JsonValue* metrics = doc->get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const util::JsonValue* counters = metrics->get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->get_int("serve.requests", 0), 1);
+  const util::JsonValue* histograms = metrics->get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const util::JsonValue* h = histograms->get("serve.op.synthesize_bm.us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->get_int("count", 0), 1);
+  EXPECT_NE(h->get("p50"), nullptr);
+  EXPECT_NE(h->get("p99"), nullptr);
+
+  // Prometheus exposition on the same live server, no restart.
+  doc = util::parse_json(client.roundtrip(
+      R"({"schema_version":1,"op":"metrics","format":"prometheus"})", 10000));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->get_string("status"), "ok");
+  EXPECT_EQ(doc->get("metrics"), nullptr)
+      << "prometheus-only replies omit the JSON snapshot";
+  const std::string text = doc->get_string("prometheus");
+  EXPECT_NE(text.find("# TYPE bb_serve_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bb_serve_op_synthesize_bm_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  // "both" carries the two renderings of one snapshot.
+  doc = util::parse_json(client.roundtrip(
+      R"({"schema_version":1,"op":"metrics","format":"both"})", 10000));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->get_string("status"), "ok");
+  EXPECT_NE(doc->get("metrics"), nullptr);
+  EXPECT_FALSE(doc->get_string("prometheus").empty());
+}
+
+TEST(Server, TraceContextPropagatesThroughThePoolWithoutBleed) {
+  TempDir dir("tracectx");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  options.jobs = 2;
+  RunningServer running(options);
+
+  // Two concurrent full-flow requests with distinct trace contexts and
+  // the cache off: their controller units interleave on the same worker
+  // pool, so any ambient-context leak shows up as a span tagged with the
+  // other request's id.
+  std::vector<std::thread> clients;
+  for (const char* ctx : {"ctx-a", "ctx-b"}) {
+    clients.emplace_back([&options, ctx] {
+      serve::Client client(options.socket_path);
+      const auto doc = util::parse_json(client.roundtrip(
+          traced_design_request(std::string("req-") + ctx, ctx), 120000));
+      ASSERT_TRUE(doc.has_value());
+      EXPECT_EQ(doc->get_string("status"), "ok");
+      EXPECT_EQ(doc->get_string("trace_id"), ctx);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  serve::Client client(options.socket_path);
+  for (const char* ctx : {"ctx-a", "ctx-b"}) {
+    const char* other = ctx[4] == 'a' ? "ctx-b" : "ctx-a";
+    const std::string reply = client.roundtrip(
+        std::string(R"({"schema_version":1,"op":"trace","filter":")") + ctx +
+            R"("})",
+        10000);
+    const auto doc = util::parse_json(reply);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->get_string("status"), "ok");
+    // The request span plus the flow stages it fanned out, all tagged
+    // with this request's context...
+    EXPECT_GE(count_occurrences(
+                  reply, std::string("\"trace_id\":\"") + ctx + "\""),
+              2u)
+        << reply;
+    EXPECT_EQ(count_occurrences(reply, "\"name\":\"serve.request\""), 1u);
+    EXPECT_GE(count_occurrences(reply, "\"name\":\"flow.controller\""), 1u)
+        << "pool-side controller spans must inherit the request context";
+    // ...and none of the sibling's.
+    EXPECT_EQ(count_occurrences(
+                  reply, std::string("\"trace_id\":\"") + other + "\""),
+              0u)
+        << "cross-request trace bleed through the thread pool";
+  }
+}
+
+TEST(Server, EventLogRecordsCompletionsAndSlowExemplars) {
+  TempDir dir("eventlog");
+  serve::ServerOptions options;
+  options.socket_path = (dir.path / "bb.sock").string();
+  options.log_path = (dir.path / "events.jsonl").string();
+  options.slow_ms = 0;  // every request is a slow exemplar
+  RunningServer running(options);
+  serve::Client client(options.socket_path);
+  auto doc = util::parse_json(client.roundtrip(
+      R"({"schema_version":1,"op":"ping","trace_id":"ev-1"})", 10000));
+  ASSERT_TRUE(doc.has_value());
+  const std::string reply =
+      client.roundtrip(bm_request("ev-synth", kWireBms), 60000);
+  ASSERT_EQ(util::parse_json(reply)->get_string("status"), "ok");
+
+  // Records are appended before the reply is written, so both requests
+  // are on disk by now.
+  std::ifstream in(options.log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t records = 0;
+  bool saw_ping = false, saw_synth = false;
+  while (std::getline(in, line)) {
+    ++records;
+    const auto rec = util::parse_json(line);
+    ASSERT_TRUE(rec.has_value()) << "unparseable record: " << line;
+    EXPECT_GT(rec->get_int("ts_ms", 0), 0);
+    EXPECT_EQ(rec->get_string("outcome"), "ok");
+    if (rec->get_string("trace_id") == "ev-1") {
+      saw_ping = true;
+      EXPECT_EQ(rec->get_string("op"), "ping");
+    }
+    if (rec->get_string("op") == "synthesize_bm") {
+      saw_synth = true;
+      EXPECT_EQ(rec->get_string("id"), "ev-synth");
+      EXPECT_EQ(rec->get_string("cache"), "miss");
+      EXPECT_GE(rec->get_int("duration_us", -1), 0);
+      // slow_ms=0 marks it slow and attaches the request's spans.
+      EXPECT_TRUE(rec->get_bool("slow", false)) << line;
+      EXPECT_NE(rec->get("spans"), nullptr) << line;
+    }
+  }
+  EXPECT_GE(records, 2u);
+  EXPECT_TRUE(saw_ping);
+  EXPECT_TRUE(saw_synth);
+}
+
+TEST(Client, ReplyDeadlineThrowsADistinctTimeoutType) {
+  TempDir dir("timeout");
+  const std::string socket_path = (dir.path / "mute.sock").string();
+  // A listener that accepts the connection into its backlog and never
+  // answers: the send succeeds, the reply deadline passes.
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  serve::Client client(socket_path);
+  bool caught_timeout = false;
+  try {
+    client.roundtrip(R"({"schema_version":1,"op":"ping"})", 200);
+  } catch (const serve::ClientTimeout& e) {
+    caught_timeout = true;
+    // Still a runtime_error, so existing catch-all callers keep working.
+    EXPECT_NE(static_cast<const std::runtime_error*>(&e), nullptr);
+  }
+  EXPECT_TRUE(caught_timeout);
+  ::close(lfd);
 }
