@@ -1,0 +1,12 @@
+#include "src/balsa/digest.hpp"
+
+#include "src/balsa/printer.hpp"
+#include "src/util/hash.hpp"
+
+namespace bb::balsa {
+
+std::string procedure_digest(const Procedure& proc) {
+  return util::content_digest(to_source(proc));
+}
+
+}  // namespace bb::balsa

@@ -1,0 +1,26 @@
+// Content digests of mini-Balsa procedures.
+//
+// The incremental build graph (src/incr) decides what to resynthesize
+// by comparing these digests across edits, so their contract matters:
+//
+//  * Formatting-blind.  A procedure is digested through its canonical
+//    printed form (printer.hpp), not its source bytes, so whitespace,
+//    comments and layout edits leave the digest unchanged and a
+//    reparse -> reprint cycle is a digest fixed point.
+//  * Name-sensitive.  Unlike bm::Spec::to_canonical(), the procedure
+//    digest keeps identifiers: renaming a port changes the emitted
+//    netlist interface, so it must dirty the unit.
+//  * Stable across runs.  FNV-1a over deterministic text — safe to
+//    persist in the project manifest and compare across processes.
+#pragma once
+
+#include <string>
+
+#include "src/balsa/ast.hpp"
+
+namespace bb::balsa {
+
+/// 16-hex digest of one procedure's canonical source.
+std::string procedure_digest(const Procedure& proc);
+
+}  // namespace bb::balsa

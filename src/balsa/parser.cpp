@@ -110,6 +110,30 @@ class Parser {
   explicit Parser(std::string_view src) : lex_(src) {}
 
   Procedure procedure() {
+    Procedure p = procedure_decl();
+    if (lex_.peek().kind != Token::Kind::kEnd) {
+      fail("trailing input after final 'end'");
+    }
+    return p;
+  }
+
+  std::vector<Procedure> program() {
+    std::vector<Procedure> procs;
+    procs.push_back(procedure_decl());
+    while (lex_.peek().kind != Token::Kind::kEnd) {
+      Procedure p = procedure_decl();
+      for (const Procedure& seen : procs) {
+        if (seen.name == p.name) {
+          fail("duplicate procedure '" + p.name + "'");
+        }
+      }
+      procs.push_back(std::move(p));
+    }
+    return procs;
+  }
+
+ private:
+  Procedure procedure_decl() {
     expect_ident("procedure");
     Procedure p;
     p.name = ident("procedure name");
@@ -124,13 +148,9 @@ class Parser {
     expect_ident("begin");
     p.body = command();
     expect_ident("end");
-    if (lex_.peek().kind != Token::Kind::kEnd) {
-      fail("trailing input after final 'end'");
-    }
     return p;
   }
 
- private:
   [[noreturn]] void fail(const std::string& message) {
     throw ParseError("mini-balsa:" + std::to_string(lex_.peek().line) + ": " +
                      message);
@@ -442,6 +462,11 @@ class Parser {
 Procedure parse_procedure(std::string_view source) {
   Parser parser(source);
   return parser.procedure();
+}
+
+std::vector<Procedure> parse_program(std::string_view source) {
+  Parser parser(source);
+  return parser.program();
 }
 
 }  // namespace bb::balsa

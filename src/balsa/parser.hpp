@@ -14,6 +14,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/balsa/ast.hpp"
 
@@ -24,7 +25,14 @@ class ParseError : public std::runtime_error {
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Parses one procedure.  Throws ParseError with line information.
+/// Parses one procedure.  Throws ParseError with line information
+/// (including on trailing input — use parse_program for multi-procedure
+/// sources).
 Procedure parse_procedure(std::string_view source);
+
+/// Parses a whole program: one or more procedures in declaration order.
+/// Procedure names must be unique.  Throws ParseError with line
+/// information.
+std::vector<Procedure> parse_program(std::string_view source);
 
 }  // namespace bb::balsa

@@ -160,6 +160,9 @@ ControlResult synthesize_control(const hsnet::Netlist& netlist,
                            ? options.cache_instance
                            : &minimalist::SynthCache::global())
                     : nullptr;
+  // Salt every cache key with the technology contract so a persistent
+  // tier can never serve a controller mapped under a different library.
+  if (cache != nullptr) cache->set_library_version(lib.fingerprint());
 
   // The static-analysis stage: every IR is linted as it is produced;
   // Error-severity findings abort, warnings accumulate in the result.
@@ -565,6 +568,13 @@ std::string StageTimings::to_text() const {
        " ms; cache " + std::to_string(cache_hits) + " hit(s) (" +
        std::to_string(cache_disk_hits) + " from disk), " +
        std::to_string(cache_misses) + " miss(es)\n";
+  if (incr_units_reused + incr_units_rebuilt > 0) {
+    s += "incremental: " + std::to_string(incr_units_rebuilt) +
+         " unit(s) rebuilt, " + std::to_string(incr_units_reused) +
+         " reused; controllers " +
+         std::to_string(incr_controllers_rebuilt) + " rebuilt, " +
+         std::to_string(incr_controllers_reused) + " reused\n";
+  }
   for (const Controller& c : controllers) {
     s += "  " + c.name + ": bm " + fmt_ms(c.bm_compile_ms) + ", synth " +
          fmt_ms(c.minimalist_ms) + ", map " + fmt_ms(c.techmap_ms) +
@@ -592,6 +602,10 @@ std::string StageTimings::to_json() const {
   w.member("cache_hits", cache_hits);
   w.member("cache_misses", cache_misses);
   w.member("cache_disk_hits", cache_disk_hits);
+  w.member("incr_units_reused", incr_units_reused);
+  w.member("incr_units_rebuilt", incr_units_rebuilt);
+  w.member("incr_controllers_reused", incr_controllers_reused);
+  w.member("incr_controllers_rebuilt", incr_controllers_rebuilt);
   w.key("controllers").begin_array();
   for (const Controller& c : controllers) {
     w.begin_object()

@@ -117,6 +117,14 @@ struct StageTimings {
   /// Hits served by the persistent second tier (serve::DiskCache) rather
   /// than the in-memory map; a subset of cache_hits.
   std::uint64_t cache_disk_hits = 0;
+  /// Incremental-build reuse (filled by incr::build when this timings
+  /// block describes a whole incremental build; always zero for a plain
+  /// synthesize_control call).  Units are procedures; "reused" units
+  /// were spliced from the project manifest without any synthesis.
+  std::uint64_t incr_units_reused = 0;
+  std::uint64_t incr_units_rebuilt = 0;
+  std::uint64_t incr_controllers_reused = 0;
+  std::uint64_t incr_controllers_rebuilt = 0;
 
   struct Controller {
     std::string name;

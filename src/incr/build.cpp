@@ -1,0 +1,264 @@
+#include "src/incr/build.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "src/balsa/compile.hpp"
+#include "src/balsa/digest.hpp"
+#include "src/balsa/parser.hpp"
+#include "src/balsa/printer.hpp"
+#include "src/bm/compile.hpp"
+#include "src/hsnet/to_ch.hpp"
+#include "src/minimalist/cache.hpp"
+#include "src/netlist/verilog.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/opt/cluster.hpp"
+#include "src/techmap/cells.hpp"
+#include "src/util/hash.hpp"
+#include "src/util/json.hpp"
+
+namespace bb::incr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// The controllers a unit's netlist resolves to, each with the digest of
+/// its synthesis-cache key.  This re-runs the cheap front half of the
+/// flow (Balsa-to-CH + clustering + CH-to-BMS, no synthesis); the
+/// template baseline has no per-controller cache key, so it records
+/// names only, from the synthesis result.
+std::vector<ControllerRecord> controller_records(
+    const hsnet::Netlist& net, const flow::FlowOptions& options,
+    const flow::ControlResult& result, const std::string& library_fp) {
+  std::vector<ControllerRecord> records;
+  if (options.templates) {
+    for (const flow::ControllerInfo& info : result.info) {
+      records.push_back(ControllerRecord{info.name, ""});
+    }
+    return records;
+  }
+  opt::ClusterOptions copts;
+  copts.max_states = options.max_states;
+  auto clustered =
+      options.cluster
+          ? opt::optimize(hsnet::control_programs(net), copts, nullptr)
+          : opt::wrap(hsnet::control_programs(net));
+  for (const auto& c : clustered) {
+    const auto spec = bm::compile(*c.program.body, c.program.name);
+    records.push_back(ControllerRecord{
+        c.program.name,
+        util::content_digest(
+            minimalist::cache_key(spec, options.mode, library_fp))});
+  }
+  return records;
+}
+
+/// Sums one rebuilt unit's stage times into the build-wide block.
+void accumulate(flow::StageTimings* total, const flow::StageTimings& unit) {
+  total->to_ch_ms += unit.to_ch_ms;
+  total->cluster_ms += unit.cluster_ms;
+  total->bm_compile_ms += unit.bm_compile_ms;
+  total->minimalist_ms += unit.minimalist_ms;
+  total->techmap_ms += unit.techmap_ms;
+  total->lint_ms += unit.lint_ms;
+  total->controllers_wall_ms += unit.controllers_wall_ms;
+  total->jobs = unit.jobs;
+  total->cache_hits += unit.cache_hits;
+  total->cache_misses += unit.cache_misses;
+  total->cache_disk_hits += unit.cache_disk_hits;
+  for (const auto& c : unit.controllers) total->controllers.push_back(c);
+}
+
+}  // namespace
+
+std::string options_fingerprint(const flow::FlowOptions& options) {
+  // Every field here changes what bytes a successful build emits (or
+  // whether it succeeds at all, for the lint configuration — a reused
+  // artifact must never hide a finding a rebuild would have gated on).
+  std::string image;
+  image += "cluster " + std::to_string(options.cluster) + "\n";
+  image += std::string("mode ") +
+           (options.mode == minimalist::SynthMode::kSpeed ? "speed"
+                                                          : "area") +
+           "\n";
+  image += "level_separated " + std::to_string(options.level_separated) +
+           "\n";
+  image += "max_states " + std::to_string(options.max_states) + "\n";
+  image += "templates " + std::to_string(options.templates) + "\n";
+  image += "lint " + std::to_string(options.lint) + "\n";
+  image += "analyze " + std::to_string(options.analyze) + "\n";
+  image += "strict " + std::to_string(options.strict) + "\n";
+  image += "work_budget " +
+           std::to_string(flow::effective_work_budget(options)) + "\n";
+  const lint::LintOptions& lo = options.lint_options;
+  image += "fanout_limit " + std::to_string(lo.fanout_limit) + "\n";
+  image += "cone_eval_limit " + std::to_string(lo.cone_eval_limit) + "\n";
+  for (const std::string& rule : lo.suppress) {
+    image += "suppress " + rule + "\n";
+  }
+  for (const auto& [rule, severity] : lo.severity) {
+    image += "severity " + rule + "=" +
+             std::string(lint::severity_name(severity)) + "\n";
+  }
+  for (const lint::BaselineEntry& entry : lo.baseline) {
+    image += "baseline " + entry.rule + "\t" + entry.object + "\n";
+  }
+  return util::content_digest(image);
+}
+
+std::string unit_digest(const balsa::Procedure& procedure,
+                        const std::string& options_fp,
+                        const std::string& library_fp) {
+  return util::content_digest(balsa::to_source(procedure) + "\noptions " +
+                              options_fp + "\nlib " + library_fp + "\n");
+}
+
+std::string BuildResult::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("schema_version", obs::kSchemaVersion);
+  w.member("full_rebuild", full_rebuild);
+  if (!full_rebuild_reason.empty()) {
+    w.member("full_rebuild_reason", full_rebuild_reason);
+  }
+  w.member("units_rebuilt", static_cast<std::uint64_t>(units_rebuilt));
+  w.member("units_reused", static_cast<std::uint64_t>(units_reused));
+  w.member("controllers_rebuilt", controllers_rebuilt);
+  w.member("controllers_reused", controllers_reused);
+  w.member("manifest_stored", manifest_stored);
+  w.key("units").begin_array();
+  for (const UnitOutcome& unit : units) {
+    w.begin_object()
+        .member("name", unit.name)
+        .member("digest", unit.digest)
+        .member("reused", unit.reused)
+        .member("controllers", static_cast<std::uint64_t>(unit.controllers))
+        .member("ms", unit.ms)
+        .end_object();
+  }
+  w.end_array();
+  w.key("timings").raw(timings.to_json());
+  w.end_object();
+  return w.str();
+}
+
+BuildResult build(std::string_view source, const std::string& project_dir,
+                  const flow::FlowOptions& options) {
+  const auto start = Clock::now();
+  BuildResult out;
+  obs::Span span("incr.build", obs::kCatIncr, &out.timings.total_ms);
+  obs::Registry::global().counter("incr.builds").add();
+
+  const auto procedures = balsa::parse_program(source);
+  const std::string library_fp = techmap::CellLibrary::ams035().fingerprint();
+  const std::string options_fp = options_fingerprint(options);
+
+  // The previous build graph.  Any defect means nothing is reusable;
+  // record why so operators can tell a first build from corruption.
+  std::string manifest_error;
+  const auto previous = load_manifest(project_dir, &manifest_error);
+  if (!previous) {
+    out.full_rebuild = true;
+    out.full_rebuild_reason = manifest_error;
+    obs::Registry::global().counter("incr.manifest.full_rebuilds").add();
+  }
+
+  Manifest next;
+  next.library = library_fp;
+  next.options = options_fp;
+
+  for (const balsa::Procedure& procedure : procedures) {
+    const auto unit_start = Clock::now();
+    UnitOutcome outcome;
+    outcome.name = procedure.name;
+    outcome.digest = unit_digest(procedure, options_fp, library_fp);
+
+    // Reuse path: same inputs, artifact present and intact.  A missing
+    // or corrupt artifact silently demotes the unit to dirty — the
+    // manifest is a promise about inputs, the artifact check is the
+    // proof the outputs survived.
+    if (previous) {
+      if (const UnitRecord* record = previous->find(procedure.name);
+          record != nullptr && record->digest == outcome.digest) {
+        if (auto artifact = load_artifact(project_dir, record->artifact)) {
+          outcome.reused = true;
+          outcome.controllers = record->controllers.size();
+          out.report += "== unit " + procedure.name + " ==\n" +
+                        artifact->report;
+          out.verilog += artifact->verilog;
+          out.controllers_reused += record->controllers.size();
+          ++out.units_reused;
+          next.units.push_back(*record);
+          out.units.push_back(std::move(outcome));
+          continue;
+        }
+      }
+    }
+
+    // Dirty path: run the full flow for this unit.  Controllers shared
+    // with other units (or with the previous build, in a daemon) still
+    // come out of the synthesis-cache tiers as hits.
+    obs::Span unit_span("incr.unit", obs::kCatIncr);
+    unit_span.arg("unit", procedure.name);
+    const auto net = balsa::compile(procedure);
+    auto result = flow::synthesize_control(net, options);
+    result.gates.set_name(procedure.name);
+
+    Artifact artifact;
+    artifact.report = flow::report(result);
+    artifact.verilog = netlist::to_verilog(result.gates);
+
+    UnitRecord record;
+    record.name = procedure.name;
+    record.digest = outcome.digest;
+    record.artifact = artifact_file_name(procedure.name, outcome.digest);
+    record.controllers = controller_records(net, options, result, library_fp);
+    store_artifact(project_dir, record.artifact, artifact);
+
+    outcome.controllers = record.controllers.size();
+    outcome.ms = ms_since(unit_start);
+    out.report += "== unit " + procedure.name + " ==\n" + artifact.report;
+    out.verilog += artifact.verilog;
+    out.controllers_rebuilt += result.timings.cache_misses;
+    out.controllers_reused += result.timings.cache_hits;
+    ++out.units_rebuilt;
+    accumulate(&out.timings, result.timings);
+    next.units.push_back(std::move(record));
+    out.units.push_back(std::move(outcome));
+  }
+
+  out.timings.incr_units_reused = out.units_reused;
+  out.timings.incr_units_rebuilt = out.units_rebuilt;
+  out.timings.incr_controllers_reused = out.controllers_reused;
+  out.timings.incr_controllers_rebuilt = out.controllers_rebuilt;
+
+  // Publish the new graph only after every unit succeeded, then drop
+  // artifacts nothing references anymore.  A failed store is not a
+  // build failure — the output in hand is correct either way.
+  std::string store_error;
+  out.manifest_stored = store_manifest(project_dir, next, &store_error);
+  if (out.manifest_stored) {
+    gc_artifacts(project_dir, next);
+  } else {
+    obs::Registry::global().counter("incr.manifest.store_failures").add();
+  }
+
+  auto& registry = obs::Registry::global();
+  registry.counter("incr.units.dirty").add(out.units_rebuilt);
+  registry.counter("incr.units.reused").add(out.units_reused);
+  registry.counter("incr.controllers.rebuilt").add(out.controllers_rebuilt);
+  registry.counter("incr.controllers.reused").add(out.controllers_reused);
+
+  span.finish();
+  out.timings.total_ms = ms_since(start);
+  return out;
+}
+
+}  // namespace bb::incr

@@ -24,15 +24,23 @@ SynthesizedController rebind(SynthesizedController ctrl, const bm::Spec& spec) {
 
 }  // namespace
 
-std::string cache_key(const bm::Spec& spec, SynthMode mode) {
-  return (mode == SynthMode::kSpeed ? "speed\n" : "area\n") +
-         spec.to_canonical();
+std::string cache_key(const bm::Spec& spec, SynthMode mode,
+                      std::string_view library_version) {
+  std::string key;
+  if (!library_version.empty()) {
+    key += "lib ";
+    key += library_version;
+    key += '\n';
+  }
+  key += mode == SynthMode::kSpeed ? "speed\n" : "area\n";
+  key += spec.to_canonical();
+  return key;
 }
 
 std::optional<SynthesizedController> SynthCache::lookup(const bm::Spec& spec,
                                                         SynthMode mode,
                                                         CacheTier* tier) {
-  const std::string key = cache_key(spec, mode);
+  const std::string key = cache_key(spec, mode, library_version());
   BackingStore* backing = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -71,7 +79,7 @@ std::optional<SynthesizedController> SynthCache::lookup(const bm::Spec& spec,
 
 void SynthCache::store(const bm::Spec& spec, SynthMode mode,
                        const SynthesizedController& ctrl) {
-  std::string key = cache_key(spec, mode);
+  std::string key = cache_key(spec, mode, library_version());
   BackingStore* backing = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -97,6 +105,16 @@ void SynthCache::insert_locked(std::string key,
     ++evictions_;
     obs::Registry::global().counter("minimalist.cache.evictions").add();
   }
+}
+
+void SynthCache::set_library_version(std::string version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  library_version_ = std::move(version);
+}
+
+std::string SynthCache::library_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return library_version_;
 }
 
 void SynthCache::set_backing_store(BackingStore* store) {

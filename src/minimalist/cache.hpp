@@ -29,6 +29,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/bm/spec.hpp"
@@ -36,8 +37,16 @@
 
 namespace bb::minimalist {
 
-/// The cache key of a (spec, mode) pair.
-std::string cache_key(const bm::Spec& spec, SynthMode mode);
+/// The cache key of a (spec, mode) pair under a library/techmap version
+/// string.  The version is an opaque salt (the flow passes
+/// techmap::CellLibrary::fingerprint()); keys derived under different
+/// versions never match, so a persistent tier shared across binary
+/// revisions can never serve a controller synthesized for a different
+/// technology contract — the stale entries just stop matching and age
+/// out of the LRU.  An empty version reproduces the bare (spec, mode)
+/// key for callers outside any library context.
+std::string cache_key(const bm::Spec& spec, SynthMode mode,
+                      std::string_view library_version = {});
 
 /// Which tier satisfied a lookup.
 enum class CacheTier {
@@ -95,6 +104,15 @@ class SynthCache {
   /// be detached with nullptr first).
   void set_backing_store(BackingStore* store);
 
+  /// Sets the library/techmap version folded into every key this cache
+  /// derives (see cache_key()).  The flow and the serve daemon set it
+  /// to techmap::CellLibrary::fingerprint() before first use; setting
+  /// the same value again is a cheap no-op, so per-call wiring is fine.
+  /// Changing the value does NOT flush the memory tier — old-version
+  /// entries become unreachable and fall off the LRU.
+  void set_library_version(std::string version);
+  std::string library_version() const;
+
   /// Bounds the memory tier to `cap` entries (minimum 1); the least
   /// recently used entries are evicted when the cap is exceeded.
   void set_max_entries(std::size_t cap);
@@ -120,6 +138,7 @@ class SynthCache {
   std::list<std::string> lru_;  ///< most recently used at the front
   std::size_t max_entries_ = kDefaultMaxEntries;
   BackingStore* backing_ = nullptr;
+  std::string library_version_;
   std::uint64_t hits_ = 0;
   std::uint64_t disk_hits_ = 0;
   std::uint64_t misses_ = 0;

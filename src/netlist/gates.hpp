@@ -43,6 +43,11 @@ class GateNetlist {
 
   const std::string& name() const { return name_; }
 
+  /// Renames the netlist (the Verilog module name).  The incremental
+  /// driver names each unit's netlist after its procedure so spliced
+  /// multi-unit output has no module-name collisions.
+  void set_name(std::string name) { name_ = std::move(name); }
+
   /// Creates a net; names are optional but must be unique when given.
   int add_net(const std::string& net_name = "");
 

@@ -74,6 +74,7 @@ inline constexpr const char* kCatLogic = "logic";
 inline constexpr const char* kCatSim = "sim";
 inline constexpr const char* kCatPool = "pool";
 inline constexpr const char* kCatFault = "fault";
+inline constexpr const char* kCatIncr = "incr";
 
 class Tracer {
  public:

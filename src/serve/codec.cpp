@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/util/hash.hpp"
 #include "src/util/strings.hpp"
 
 namespace bb::serve {
@@ -86,20 +87,10 @@ std::optional<std::size_t> count_field(std::string_view s) {
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
-  std::uint64_t h = seed;
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  return util::fnv1a64(data, seed);
 }
 
-std::string hex64(std::uint64_t value) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(value));
-  return buf;
-}
+std::string hex64(std::uint64_t value) { return util::hex64(value); }
 
 std::string serialize_controller(
     const minimalist::SynthesizedController& ctrl) {

@@ -77,7 +77,8 @@ bool parse_request(const std::string& line, Request* request,
   req.op = doc->get_string("op");
   if (req.op != "ping" && req.op != "stats" && req.op != "metrics" &&
       req.op != "trace" && req.op != "shutdown" && req.op != "synthesize" &&
-      req.op != "synthesize_bm" && req.op != "analyze") {
+      req.op != "synthesize_bm" && req.op != "analyze" &&
+      req.op != "synthesize_incremental") {
     *error = "unknown op '" + req.op + "'";
     return false;
   }
@@ -120,6 +121,25 @@ bool parse_request(const std::string& line, Request* request,
   if (req.op == "synthesize_bm" && req.bms.empty()) {
     *error = "synthesize_bm needs 'bms'";
     return false;
+  }
+  if (req.op == "synthesize_incremental") {
+    if (req.source.empty()) {
+      *error = "synthesize_incremental needs 'source'";
+      return false;
+    }
+    req.project = doc->get_string("project", "default");
+    for (const char c : req.project) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+      if (!ok) {
+        *error = "'project' must match [A-Za-z0-9_-]+";
+        return false;
+      }
+    }
+    if (req.project.empty() || req.project.size() > 64) {
+      *error = "'project' must be 1..64 characters";
+      return false;
+    }
   }
 
   if (const util::JsonValue* opts = doc->get("options")) {

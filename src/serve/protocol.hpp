@@ -16,6 +16,12 @@
 //   synthesize_bm  one Burst-Mode spec ("bms" text)   -> .sol logic
 //   analyze        every lint + semantic pass over    -> lint JSON (and
 //                  "source"/"design", never aborting     SARIF on request)
+//   synthesize_incremental
+//                  incremental build of a whole        -> spliced report,
+//                  program ("source", one or more         dirty/reused
+//                  procedures) against the named          unit counts,
+//                  "project" under the server's           timings (and
+//                  --project-dir (src/incr)               Verilog opt-in)
 //
 // Replies echo the request "id" (when given) and carry one of the
 // statuses: "ok", "error" (structured stage/rule/message), "overloaded"
@@ -74,6 +80,9 @@ struct Request {
   std::string design;    ///< built-in design name (synthesize)
   std::string source;    ///< inline mini-Balsa text (synthesize)
   std::string bms;       ///< inline .bms text (synthesize_bm)
+  std::string project;   ///< project name under the server's project dir
+                         ///< (synthesize_incremental; [A-Za-z0-9_-]+,
+                         ///< default "default")
   std::string mode = "speed";   ///< "speed" | "area" (synthesize_bm)
   std::string format = "json";  ///< "json" | "prometheus" | "both" (metrics)
   std::string filter;           ///< trace-id filter (trace)

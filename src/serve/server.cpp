@@ -23,12 +23,14 @@
 #include "src/designs/designs.hpp"
 #include "src/flow/analyze.hpp"
 #include "src/flow/flow.hpp"
+#include "src/incr/build.hpp"
 #include "src/lint/sarif.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/obs/eventlog.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/protocol.hpp"
+#include "src/techmap/cells.hpp"
 #include "src/util/failpoint.hpp"
 #include "src/util/io.hpp"
 #include "src/util/json.hpp"
@@ -66,6 +68,7 @@ struct Server::Impl {
       cache.set_backing_store(disk.get());
     }
     cache.set_max_entries(options.memory_cache_entries);
+    cache.set_library_version(techmap::CellLibrary::ams035().fingerprint());
     jobs = options.jobs > 0
                ? static_cast<std::size_t>(options.jobs)
                : util::ThreadPool::recommended_jobs();
@@ -102,6 +105,9 @@ struct Server::Impl {
   bool owns_tracer = false;
   /// Sequence behind server-minted trace ids ("srv-<seq>").
   std::atomic<std::uint64_t> trace_seq{0};
+
+  /// Serializes incremental builds (manifest read-modify-write).
+  std::mutex incr_mu;
 
   mutable std::mutex stats_mu;
   ServerStats stats;
@@ -233,7 +239,9 @@ struct Server::Impl {
               ? execute_synthesize(req, &out.cache)
               : req.op == "synthesize_bm"
                     ? execute_synthesize_bm(req, &out.cache)
-                    : execute_analyze(req);
+                    : req.op == "synthesize_incremental"
+                          ? execute_synthesize_incremental(req, &out.cache)
+                          : execute_analyze(req);
       out.ok = true;
       bump(&ServerStats::completed, "serve.completed");
       return out;
@@ -345,6 +353,40 @@ struct Server::Impl {
     w.member("literals", static_cast<std::uint64_t>(ctrl.num_literals()));
     w.member("cache", tier_name);
     w.member("sol", ctrl.to_sol());
+    w.end_object();
+    return w.str();
+  }
+
+  std::string execute_synthesize_incremental(const Request& req,
+                                             std::string* cache_tier) {
+    if (options.project_dir.empty()) {
+      throw std::runtime_error(
+          "incremental builds are disabled (start bb-served with "
+          "--project-dir or BB_PROJECT_DIR)");
+    }
+    flow::FlowOptions fopts =
+        apply_options(req.options, options.default_work_budget);
+    fopts.cache_instance = &cache;
+    // Builds serialize: a build is a read-modify-write of the project
+    // manifest, and two concurrent builds of one project would race the
+    // dirty-set computation.  One mutex across projects keeps it simple;
+    // dirty-unit synthesis inside the build still fans out on the pool.
+    incr::BuildResult result;
+    {
+      std::lock_guard<std::mutex> lock(incr_mu);
+      result = incr::build(req.source,
+                           options.project_dir + "/" + req.project, fopts);
+    }
+    *cache_tier = result.units_rebuilt == 0
+                      ? "hit"
+                      : (result.units_reused > 0 ? "partial" : "miss");
+
+    util::JsonWriter w;
+    w.begin_object();
+    w.member("project", req.project);
+    w.key("incremental").raw(result.to_json());
+    w.member("report", result.report);
+    if (req.options.verilog) w.member("verilog", result.verilog);
     w.end_object();
     return w.str();
   }

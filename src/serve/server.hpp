@@ -70,6 +70,12 @@ struct ServerOptions {
   /// Per-thread span-ring capacity in events, applied before enabling
   /// the tracer (clamped by obs::Tracer; see DESIGN.md §16).
   std::size_t span_ring = 16384;
+  /// Root directory for incremental-build projects (src/incr); each
+  /// request's "project" name becomes a subdirectory holding that
+  /// project's manifest and artifacts.  Empty = the
+  /// synthesize_incremental op is disabled.  (bb-served defaults this
+  /// from BB_PROJECT_DIR.)
+  std::string project_dir;
 };
 
 struct ServerStats {

@@ -1,6 +1,9 @@
 #include "src/techmap/cells.hpp"
 
+#include <cstdio>
 #include <stdexcept>
+
+#include "src/util/hash.hpp"
 
 namespace bb::techmap {
 
@@ -73,6 +76,21 @@ const Cell& CellLibrary::by_name(std::string_view name) const {
   }
   throw std::out_of_range("CellLibrary: no cell named '" +
                           std::string(name) + "'");
+}
+
+std::string CellLibrary::fingerprint() const {
+  // Deterministic text image of the whole library: cells in stored
+  // order (the order itself is part of pick()'s tie-breaking contract),
+  // delays/areas printed with fixed precision so the image is stable
+  // across compilers.
+  std::string image = "techmap-rev " + std::to_string(kTechmapRevision) + "\n";
+  for (const Cell& c : cells_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s %d %d %.3f %.4f\n", c.name.c_str(),
+                  static_cast<int>(c.fn), c.fanin, c.area, c.delay_ns);
+    image += line;
+  }
+  return util::content_digest(image);
 }
 
 int CellLibrary::max_fanin(netlist::CellFn fn) const {

@@ -13,6 +13,14 @@
 
 namespace bb::techmap {
 
+/// Revision of the technology-mapping contract (the hand-template
+/// library and the mapping transforms downstream of the synthesized
+/// covers).  Folded into CellLibrary::fingerprint(): bump it whenever a
+/// mapping change would make previously cached synthesis artifacts
+/// produce different gates, so persistent caches and incremental
+/// manifests keyed on the fingerprint invalidate themselves.
+inline constexpr int kTechmapRevision = 1;
+
 struct Cell {
   std::string name;
   netlist::CellFn fn = netlist::CellFn::kBuf;
@@ -37,6 +45,14 @@ class CellLibrary {
 
   /// Largest available fanin for a function class (0 if none).
   int max_fanin(netlist::CellFn fn) const;
+
+  /// Stable content fingerprint of the library: a 16-hex digest over
+  /// every cell's name, function class, fanin, area and delay, plus the
+  /// mapping-algorithm revision below.  Any library or techmap change
+  /// changes the fingerprint, which the synthesis cache folds into its
+  /// keys so a persistent tier can never serve entries produced under a
+  /// different library (they simply stop matching and age out).
+  std::string fingerprint() const;
 
   const std::vector<Cell>& cells() const { return cells_; }
 

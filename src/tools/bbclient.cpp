@@ -20,9 +20,13 @@
 // Options:
 //   --socket PATH      daemon socket (required)
 //   --op OP            ping | stats | metrics | trace | shutdown |
-//                      synthesize | synthesize_bm (default: ping)
+//                      synthesize | synthesize_bm |
+//                      synthesize_incremental (default: ping)
 //   --design NAME      built-in design (synthesize)
-//   --source FILE      mini-Balsa source file, "-" = stdin (synthesize)
+//   --source FILE      mini-Balsa source file, "-" = stdin (synthesize,
+//                      synthesize_incremental)
+//   --project NAME     project under the server's --project-dir
+//                      (synthesize_incremental; default "default")
 //   --bms FILE         .bms file, "-" = stdin (synthesize_bm)
 //   --mode MODE        speed | area (synthesize_bm; default speed)
 //   --id ID            request id echoed in the reply
@@ -66,13 +70,14 @@ namespace {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: bb-client --socket PATH [--op OP] [--design NAME]"
-               " [--source FILE] [--bms FILE] [--mode speed|area] [--id ID]"
+               " [--source FILE] [--project NAME] [--bms FILE]"
+               " [--mode speed|area] [--id ID]"
                " [--trace-id ID] [--format json|prometheus|both] [--last N]"
                " [--filter ID] [--json] [--verilog] [--unoptimized]"
                " [--no-cache] [--work-budget N] [--timeout-ms N]"
                " [--retries N] [--backoff-ms N]\n"
                "ops: ping stats metrics trace shutdown synthesize"
-               " synthesize_bm\n";
+               " synthesize_bm synthesize_incremental\n";
   std::exit(2);
 }
 
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
   std::string design;
   std::string source_path;
   std::string bms_path;
+  std::string project;
   std::string mode = "speed";
   std::string id;
   std::string trace_id;
@@ -145,6 +151,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--bms" && i + 1 < argc) {
       bms_path = argv[++i];
       if (op == "ping") op = "synthesize_bm";
+    } else if (flag == "--project" && i + 1 < argc) {
+      project = argv[++i];
+      if (op == "ping" || op == "synthesize") op = "synthesize_incremental";
     } else if (flag == "--mode" && i + 1 < argc) {
       mode = argv[++i];
     } else if (flag == "--id" && i + 1 < argc) {
@@ -210,6 +219,7 @@ int main(int argc, char** argv) {
   if (!design.empty()) w.member("design", design);
   if (!source_path.empty()) w.member("source", slurp_or_die(source_path));
   if (!bms_path.empty()) w.member("bms", slurp_or_die(bms_path));
+  if (!project.empty()) w.member("project", project);
   if (mode != "speed") w.member("mode", mode);
   if (format != "json") w.member("format", format);
   if (!filter.empty()) w.member("filter", filter);

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/balsa/compile.hpp"
+#include "src/balsa/parser.hpp"
 #include "src/designs/designs.hpp"
 #include "src/flow/analyze.hpp"
 #include "src/flow/flow.hpp"
@@ -181,17 +182,26 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, bb::lint::Report>> reports;
   try {
     for (const std::string& name : names) {
-      const auto net = bb::balsa::compile_source(load_source(name));
-      auto analyzed = bb::flow::analyze_control(net, options);
-      if (json) {
-        std::cout << analyzed.report.to_json() << "\n";
-      } else {
-        if (names.size() > 1) std::cout << "== " << name << " ==\n";
-        std::cout << analyzed.report.to_text();
+      // A source may declare several procedures; each is an independent
+      // unit with its own netlist, so lint them one by one.
+      const auto procedures = bb::balsa::parse_program(load_source(name));
+      for (const auto& procedure : procedures) {
+        const std::string label =
+            procedures.size() > 1 ? name + ":" + procedure.name : name;
+        const auto net = bb::balsa::compile(procedure);
+        auto analyzed = bb::flow::analyze_control(net, options);
+        if (json) {
+          std::cout << analyzed.report.to_json() << "\n";
+        } else {
+          if (names.size() > 1 || procedures.size() > 1) {
+            std::cout << "== " << label << " ==\n";
+          }
+          std::cout << analyzed.report.to_text();
+        }
+        errors = errors || analyzed.report.has_errors();
+        warnings += analyzed.report.count(bb::lint::Severity::kWarning);
+        reports.emplace_back(label, std::move(analyzed.report));
       }
-      errors = errors || analyzed.report.has_errors();
-      warnings += analyzed.report.count(bb::lint::Severity::kWarning);
-      reports.emplace_back(name, std::move(analyzed.report));
     }
   } catch (const std::exception& e) {
     std::cerr << "bb-lint: " << e.what() << "\n";

@@ -30,6 +30,9 @@
 //                       negative = off, the default)
 //   --span-ring N       per-thread span-ring capacity in events for the
 //                       live `trace` op (default 16384)
+//   --project-dir DIR   root directory for incremental-build projects
+//                       (default: BB_PROJECT_DIR; unset = the
+//                       synthesize_incremental op is disabled)
 //   --no-live-trace     do not keep the span tracer enabled (the `trace`
 //                       op then only sees spans from an explicit --trace
 //                       session)
@@ -66,7 +69,7 @@ void on_signal(int) {
                " [--cache-dir DIR] [--cache-max-mb N] [--memory-entries N]"
                " [--work-budget N] [--line-timeout-ms N] [--log FILE]"
                " [--slow-ms N] [--span-ring N] [--no-live-trace]"
-               " [--trace FILE] [--metrics FILE]\n";
+               " [--project-dir DIR] [--trace FILE] [--metrics FILE]\n";
   std::exit(2);
 }
 
@@ -84,6 +87,9 @@ int main(int argc, char** argv) {
     }
   }
   if (const char* log = std::getenv("BB_LOG")) options.log_path = log;
+  if (const char* proj = std::getenv("BB_PROJECT_DIR")) {
+    options.project_dir = proj;
+  }
   if (const char* slow = std::getenv("BB_SLOW_MS")) {
     if (const auto parsed = bb::util::parse_ll(slow)) {
       options.slow_ms = static_cast<int>(*parsed);
@@ -126,6 +132,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--span-ring" && i + 1 < argc) {
       options.span_ring = static_cast<std::size_t>(bb::util::parse_int(
           "bb-served", "--span-ring", argv[++i], 1024, 1 << 20));
+    } else if (flag == "--project-dir" && i + 1 < argc) {
+      options.project_dir = argv[++i];
     } else if (flag == "--no-live-trace") {
       options.live_trace = false;
     } else if (flag == "--trace" && i + 1 < argc) {

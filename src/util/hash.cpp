@@ -1,0 +1,27 @@
+#include "src/util/hash.hpp"
+
+#include <cstdio>
+
+namespace bb::util {
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string content_digest(std::string_view data) {
+  return hex64(fnv1a64(data));
+}
+
+}  // namespace bb::util

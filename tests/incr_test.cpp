@@ -1,0 +1,482 @@
+// The incremental-build subsystem: manifest/artifact framing and
+// corruption recovery, unit-digest stability, multi-procedure parsing,
+// library-versioned cache keys, and the end-to-end contract — an edit
+// rebuilds exactly the affected units and the spliced output stays
+// byte-identical to a full rebuild.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/balsa/digest.hpp"
+#include "src/balsa/parser.hpp"
+#include "src/balsa/printer.hpp"
+#include "src/bm/parse.hpp"
+#include "src/incr/build.hpp"
+#include "src/incr/manifest.hpp"
+#include "src/minimalist/cache.hpp"
+#include "src/minimalist/synth.hpp"
+#include "src/util/failpoint.hpp"
+
+namespace fs = std::filesystem;
+using namespace bb;
+
+namespace {
+
+/// A fresh directory under the system temp root, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag) {
+    path = fs::temp_directory_path() /
+           (std::string("bb_incr_test_") + tag + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+void spill(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// A two-unit program whose procedures are deliberately different shapes
+// so their digests and artifacts cannot collide.
+constexpr const char* kProgram = R"(
+procedure relay (input in : 8; output out : 8) is
+  variable v : 8
+begin
+  loop
+    in -> v ; out <- v
+  end
+end
+
+procedure ticker (sync tick; sync tock) is
+begin
+  loop
+    sync tick ; sync tock
+  end
+end
+)";
+
+// Same program with `relay` edited (an extra buffered stage) and
+// `ticker` untouched.
+constexpr const char* kProgramEdited = R"(
+procedure relay (input in : 8; output out : 8) is
+  variable v : 8
+  variable w : 8
+begin
+  loop
+    in -> v ; w := v ; out <- w
+  end
+end
+
+procedure ticker (sync tick; sync tock) is
+begin
+  loop
+    sync tick ; sync tock
+  end
+end
+)";
+
+incr::Manifest sample_manifest() {
+  incr::Manifest m;
+  m.library = "lib-fp";
+  m.options = "opt-fp";
+  incr::UnitRecord unit;
+  unit.name = "relay";
+  unit.digest = "0123456789abcdef";
+  unit.artifact = "relay-0123456789abcdef.bba";
+  unit.controllers.push_back({"relay_c0", "fedcba9876543210"});
+  unit.controllers.push_back({"relay_c1", ""});
+  m.units.push_back(unit);
+  incr::UnitRecord other;
+  other.name = "ticker";
+  other.digest = "ffffffffffffffff";
+  other.artifact = "ticker-ffffffffffffffff.bba";
+  m.units.push_back(other);
+  return m;
+}
+
+}  // namespace
+
+// ---- manifest and artifact serialization ----
+
+TEST(Manifest, RoundTripPreservesEveryField) {
+  const incr::Manifest m = sample_manifest();
+  std::string error;
+  const auto back = incr::manifest_from_bytes(incr::manifest_to_bytes(m),
+                                              &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->library, "lib-fp");
+  EXPECT_EQ(back->options, "opt-fp");
+  ASSERT_EQ(back->units.size(), 2u);
+  EXPECT_EQ(back->units[0].name, "relay");
+  EXPECT_EQ(back->units[0].digest, "0123456789abcdef");
+  EXPECT_EQ(back->units[0].artifact, "relay-0123456789abcdef.bba");
+  ASSERT_EQ(back->units[0].controllers.size(), 2u);
+  EXPECT_EQ(back->units[0].controllers[0].name, "relay_c0");
+  EXPECT_EQ(back->units[0].controllers[0].key, "fedcba9876543210");
+  EXPECT_EQ(back->units[0].controllers[1].key, "");
+  EXPECT_EQ(back->units[1].name, "ticker");
+  // Serialization is deterministic — a round trip is a byte fixed point.
+  EXPECT_EQ(incr::manifest_to_bytes(*back), incr::manifest_to_bytes(m));
+}
+
+TEST(Manifest, FindLocatesUnitsByName) {
+  const incr::Manifest m = sample_manifest();
+  ASSERT_NE(m.find("ticker"), nullptr);
+  EXPECT_EQ(m.find("ticker")->digest, "ffffffffffffffff");
+  EXPECT_EQ(m.find("nope"), nullptr);
+}
+
+TEST(Manifest, AnyFramingDefectIsRejectedWithAReason) {
+  const std::string good = incr::manifest_to_bytes(sample_manifest());
+  std::vector<std::string> bad;
+  bad.push_back("");                                  // empty
+  bad.push_back("not a manifest at all");             // bad magic
+  bad.push_back(good.substr(0, good.size() / 2));     // truncated
+  {
+    std::string flipped = good;                       // corrupted body
+    flipped[flipped.size() - 2] ^= 0x20;
+    bad.push_back(flipped);
+  }
+  {
+    // Version bump: readers of version 1 must refuse a version 2 file.
+    std::string bumped = good;
+    const auto pos = bumped.find("bbpm 1");
+    ASSERT_NE(pos, std::string::npos);
+    bumped[pos + 5] = '2';
+    bad.push_back(bumped);
+  }
+  for (const auto& bytes : bad) {
+    std::string error;
+    EXPECT_FALSE(incr::manifest_from_bytes(bytes, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Manifest, ArtifactRoundTripIsByteExact) {
+  incr::Artifact a;
+  a.report = "controller report\nwith lines\n";
+  a.verilog = "module relay();\nendmodule\n";
+  std::string error;
+  const auto back = incr::artifact_from_bytes(incr::artifact_to_bytes(a),
+                                              &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->report, a.report);
+  EXPECT_EQ(back->verilog, a.verilog);
+  EXPECT_FALSE(
+      incr::artifact_from_bytes("bbart 1\n0000000000000000\n{}").has_value());
+}
+
+TEST(Manifest, ArtifactFileNamesAreSanitized) {
+  EXPECT_EQ(incr::artifact_file_name("relay", "0123456789abcdef"),
+            "relay-0123456789abcdef.bba");
+  // A hostile unit name cannot traverse out of artifacts/.
+  const std::string evil = incr::artifact_file_name("../../etc/passwd",
+                                                    "0123456789abcdef");
+  EXPECT_EQ(evil.find('/'), std::string::npos);
+  EXPECT_EQ(evil.find(".."), std::string::npos);
+}
+
+TEST(Manifest, DiskRoundTripAndGc) {
+  TempDir dir("disk");
+  incr::Manifest m = sample_manifest();
+  incr::Artifact a;
+  a.report = "r";
+  a.verilog = "v";
+  std::string error;
+  ASSERT_TRUE(incr::store_artifact(dir.str(), m.units[0].artifact, a, &error))
+      << error;
+  ASSERT_TRUE(incr::store_artifact(dir.str(), m.units[1].artifact, a, &error))
+      << error;
+  ASSERT_TRUE(incr::store_manifest(dir.str(), m, &error)) << error;
+
+  const auto loaded = incr::load_manifest(dir.str(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(incr::manifest_to_bytes(*loaded), incr::manifest_to_bytes(m));
+  const auto art = incr::load_artifact(dir.str(), m.units[0].artifact);
+  ASSERT_TRUE(art.has_value());
+  EXPECT_EQ(art->report, "r");
+
+  // Drop the second unit from the manifest: gc removes its artifact and
+  // keeps the referenced one.
+  const std::string stale = m.units[1].artifact;
+  m.units.pop_back();
+  EXPECT_EQ(incr::gc_artifacts(dir.str(), m), 1u);
+  EXPECT_TRUE(fs::exists(incr::artifact_path(dir.str(), m.units[0].artifact)));
+  EXPECT_FALSE(fs::exists(incr::artifact_path(dir.str(), stale)));
+}
+
+TEST(Manifest, CorruptedOnDiskManifestLoadsAsAbsent) {
+  TempDir dir("corrupt");
+  std::string error;
+  ASSERT_TRUE(incr::store_manifest(dir.str(), sample_manifest(), &error));
+  spill(incr::manifest_path(dir.str()), "bbpm 1\ngarbage");
+  EXPECT_FALSE(incr::load_manifest(dir.str(), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- unit digests ----
+
+TEST(Digest, ReparseReprintIsAFixedPoint) {
+  const auto procs = balsa::parse_program(kProgram);
+  ASSERT_EQ(procs.size(), 2u);
+  for (const auto& proc : procs) {
+    const std::string d1 = balsa::procedure_digest(proc);
+    const auto reparsed = balsa::parse_procedure(balsa::to_source(proc));
+    EXPECT_EQ(balsa::procedure_digest(reparsed), d1) << proc.name;
+    EXPECT_EQ(d1.size(), 16u);
+  }
+}
+
+TEST(Digest, FormattingIsInvisibleNamesAreNot) {
+  const auto program = balsa::parse_program(kProgram);
+  const auto& base = program[0];
+  // Whitespace/comment noise digests identically...
+  const std::string noisy =
+      "-- a comment\nprocedure relay (input in : 8;\n"
+      "    output out : 8) is\n  variable v : 8\nbegin\n"
+      "  loop in -> v ;\n       out <- v end\nend\n";
+  EXPECT_EQ(balsa::procedure_digest(balsa::parse_procedure(noisy)),
+            balsa::procedure_digest(base));
+  // ...but renaming a port must dirty the unit: the Verilog interface
+  // changes even though the structure does not.
+  const std::string renamed =
+      "procedure relay (input in : 8; output egress : 8) is\n"
+      "  variable v : 8\nbegin\n  loop\n    in -> v ; egress <- v\n"
+      "  end\nend\n";
+  EXPECT_NE(balsa::procedure_digest(balsa::parse_procedure(renamed)),
+            balsa::procedure_digest(base));
+}
+
+TEST(Digest, UnitDigestFoldsInOptionsAndLibrary) {
+  const auto program = balsa::parse_program(kProgram);
+  const auto& proc = program[0];
+  const std::string base = incr::unit_digest(proc, "opts-a", "lib-a");
+  EXPECT_EQ(incr::unit_digest(proc, "opts-a", "lib-a"), base);
+  EXPECT_NE(incr::unit_digest(proc, "opts-b", "lib-a"), base);
+  EXPECT_NE(incr::unit_digest(proc, "opts-a", "lib-b"), base);
+}
+
+TEST(Digest, OptionsFingerprintIgnoresByteNeutralKnobs) {
+  flow::FlowOptions a = flow::FlowOptions::optimized();
+  flow::FlowOptions b = a;
+  b.jobs = 7;
+  b.cache = false;
+  EXPECT_EQ(incr::options_fingerprint(a), incr::options_fingerprint(b));
+  b.max_states = a.max_states + 1;
+  EXPECT_NE(incr::options_fingerprint(a), incr::options_fingerprint(b));
+  flow::FlowOptions c = flow::FlowOptions::unoptimized();
+  EXPECT_NE(incr::options_fingerprint(a), incr::options_fingerprint(c));
+}
+
+// ---- multi-procedure parsing ----
+
+TEST(ParseProgram, ParsesUnitsInDeclarationOrder) {
+  const auto procs = balsa::parse_program(kProgram);
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0].name, "relay");
+  EXPECT_EQ(procs[1].name, "ticker");
+}
+
+TEST(ParseProgram, RejectsDuplicateNamesAndTrailingGarbage) {
+  const std::string dup = std::string(kProgram) +
+                          "\nprocedure relay (sync s) is\nbegin\n"
+                          "  sync s\nend\n";
+  EXPECT_THROW(balsa::parse_program(dup), balsa::ParseError);
+  EXPECT_THROW(balsa::parse_program("procedure x (sync s) is begin sync s "
+                                    "end trailing"),
+               balsa::ParseError);
+  EXPECT_THROW(balsa::parse_program("   \n-- only comments\n"),
+               balsa::ParseError);
+}
+
+// ---- library-versioned cache keys (satellite: staleness fix) ----
+
+namespace {
+
+constexpr const char* kWireBms = R"(
+name wire
+input a_r 0
+output a_a 0
+0 1 a_r+ | a_a+
+1 0 a_r- | a_a-
+)";
+
+}  // namespace
+
+TEST(CacheKey, LibraryVersionSaltsTheKey) {
+  const auto spec = bm::parse_bms(kWireBms);
+  const auto mode = minimalist::SynthMode::kSpeed;
+  const std::string unsalted = minimalist::cache_key(spec, mode);
+  EXPECT_EQ(minimalist::cache_key(spec, mode, ""), unsalted)
+      << "empty version must reproduce the legacy key format";
+  const std::string v1 = minimalist::cache_key(spec, mode, "lib-v1");
+  const std::string v2 = minimalist::cache_key(spec, mode, "lib-v2");
+  EXPECT_NE(v1, unsalted);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(CacheKey, ChangingTheLibraryVersionInvalidatesTheCache) {
+  minimalist::SynthCache cache;
+  cache.set_library_version("lib-v1");
+  const auto spec = bm::parse_bms(kWireBms);
+  const auto ctrl = minimalist::synthesize(spec);
+  cache.store(spec, minimalist::SynthMode::kSpeed, ctrl);
+  EXPECT_TRUE(cache.lookup(spec, minimalist::SynthMode::kSpeed).has_value());
+  // A techmap upgrade must not serve the old library's netlists.
+  cache.set_library_version("lib-v2");
+  EXPECT_FALSE(cache.lookup(spec, minimalist::SynthMode::kSpeed).has_value());
+  cache.set_library_version("lib-v1");
+  EXPECT_TRUE(cache.lookup(spec, minimalist::SynthMode::kSpeed).has_value());
+}
+
+// ---- end-to-end incremental builds ----
+
+namespace {
+
+struct IncrTest : ::testing::Test {
+  TempDir dir{"build"};
+  flow::FlowOptions options = flow::FlowOptions::optimized();
+};
+
+}  // namespace
+
+TEST_F(IncrTest, ColdThenWarmThenEditRebuildsExactlyTheDirtyUnit) {
+  const auto cold = incr::build(kProgram, dir.str(), options);
+  EXPECT_TRUE(cold.full_rebuild);
+  EXPECT_EQ(cold.units_rebuilt, 2u);
+  EXPECT_EQ(cold.units_reused, 0u);
+  EXPECT_TRUE(cold.manifest_stored);
+  ASSERT_EQ(cold.units.size(), 2u);
+  EXPECT_EQ(cold.units[0].name, "relay");
+  EXPECT_FALSE(cold.units[0].reused);
+
+  const auto warm = incr::build(kProgram, dir.str(), options);
+  EXPECT_FALSE(warm.full_rebuild);
+  EXPECT_EQ(warm.units_rebuilt, 0u);
+  EXPECT_EQ(warm.units_reused, 2u);
+  EXPECT_EQ(warm.controllers_rebuilt, 0u);
+  EXPECT_EQ(warm.verilog, cold.verilog) << "warm splice must be byte-exact";
+  EXPECT_EQ(warm.report, cold.report);
+  EXPECT_EQ(warm.timings.incr_units_reused, 2u);
+
+  const auto edited = incr::build(kProgramEdited, dir.str(), options);
+  EXPECT_FALSE(edited.full_rebuild);
+  EXPECT_EQ(edited.units_rebuilt, 1u);
+  EXPECT_EQ(edited.units_reused, 1u);
+  ASSERT_EQ(edited.units.size(), 2u);
+  EXPECT_FALSE(edited.units[0].reused) << "relay was edited";
+  EXPECT_TRUE(edited.units[1].reused) << "ticker was not";
+
+  // The spliced output equals a from-scratch build of the edited program.
+  TempDir scratch("scratch");
+  const auto full = incr::build(kProgramEdited, scratch.str(), options);
+  EXPECT_EQ(edited.verilog, full.verilog);
+  EXPECT_EQ(edited.report, full.report);
+}
+
+TEST_F(IncrTest, CorruptManifestDegradesToAFullRebuildNeverWrongOutput) {
+  const auto cold = incr::build(kProgram, dir.str(), options);
+  for (const char* garbage :
+       {"", "total garbage", "bbpm 2\n0000000000000000\n{}",
+        "bbpm 1\n0000000000000000\n{\"units\":[]}"}) {
+    spill(incr::manifest_path(dir.str()), garbage);
+    const auto rebuilt = incr::build(kProgram, dir.str(), options);
+    EXPECT_TRUE(rebuilt.full_rebuild) << '"' << garbage << '"';
+    EXPECT_FALSE(rebuilt.full_rebuild_reason.empty());
+    EXPECT_EQ(rebuilt.units_rebuilt, 2u);
+    EXPECT_EQ(rebuilt.verilog, cold.verilog)
+        << "corruption may cost time, never bytes";
+  }
+  // The rebuild rewrote a good manifest: the next build reuses again.
+  const auto warm = incr::build(kProgram, dir.str(), options);
+  EXPECT_EQ(warm.units_reused, 2u);
+}
+
+TEST_F(IncrTest, MissingArtifactDirtiesOnlyThatUnit) {
+  const auto cold = incr::build(kProgram, dir.str(), options);
+  std::string error;
+  const auto manifest = incr::load_manifest(dir.str(), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  fs::remove(incr::artifact_path(dir.str(), manifest->find("relay")->artifact));
+  const auto rebuilt = incr::build(kProgram, dir.str(), options);
+  EXPECT_EQ(rebuilt.units_rebuilt, 1u);
+  EXPECT_EQ(rebuilt.units_reused, 1u);
+  EXPECT_EQ(rebuilt.verilog, cold.verilog);
+}
+
+TEST_F(IncrTest, OptionChangesDirtyEveryUnit) {
+  incr::build(kProgram, dir.str(), options);
+  flow::FlowOptions changed = options;
+  changed.max_states = options.max_states + 1;
+  const auto rebuilt = incr::build(kProgram, dir.str(), changed);
+  EXPECT_EQ(rebuilt.units_rebuilt, 2u);
+  EXPECT_EQ(rebuilt.units_reused, 0u);
+  // Byte-neutral knobs must NOT dirty the project.
+  flow::FlowOptions neutral = changed;
+  neutral.jobs = 3;
+  neutral.cache = false;
+  const auto warm = incr::build(kProgram, dir.str(), neutral);
+  EXPECT_EQ(warm.units_reused, 2u);
+}
+
+TEST_F(IncrTest, EditsNeverLeaveStaleArtifactsBehind)  {
+  incr::build(kProgram, dir.str(), options);
+  incr::build(kProgramEdited, dir.str(), options);
+  // Every file under artifacts/ is referenced by the live manifest.
+  std::string error;
+  const auto manifest = incr::load_manifest(dir.str(), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  std::size_t on_disk = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir.str()) / incr::kArtifactDir)) {
+    ++on_disk;
+    bool referenced = false;
+    for (const auto& unit : manifest->units) {
+      referenced = referenced || unit.artifact == entry.path().filename();
+    }
+    EXPECT_TRUE(referenced) << entry.path();
+  }
+  EXPECT_EQ(on_disk, manifest->units.size());
+}
+
+TEST_F(IncrTest, ParseFailuresDoNotPoisonTheProject) {
+  incr::build(kProgram, dir.str(), options);
+  EXPECT_THROW(incr::build("procedure broken (", dir.str(), options),
+               balsa::ParseError);
+  const auto warm = incr::build(kProgram, dir.str(), options);
+  EXPECT_EQ(warm.units_reused, 2u) << "a failed build must leave the "
+                                      "manifest of the last good one";
+}
+
+TEST_F(IncrTest, ManifestStoreFailureIsReportedButTheBuildStandsAlone) {
+  if (!util::Failpoints::compiled_in()) {
+    GTEST_SKIP() << "failpoints are compiled out of this build";
+  }
+  util::Failpoints::clear();
+  ASSERT_TRUE(util::Failpoints::set("incr.manifest.store", "once"));
+  const auto cold = incr::build(kProgram, dir.str(), options);
+  util::Failpoints::clear();
+  EXPECT_FALSE(cold.manifest_stored);
+  EXPECT_EQ(cold.units_rebuilt, 2u);
+  EXPECT_FALSE(cold.verilog.empty());
+  // Nothing was persisted, so the next build is cold again — slower,
+  // never wrong — and this time it sticks.
+  const auto retry = incr::build(kProgram, dir.str(), options);
+  EXPECT_TRUE(retry.manifest_stored);
+  EXPECT_EQ(retry.verilog, cold.verilog);
+  const auto warm = incr::build(kProgram, dir.str(), options);
+  EXPECT_EQ(warm.units_reused, 2u);
+}

@@ -454,6 +454,38 @@ TEST(Protocol, ParsesAnalyzeRequestWithSarifOption) {
       &req, &error));
 }
 
+TEST(Protocol, ParsesIncrementalRequestsAndPolicesTheProjectName) {
+  serve::Request req;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize_incremental",)"
+      R"("source":"procedure p (sync s) is begin sync s end"})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, "synthesize_incremental");
+  EXPECT_EQ(req.project, "default") << "project defaults when absent";
+  ASSERT_TRUE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize_incremental","source":"x",)"
+      R"("project":"team-42_a"})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.project, "team-42_a");
+  // The op needs inline source (a design name has no project state), and
+  // the project name is a path component — traversal characters are
+  // rejected at the protocol boundary.
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize_incremental"})", &req,
+      &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize_incremental","source":"x",)"
+      R"("project":"../escape"})",
+      &req, &error));
+  EXPECT_FALSE(serve::parse_request(
+      R"({"schema_version":1,"op":"synthesize_incremental","source":"x",)"
+      R"("project":""})",
+      &req, &error));
+}
+
 TEST(Protocol, RejectsDefectiveRequests) {
   serve::Request req;
   std::string error;
